@@ -1,0 +1,56 @@
+//! Criterion: attention-kernel modelling — the four FP16 baselines of
+//! Fig. 18 plus the fused CQ kernels, and the functional fused path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqllm_core::{ComputeOp, KernelPlanner};
+use vqllm_gpu::GpuSpec;
+use vqllm_kernels::fp16::{self, AttnBaseline};
+use vqllm_kernels::{vq_kernel, AccessProfile};
+use vqllm_tensor::synth;
+use vqllm_vq::{VqAlgorithm, VqQuantizer};
+
+fn bench_attention(c: &mut Criterion) {
+    let gpu = GpuSpec::rtx4090();
+    let mut g = c.benchmark_group("attention");
+
+    for baseline in AttnBaseline::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("fp16", baseline.name()),
+            &baseline,
+            |b, &baseline| {
+                b.iter(|| black_box(fp16::attention(&gpu, baseline, 8, 32, 128, 4096)));
+            },
+        );
+    }
+
+    for algo in VqAlgorithm::KV_CACHE {
+        let vq = algo.config();
+        let profile = AccessProfile::default_for(&vq);
+        let op = ComputeOp::attention_decode(32, 128, 4096, 8);
+        g.bench_with_input(BenchmarkId::new("vq-best", algo.name()), &vq, |b, vq| {
+            b.iter(|| black_box(vq_kernel::best_plan(&gpu, vq, &op, &profile).unwrap()));
+        });
+    }
+
+    // Functional single-head fused attention.
+    let vq = VqAlgorithm::Cq4.config();
+    let k = synth::kv_stream(256, 64, 0.85, 1);
+    let v = synth::kv_stream(256, 64, 0.85, 2);
+    let kq = VqQuantizer::new(vq).quantize(&k, 3).unwrap();
+    let vqv = VqQuantizer::new(vq).quantize(&v, 4).unwrap();
+    let q: Vec<f32> = (0..64).map(|i| (i as f32 * 0.31).cos()).collect();
+    let plan = KernelPlanner::new(gpu.clone())
+        .plan(&vq, &ComputeOp::attention_decode(1, 64, 256, 1))
+        .unwrap();
+    g.bench_function("functional 256tok head", |b| {
+        b.iter(|| {
+            vq_kernel::run_attention_head(&gpu, &plan, black_box(&q), black_box(&kq), black_box(&vqv))
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion: codebook-cache hot paths — frequency profiling, reorder-based
+//! load, and the Access lookup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vqllm_core::{CachePlacement, CodebookCache};
+use vqllm_gpu::GpuSpec;
+use vqllm_kernels::traffic::{model_codebook_access, AccessProfile};
+use vqllm_tensor::synth;
+use vqllm_vq::config::{CodebookScope, VqConfig};
+use vqllm_vq::stats::AccessHistogram;
+use vqllm_vq::VqQuantizer;
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap();
+    let w = synth::gaussian_with_outliers(128, 256, 1.0, 0.02, 6.0, 17);
+    let q = VqQuantizer::new(cfg).quantize(&w, 3).unwrap();
+    let hist = AccessHistogram::profile(&q, 0);
+    let book = q.codebooks().book(0, 0);
+    let placement = CachePlacement { n_reg: 8, n_shared: 128 };
+    let cache = CodebookCache::load(book, &hist, placement);
+
+    let mut g = c.benchmark_group("codebook_cache");
+    g.bench_function("profile 8k lookups", |b| {
+        b.iter(|| black_box(AccessHistogram::profile(&q, 0)));
+    });
+    g.bench_function("load (reorder + remap)", |b| {
+        b.iter(|| black_box(CodebookCache::load(book, &hist, placement)));
+    });
+    g.bench_function("access 256 entries", |b| {
+        let mut out = [0.0f32; 4];
+        b.iter(|| {
+            for id in 0..256u32 {
+                black_box(cache.access(id, &mut out));
+            }
+        });
+    });
+    g.bench_function("traffic model (256 warps)", |b| {
+        let profile = AccessProfile::from_histogram(&hist);
+        let gpu = GpuSpec::rtx4090();
+        b.iter(|| {
+            black_box(model_codebook_access(&profile, &placement, 8, &gpu, 256, 1));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

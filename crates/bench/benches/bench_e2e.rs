@@ -1,0 +1,27 @@
+//! Criterion: end-to-end pipeline evaluation throughput (one full Fig. 17
+//! generation projection per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqllm_gpu::GpuSpec;
+use vqllm_llm::{LlamaConfig, Pipeline, QuantScheme};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("fp16", QuantScheme::Fp16),
+        ("qserve4", QuantScheme::QServe4),
+        ("vqllm4", QuantScheme::vq_llm_4bit()),
+        ("vqllm2", QuantScheme::vq_llm_2bit()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("llama7b-gen256", name), &scheme, |b, scheme| {
+            let p = Pipeline::new(GpuSpec::rtx4090(), LlamaConfig::llama_7b(), *scheme);
+            b.iter(|| black_box(p.generate(1024, 256, 16)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: fused VQ-GeMV estimation across the optimization ladder and
+//! the FP16/AWQ baselines (paper Fig. 14/16 GeMV panels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
+use vqllm_gpu::GpuSpec;
+use vqllm_kernels::{elementwise, fp16, vq_kernel, AccessProfile};
+use vqllm_vq::VqAlgorithm;
+
+fn bench_gemv(c: &mut Criterion) {
+    let gpu = GpuSpec::rtx4090();
+    let planner = KernelPlanner::new(gpu.clone());
+    let op = ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 };
+
+    let mut g = c.benchmark_group("gemv");
+    for level in OptLevel::ALL {
+        let vq = VqAlgorithm::Aqlm3.config();
+        let profile = AccessProfile::default_for(&vq);
+        g.bench_with_input(BenchmarkId::new("aqlm3-estimate", level.name()), &level, |b, &level| {
+            b.iter(|| {
+                let plan = planner
+                    .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
+                    .unwrap();
+                black_box(vq_kernel::estimate(&gpu, &plan, &profile))
+            });
+        });
+    }
+    g.bench_function("fp16-baseline", |b| {
+        b.iter(|| black_box(fp16::gemv(&gpu, 11008, 4096, 1)));
+    });
+    g.bench_function("awq4-baseline", |b| {
+        b.iter(|| black_box(elementwise::awq_gemv(&gpu, 11008, 4096, 1)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemv);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: quantization-pipeline throughput (k-means training, encode,
+//! dequantize) for representative VQ configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vqllm_tensor::synth;
+use vqllm_vq::config::{CodebookScope, VqConfig};
+use vqllm_vq::VqQuantizer;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize");
+    g.sample_size(10);
+    let w = synth::correlated_channels(128, 256, 4, 0.9, 42);
+
+    for (name, cfg) in [
+        ("vq<4,6,1>", VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap()),
+        ("vq<4,8,1>", VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap()),
+        ("vq<8,8,2>", VqConfig::new(8, 256, 2, CodebookScope::PerTensor).unwrap()),
+        (
+            "vq<4,6,1>-tiled",
+            VqConfig::new(4, 64, 1, CodebookScope::PerTile { rows: 64, cols: 64 }).unwrap(),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("train+encode", name), &cfg, |b, cfg| {
+            b.iter(|| VqQuantizer::new(*cfg).quantize(black_box(&w), 7).unwrap());
+        });
+    }
+
+    let cfg = VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap();
+    let q = VqQuantizer::new(cfg).quantize(&w, 7).unwrap();
+    g.bench_function("dequantize 128x256", |b| {
+        b.iter(|| black_box(&q).dequantize().unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantize);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 2 (lower): VQ captures correlated distributions better than
+//! element-wise quantization grids.
+//!
+//! The paper quantizes a correlated 2-D point cloud with outliers: the
+//! element-wise Cartesian grid lands MSE 5.2e-3, VQ 3.2e-3. We reproduce
+//! the experiment with a 16-entry VQ codebook (4 bits per 2-D point =
+//! 2 bits/element) against a 2-bit-per-dimension scalar grid of the same
+//! total budget.
+
+use vqllm_bench::Report;
+use vqllm_tensor::{metrics, synth};
+use vqllm_vq::config::{CodebookScope, VqConfig};
+use vqllm_vq::scalar::{self, ScalarQuantConfig};
+use vqllm_vq::VqQuantizer;
+
+fn main() {
+    let mut r = Report::new(
+        "fig02",
+        "VQ vs element-wise quantization on correlated 2-D data (paper Fig. 2, lower)",
+    );
+    let points = synth::correlated_pairs(8192, 0.85, 0.02, 42);
+
+    // Element-wise: 2 bits per dimension with one shared scale per
+    // dimension → a 4×4 Cartesian grid over the plane. (Quantize the
+    // transposed point cloud so each dimension is a single scale group.)
+    let transposed = points.transposed();
+    let ew = scalar::quantize(
+        &transposed,
+        ScalarQuantConfig {
+            bits: 2,
+            group_size: transposed.cols(),
+            asymmetric: true,
+        },
+    )
+    .expect("valid scalar config");
+    let ew_mse = metrics::mse_tensor(&transposed, &ew.dequantize());
+
+    // VQ: 16 entries over 2-D vectors → the same 4 bits per point.
+    let cfg = VqConfig::new(2, 16, 1, CodebookScope::PerTensor).expect("valid config");
+    let q = VqQuantizer::new(cfg).quantize(&points, 7).expect("quantize");
+    let vq_mse = metrics::mse_tensor(&points, &q.dequantize().expect("dequantize"));
+
+    r.line("points: 8192 correlated 2-D samples (ρ=0.85, 2% outliers)".to_string());
+    r.line(format!("element-wise 2-bit grid   MSE = {ew_mse:.3e}"));
+    r.line(format!("VQ<2,4,1> (16 entries)    MSE = {vq_mse:.3e}"));
+    r.line(format!("VQ / element-wise ratio   = {:.2}", vq_mse / ew_mse));
+    r.blank();
+    r.line("Paper: element-wise 5.2e-3 vs VQ 3.2e-3 (ratio 0.62).");
+    r.line(format!(
+        "Reproduced shape: VQ wins by {:.0}% ({}).",
+        (1.0 - vq_mse / ew_mse) * 100.0,
+        if vq_mse < ew_mse { "MATCH" } else { "MISMATCH" }
+    ));
+    r.finish();
+}

@@ -1,0 +1,51 @@
+//! Figure 9: hot entries are consistent across tensor parts.
+//!
+//! The paper's justification for tensor-level (rather than per-block)
+//! frequency reordering: the per-block × entry access matrix shows
+//! vertical "white lines" — entries hot in every block. We reproduce the
+//! matrix on a quantized synthetic weight and report the cross-block
+//! consistency plus an ASCII rendering of the hottest columns.
+
+use vqllm_bench::Report;
+use vqllm_tensor::synth;
+use vqllm_vq::stats::{AccessHistogram, BlockAccessMatrix};
+use vqllm_vq::{config::CodebookScope, VqConfig, VqQuantizer};
+
+fn main() {
+    let mut r = Report::new("fig09", "Entry hotness across tensor parts (paper Fig. 9)");
+    // A 256-entry codebook keeps the rendering readable.
+    let vq = VqConfig::new(8, 256, 1, CodebookScope::PerTensor).expect("valid config");
+    let w = synth::gaussian_with_outliers(256, 512, 0.02, 0.01, 8.0, 11);
+    let q = VqQuantizer::new(vq).quantize(&w, 3).expect("quantize");
+
+    let blocks = 16;
+    let matrix = BlockAccessMatrix::profile(&q, 0, blocks);
+    let consistency = matrix.cross_block_consistency();
+
+    r.line(format!("tensor split into {blocks} row-band blocks, 256 entries"));
+    r.line(format!("mean pairwise correlation of per-block histograms: {consistency:.3}"));
+    r.blank();
+
+    // Render: rows = blocks, columns = the 48 globally-hottest entries,
+    // '#' where the block accesses the entry above its own mean.
+    let global = AccessHistogram::profile(&q, 0);
+    let order = global.sort_permutation();
+    r.section("per-block hotness of the 48 globally-hottest entries ('#' = above block mean)");
+    for (b, h) in matrix.blocks().iter().enumerate() {
+        let mean = h.mean();
+        let row: String = order
+            .iter()
+            .take(48)
+            .map(|&id| if h.counts()[id as usize] as f64 > mean { '#' } else { '.' })
+            .collect();
+        r.line(format!("block {b:2}: {row}"));
+    }
+    r.blank();
+    r.line("Vertical '#' columns = entries consistently hot across blocks,");
+    r.line("matching the paper's white lines and supporting tensor-level reorder.");
+    r.line(format!(
+        "[{}] cross-block consistency > 0.4",
+        if consistency > 0.4 { "MATCH" } else { "DEVIATION" }
+    ));
+    r.finish();
+}

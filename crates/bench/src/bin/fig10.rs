@@ -1,0 +1,59 @@
+//! Figure 10: GPU occupancy vs per-block resource consumption, and the
+//! resource slack the codebook cache may consume for free.
+//!
+//! Two operator shapes (a GeMM-like 256-thread block and an
+//! attention-like 128-thread block) are swept over shared memory and
+//! registers; the most performant configuration (the paper's circle
+//! marker) and the slack region are reported.
+
+use vqllm_bench::Report;
+use vqllm_core::cache::CacheBudget;
+use vqllm_gpu::{BlockResources, GpuSpec, Occupancy};
+
+fn main() {
+    let mut r = Report::new("fig10", "Occupancy vs resources and slack (paper Fig. 10)");
+    let gpu = GpuSpec::rtx4090();
+
+    for (name, threads, regs, smem_data) in [
+        ("OP A (GeMM-like, 256 thr)", 256usize, 64usize, 32 * 1024usize),
+        ("OP B (attention-like, 128 thr)", 128, 48, 16 * 1024),
+    ] {
+        r.section(name);
+        r.line(format!("{:>12} {:>10} {:>10}", "smem (KB)", "blocks/SM", "occupancy"));
+        for smem_kb in [0usize, 16, 32, 48, 64, 80, 96] {
+            let occ = Occupancy::analyze(&gpu, &BlockResources::new(threads, regs, smem_kb * 1024));
+            r.line(format!(
+                "{:>12} {:>10} {:>9.0}%",
+                smem_kb,
+                occ.blocks_per_sm,
+                occ.occupancy * 100.0
+            ));
+        }
+        r.line(format!("{:>12} {:>10} {:>10}", "regs/thread", "blocks/SM", "occupancy"));
+        for regs_t in [32usize, 64, 96, 128, 160, 192] {
+            let occ = Occupancy::analyze(&gpu, &BlockResources::new(threads, regs_t, smem_data));
+            r.line(format!(
+                "{:>12} {:>10} {:>9.0}%",
+                regs_t,
+                occ.blocks_per_sm,
+                occ.occupancy * 100.0
+            ));
+        }
+
+        let base = BlockResources::new(threads, regs, smem_data);
+        let strict = CacheBudget::from_occupancy(&gpu, &base);
+        let perf = CacheBudget::performance_slack(&gpu, &base);
+        r.line(format!(
+            "slack at max occupancy:        {:>6} B smem, {:>4} B regs/thread",
+            strict.smem_slack_bytes, strict.reg_slack_bytes_per_thread
+        ));
+        r.line(format!(
+            "slack at performance point:    {:>6} B smem, {:>4} B regs/thread  (the blue region)",
+            perf.smem_slack_bytes, perf.reg_slack_bytes_per_thread
+        ));
+    }
+    r.blank();
+    r.line("The performance-point slack is what the codebook cache divides by the");
+    r.line("entry size to set n_reg / n_shared (paper §V-B Adaptivity).");
+    r.finish();
+}

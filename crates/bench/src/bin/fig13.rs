@@ -1,0 +1,87 @@
+//! Figure 13: overall latency reduction of the best-performing version
+//! against the unoptimized (GC) version, across VQ configurations,
+//! kernels, and model scales.
+//!
+//! Workloads follow Llama-7B and Llama-65B shapes: GeMM, GeMV at batch
+//! 1/16 (weight algorithms), attention decode at seq 1k/4k × batch 1/8
+//! (CQ-2), on the RTX 4090.
+
+use vqllm_bench::{fmt_us, Report};
+use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
+use vqllm_gpu::GpuSpec;
+use vqllm_kernels::{vq_kernel, AccessProfile};
+use vqllm_vq::VqAlgorithm;
+
+fn reduction(gpu: &GpuSpec, algo: VqAlgorithm, op: ComputeOp) -> (f64, f64, f64) {
+    let vq = algo.config();
+    let profile = AccessProfile::default_for(&vq);
+    let planner = KernelPlanner::new(gpu.clone());
+    let gc_plan = planner
+        .plan_at(&vq, &op, OptLevel::Gc, &ProfileSummary::default_for(&vq))
+        .expect("GC plan");
+    let gc = vq_kernel::estimate(gpu, &gc_plan, &profile).us();
+    let (_, best) = vq_kernel::best_plan(gpu, &vq, &op, &profile).expect("best plan");
+    (gc, best.us(), (1.0 - best.us() / gc) * 100.0)
+}
+
+fn main() {
+    let mut r = Report::new(
+        "fig13",
+        "Overall latency reduction vs unoptimized GC (paper Fig. 13)",
+    );
+    let gpu = GpuSpec::rtx4090();
+    let mut reductions = Vec::new();
+
+    for (model, hidden, inter, heads) in [("Llama-7B", 4096usize, 11008usize, 32usize), ("Llama-65B", 8192, 22016, 64)] {
+        r.section(model);
+        for algo in VqAlgorithm::WEIGHT {
+            for (name, op) in [
+                ("GeMM", ComputeOp::Gemm { m: 2048, n: inter, k: hidden }),
+                ("GeMV BS1", ComputeOp::Gemv { n: inter, k: hidden, batch: 1 }),
+                ("GeMV BS16", ComputeOp::Gemv { n: inter, k: hidden, batch: 16 }),
+            ] {
+                let (gc, best, red) = reduction(&gpu, algo, op);
+                reductions.push(red);
+                r.line(format!(
+                    "{:9} {:10} GC {} → best {}  reduction {red:5.1}%",
+                    name,
+                    algo.name(),
+                    fmt_us(gc),
+                    fmt_us(best)
+                ));
+            }
+        }
+        for seq in [1024usize, 4096] {
+            for batch in [1usize, 8] {
+                let op = ComputeOp::attention_decode(heads, 128, seq, batch);
+                let (gc, best, red) = reduction(&gpu, VqAlgorithm::Cq2, op);
+                reductions.push(red);
+                r.line(format!(
+                    "Attn {}k BS{batch} CQ-2     GC {} → best {}  reduction {red:5.1}%",
+                    seq / 1024,
+                    fmt_us(gc),
+                    fmt_us(best)
+                ));
+            }
+        }
+    }
+
+    let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    let max = reductions.iter().cloned().fold(f64::MIN, f64::max);
+    r.section("summary");
+    r.line(format!(
+        "mean latency reduction {mean:.2}% (paper: 46.13%), max {max:.2}% (paper: 53.73%+)"
+    ));
+    r.line(format!(
+        "[{}] every optimized kernel beats its GC baseline",
+        if reductions.iter().all(|&x| x > 0.0) { "MATCH" } else { "DEVIATION" }
+    ));
+    r.line(format!(
+        "[{}] mean reduction in a paper-compatible 35-70% band",
+        if (35.0..=70.0).contains(&mean) { "MATCH" } else { "DEVIATION" }
+    ));
+    r.line("Note: our attention reductions (79-90%) sit above the paper's mean");
+    r.line("because the simulated optimized kernels run closer to the bandwidth");
+    r.line("bound than the authors' measured CUDA kernels (see EXPERIMENTS.md).");
+    r.finish();
+}

@@ -1,0 +1,92 @@
+//! Figure 17: end-to-end speedup over FP16 (left) and arc-challenge
+//! accuracy proxy (right).
+//!
+//! Llama-7B, batch 16, prompt 1024, 256 generated tokens; RTX 4090 plus
+//! the bandwidth-constrained Tesla A40 for the 4-bit configuration.
+
+use vqllm_bench::Report;
+use vqllm_gpu::GpuSpec;
+use vqllm_llm::{AccuracyProxy, LlamaConfig, Pipeline, QuantScheme};
+
+fn main() {
+    let mut r = Report::new("fig17", "End-to-end speedup and accuracy proxy (paper Fig. 17)");
+    let model = LlamaConfig::llama_7b();
+    let schemes = [
+        QuantScheme::Fp16,
+        QuantScheme::QServe4,
+        QuantScheme::vq_llm_4bit(),
+        QuantScheme::vq_llm_2bit(),
+    ];
+
+    r.section("(left) E2E latency and speedup, RTX 4090");
+    let base = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::Fp16).generate(1024, 256, 16);
+    let mut speedup_4bit = 0.0;
+    for scheme in schemes {
+        let rep = Pipeline::new(GpuSpec::rtx4090(), model, scheme).generate(1024, 256, 16);
+        let speedup = base.total_ms() / rep.total_ms();
+        if scheme == QuantScheme::vq_llm_4bit() {
+            speedup_4bit = speedup;
+        }
+        r.line(format!(
+            "{:26} prefill {:7.1} ms + decode {:7.1} ms = {:8.1} ms  speedup {speedup:4.2}x  mem {:5.2} GB",
+            rep.scheme,
+            rep.prefill_ms,
+            rep.decode_ms,
+            rep.total_ms(),
+            rep.memory_gb
+        ));
+    }
+
+    r.section("(left, cont.) VQ-LLM 4-bit on the Tesla A40");
+    let a40_base = Pipeline::new(GpuSpec::a40(), model, QuantScheme::Fp16).generate(1024, 256, 16);
+    let a40_vq = Pipeline::new(GpuSpec::a40(), model, QuantScheme::vq_llm_4bit()).generate(1024, 256, 16);
+    let a40_speedup = a40_base.total_ms() / a40_vq.total_ms();
+    r.line(format!(
+        "A40: FP16 {:8.1} ms vs VQ-LLM-4 {:8.1} ms → speedup {a40_speedup:4.2}x",
+        a40_base.total_ms(),
+        a40_vq.total_ms()
+    ));
+    r.line(format!(
+        "(paper reports a *greater* A40 speedup; our model lands at {:.0}% of the",
+        a40_speedup / speedup_4bit * 100.0
+    ));
+    r.line(" 4090's — a documented deviation, see EXPERIMENTS.md)");
+
+    r.section("(right) arc-challenge accuracy proxy");
+    let proxy = AccuracyProxy::default();
+    for scheme in [QuantScheme::Fp16, QuantScheme::QServe4, QuantScheme::vq_llm_4bit()] {
+        let acc = proxy.evaluate(&scheme);
+        r.line(format!(
+            "{:26} weight nMSE {:8.4}  kv nMSE {:8.4}  accuracy {:5.2}%",
+            scheme.name(),
+            acc.weight_nmse,
+            acc.kv_nmse,
+            acc.accuracy * 100.0
+        ));
+    }
+
+    r.section("paper-shape checks");
+    let qserve = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::QServe4).generate(1024, 256, 16);
+    let v4 = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::vq_llm_4bit()).generate(1024, 256, 16);
+    let v2 = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::vq_llm_2bit()).generate(1024, 256, 16);
+    r.line(check(
+        "VQ-LLM-4 ≈ qServe-4 (within 25%), both ≈ 2.2x over FP16",
+        (v4.total_ms() / qserve.total_ms() - 1.0).abs() < 0.25 && speedup_4bit > 1.7,
+    ));
+    r.line(check("2-bit beats 4-bit", v2.total_ms() < v4.total_ms()));
+    r.line(check(
+        "FP16 > 20 GB, 4-bit schemes < 6.5 GB",
+        base.memory_gb > 20.0 && v4.memory_gb < 6.5 && qserve.memory_gb < 6.5,
+    ));
+    let acc_vq = proxy.evaluate(&QuantScheme::vq_llm_4bit()).accuracy;
+    let acc_qs = proxy.evaluate(&QuantScheme::QServe4).accuracy;
+    r.line(check(
+        "VQ-LLM-4 accuracy above qServe-4 (paper: +2.5%)",
+        acc_vq > acc_qs,
+    ));
+    r.finish();
+}
+
+fn check(what: &str, ok: bool) -> String {
+    format!("[{}] {}", if ok { "MATCH" } else { "DEVIATION" }, what)
+}

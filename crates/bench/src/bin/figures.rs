@@ -1,0 +1,30 @@
+//! Regenerates every table and figure: runs each experiment binary's logic
+//! in-process and tees results into `results/`.
+//!
+//! Usage: `cargo run -p vqllm-bench --bin figures --release`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tbl02", "tbl03", "tbl05", "fig02", "fig04", "fig08", "fig09", "fig10", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n=== running {bin} ===");
+        let status = Command::new(dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            _ => failed.push(bin),
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments regenerated; outputs in results/.");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

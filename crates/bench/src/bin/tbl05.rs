@@ -1,0 +1,92 @@
+//! Table V: factors that influence the effect of each optimization.
+
+use vqllm_bench::{fmt_bytes, Report};
+use vqllm_core::engine::{baseline_tiling, kernel_codebook_bytes};
+use vqllm_core::fusion::num_shuffles;
+use vqllm_core::ComputeOp;
+use vqllm_tensor::synth;
+use vqllm_vq::stats::AccessHistogram;
+use vqllm_vq::{VqAlgorithm, VqQuantizer};
+
+fn main() {
+    let mut r = Report::new("tbl05", "Factors that influence the optimizations (paper Tbl. V)");
+    let gemm = ComputeOp::Gemm { m: 2048, n: 4096, k: 4096 };
+    let gemv = ComputeOp::Gemv { n: 4096, k: 4096, batch: 1 };
+    let attn = ComputeOp::attention_decode(32, 128, 1024, 1);
+
+    r.line(format!(
+        "{:10} {:>16} {:>14} {:>16} {:>12}",
+        "Algorithm", "Codebook/block", "#Entry>µ+3σ", "Output/block", "#Shuffle"
+    ));
+    for algo in VqAlgorithm::ALL {
+        let vq = algo.config();
+        let op = if algo.is_weight_algorithm() { gemm } else { attn };
+        let tiling = baseline_tiling(&op, &vq);
+        let cb_per_block = tiling.books_per_block * kernel_codebook_bytes(&vq);
+
+        // Measured hot-entry count: quantize a moderate synthetic tensor.
+        let num_hot = measured_hot(algo);
+
+        let out_desc = if algo.is_weight_algorithm() {
+            let tg = baseline_tiling(&gemm, &vq).output_bytes_per_block;
+            let tv = baseline_tiling(&gemv, &vq).output_bytes_per_block;
+            format!("{}/{}", fmt_bytes(tg as f64).trim(), fmt_bytes(tv as f64).trim())
+        } else {
+            fmt_bytes(tiling.output_bytes_per_block as f64).trim().to_string()
+        };
+
+        let shuffles = if algo.is_weight_algorithm() {
+            format!(
+                "{}/{}",
+                num_shuffles(vq.vector_size, gemm.required_layout()),
+                num_shuffles(vq.vector_size, gemv.required_layout())
+            )
+        } else {
+            format!("{}", num_shuffles(vq.vector_size, attn.required_layout()))
+        };
+
+        r.line(format!(
+            "{:10} {:>16} {:>14} {:>16} {:>12}",
+            algo.name(),
+            fmt_bytes(cb_per_block as f64).trim().to_string(),
+            num_hot,
+            out_desc,
+            shuffles,
+        ));
+    }
+    r.blank();
+    r.line("Paper values: codebook/block 2KB / 128KB / 32KB / 64KB;");
+    r.line("hot entries 1-3 (QuiP#), 15-30 (AQLM), <1 (GPTVQ/CQ);");
+    r.line("output 32KB GeMM, <1KB GeMV, 1-4KB attention; shuffles 3/7, 3/7, 1/3, 3.");
+    r.finish();
+}
+
+/// Quantizes a moderate synthetic tensor with the algorithm and counts
+/// entries above µ+3σ (averaged across residual rounds).
+fn measured_hot(algo: VqAlgorithm) -> usize {
+    let vq = algo.config();
+    // Keep the tensor small enough for quick turnaround but big enough to
+    // train the codebook (≥ stored entries of samples per scope).
+    let (rows, cols) = if algo.is_weight_algorithm() {
+        match algo {
+            VqAlgorithm::Aqlm3 => (256, 512),
+            _ => (128, 256),
+        }
+    } else {
+        (512, 128)
+    };
+    let data = if algo.is_weight_algorithm() {
+        synth::gaussian_with_outliers(rows, cols, 0.02, 0.01, 8.0, 42)
+    } else {
+        synth::kv_stream(rows, cols, 0.85, 42)
+    };
+    match VqQuantizer::new(vq).quantize(&data, 7) {
+        Ok(q) => {
+            let hot: usize = (0..vq.residuals)
+                .map(|r| AccessHistogram::profile(&q, r).num_hot())
+                .sum();
+            hot / vq.residuals
+        }
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,119 @@
+//! Benchmark harness: shared plumbing for the figure/table regeneration
+//! binaries (`src/bin/fig*.rs`, `src/bin/tbl*.rs`) and the Criterion
+//! benches (`benches/`).
+//!
+//! Every binary regenerates one table or figure from the paper's
+//! evaluation; `cargo run -p vqllm-bench --bin figures --release` runs all
+//! of them and tees the output to `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A figure/table report: builds the text, prints it, and tees it into
+/// `results/<id>.txt` at the workspace root.
+#[derive(Debug)]
+pub struct Report {
+    id: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for experiment `id` (e.g. `"fig13"`).
+    pub fn new(id: &str, title: &str) -> Self {
+        let mut body = String::new();
+        let _ = writeln!(body, "================================================================");
+        let _ = writeln!(body, "{id}: {title}");
+        let _ = writeln!(body, "================================================================");
+        Report {
+            id: id.to_string(),
+            body,
+        }
+    }
+
+    /// Appends a line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let _ = writeln!(self.body, "{}", s.as_ref());
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        let _ = writeln!(self.body);
+    }
+
+    /// Appends a section header.
+    pub fn section(&mut self, s: &str) {
+        let _ = writeln!(self.body, "\n--- {s} ---");
+    }
+
+    /// Prints to stdout and writes `results/<id>.txt`.
+    pub fn finish(self) {
+        println!("{}", self.body);
+        let dir = results_dir();
+        let _ = fs::create_dir_all(&dir);
+        let _ = fs::write(dir.join(format!("{}.txt", self.id)), &self.body);
+    }
+}
+
+/// `results/` directory at the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Formats a latency with a sensible unit.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 10_000.0 {
+        format!("{:8.2} ms", us / 1000.0)
+    } else {
+        format!("{us:8.1} us")
+    }
+}
+
+/// Formats a byte count.
+pub fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:7.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:7.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:7.2} KB", b / 1e3)
+    } else {
+        format!("{b:7.0} B ")
+    }
+}
+
+/// Simple fixed-width ASCII bar for histogram-style figures.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn fmt_helpers_pick_units() {
+        assert!(fmt_us(500.0).contains("us"));
+        assert!(fmt_us(50_000.0).contains("ms"));
+        assert!(fmt_bytes(2.5e6).contains("MB"));
+        assert!(fmt_bytes(100.0).contains("B"));
+    }
+}

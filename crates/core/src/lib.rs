@@ -1,0 +1,76 @@
+//! The VQ-LLM framework core — the paper's contribution.
+//!
+//! VQ-LLM generates high-performance fused dequantize-and-compute kernels
+//! for vector-quantized LLM inference. The framework has two halves
+//! (paper Fig. 7):
+//!
+//! * the **codebook cache** ([`cache`]): a software-managed, profile-driven
+//!   placement of codebook entries across registers / shared memory /
+//!   global memory, realized as a reorder-based static mapping with two
+//!   boundaries (`n_reg`, `n_shared`) sized from resource *slack*;
+//! * the **codebook-based compute engine** ([`dataflow`], [`fusion`],
+//!   [`engine`]): a codebook-centric dataflow that eliminates duplicated
+//!   codebook loads (with an adaptive split factor balancing global
+//!   reduction traffic against codebook traffic), and hierarchical fusion
+//!   that rearranges dequantized data in registers via warp shuffles when
+//!   fewer than five shuffles suffice.
+//!
+//! [`engine::KernelPlanner`] assembles all adaptive decisions into a
+//! [`engine::KernelPlan`]; [`codegen::emit`] renders the CUDA-like source a
+//! GPU backend would compile, and `vqllm-kernels` executes plans against
+//! the performance-model substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use vqllm_core::{ComputeOp, KernelPlanner};
+//! use vqllm_gpu::GpuSpec;
+//! use vqllm_vq::VqAlgorithm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let planner = KernelPlanner::new(GpuSpec::rtx4090());
+//! let plan = planner.plan(
+//!     &VqAlgorithm::Cq2.config(),
+//!     &ComputeOp::attention_decode(32, 128, 1024, 1),
+//! )?;
+//! println!("{}", plan.describe());
+//! println!("{}", vqllm_core::codegen::emit(&plan));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod codegen;
+pub mod dataflow;
+pub mod engine;
+pub mod fusion;
+pub mod ops;
+
+pub use cache::{CacheBudget, CacheLevel, CachePlacement, CodebookCache};
+pub use dataflow::{optimal_split_factor, DataflowPlan};
+pub use engine::{KernelPlan, KernelPlanner, OptLevel, ProfileSummary, Tiling};
+pub use fusion::{FusionLevel, ThreadMapping, SHUFFLE_THRESHOLD};
+pub use ops::{AttnOperand, Axis, ComputeOp};
+
+/// Error type for planning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// No launchable configuration exists for the request.
+    Unplannable {
+        /// Why planning failed.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Unplannable { what } => write!(f, "unplannable kernel: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

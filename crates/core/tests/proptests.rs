@@ -1,0 +1,147 @@
+//! Property-based tests for the VQ-LLM core framework.
+
+use proptest::prelude::*;
+use vqllm_core::dataflow::optimal_split_factor;
+use vqllm_core::fusion::{choose_fusion, num_shuffles, reg_fusion, FusionLevel, ThreadMapping};
+use vqllm_core::{CachePlacement, ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
+use vqllm_gpu::{GpuSpec, Warp, WARP_SIZE};
+use vqllm_vq::VqAlgorithm;
+
+proptest! {
+    /// The split-factor optimum is a discrete minimum of the total-traffic
+    /// function within its clamp range.
+    #[test]
+    fn split_factor_is_discrete_minimum(
+        cb in 1.0e4f64..1.0e9,
+        out in 1.0e2f64..1.0e7,
+        max_split in 2usize..256,
+    ) {
+        let s = optimal_split_factor(cb, out, max_split);
+        prop_assert!(s >= 1 && s <= max_split);
+        let total = |s: f64| cb / s + s * out;
+        if s > 1 {
+            prop_assert!(total(s as f64) <= total((s - 1) as f64) + 1e-6);
+        }
+        if s < max_split {
+            prop_assert!(total(s as f64) <= total((s + 1) as f64) + 1e-6);
+        }
+    }
+
+    /// Shuffle counts are consistent with the fusion decision everywhere.
+    #[test]
+    fn fusion_decision_consistent(v_log in 0u32..5, l_log in 0u32..3) {
+        let v = 1usize << v_log;
+        let l = 1usize << l_log;
+        let n = num_shuffles(v, l);
+        match choose_fusion(v, l) {
+            FusionLevel::Register { shuffles } => {
+                prop_assert_eq!(shuffles, n);
+                prop_assert!(n < vqllm_core::SHUFFLE_THRESHOLD);
+            }
+            FusionLevel::Shared => prop_assert!(n >= vqllm_core::SHUFFLE_THRESHOLD),
+        }
+    }
+
+    /// Thread mapping is always a permutation with uniform mini-warps for
+    /// canonical associations.
+    #[test]
+    fn thread_mapping_is_permutation(v_log in 0u32..5, l_log in 0u32..2) {
+        let v = 1usize << v_log;
+        let l = (1usize << l_log).min(v);
+        let tm = ThreadMapping::canonical(v, l);
+        let mut seen = [false; WARP_SIZE];
+        for &lane in &tm.new_duty {
+            prop_assert!(!seen[lane], "duplicate lane");
+            seen[lane] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let m = v / l;
+        for mw in &tm.mini_warps {
+            prop_assert_eq!(mw.len(), m.min(WARP_SIZE));
+        }
+    }
+
+    /// Register fusion is an involution when applied twice (each shfl_xor
+    /// round is its own inverse, applied in any order over disjoint pairs).
+    #[test]
+    fn reg_fusion_twice_restores(vals in proptest::collection::vec(-10.0f32..10.0, WARP_SIZE * 4)) {
+        let mut w = Warp::new(4);
+        for lane in 0..WARP_SIZE {
+            for r in 0..4 {
+                w.set(lane, r, vals[lane * 4 + r]);
+            }
+        }
+        let before = w.snapshot();
+        reg_fusion(&mut w, 3).unwrap();
+        // Applying the same masks again undoes the transpose.
+        reg_fusion(&mut w, 3).unwrap();
+        prop_assert_eq!(w.snapshot(), before);
+    }
+
+    /// Placement levels partition: every id maps to exactly one level and
+    /// boundaries are respected.
+    #[test]
+    fn placement_levels_partition(n_reg in 0usize..64, extra in 0usize..192, id in 0usize..256) {
+        let p = CachePlacement { n_reg, n_shared: n_reg + extra };
+        let level = p.level_of(id);
+        use vqllm_core::CacheLevel::*;
+        match level {
+            Register => prop_assert!(id < n_reg),
+            Shared => prop_assert!(id >= n_reg && id < n_reg + extra),
+            Global => prop_assert!(id >= n_reg + extra),
+        }
+    }
+
+    /// Every plan at every level for every preset is launchable, and the
+    /// block never exceeds device limits.
+    #[test]
+    fn plans_respect_device_limits(
+        algo_idx in 0usize..5,
+        level_idx in 0usize..6,
+        seq in prop::sample::select(vec![256usize, 1024, 4096]),
+        batch in prop::sample::select(vec![1usize, 8, 16]),
+    ) {
+        let algo = VqAlgorithm::ALL[algo_idx];
+        let level = OptLevel::ALL[level_idx];
+        let vq = algo.config();
+        let op = if algo.is_weight_algorithm() {
+            ComputeOp::Gemv { n: 11008, k: 4096, batch }
+        } else {
+            ComputeOp::attention_decode(32, 128, seq, batch)
+        };
+        let gpu = GpuSpec::rtx4090();
+        let plan = KernelPlanner::new(gpu.clone())
+            .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
+            .unwrap();
+        let block = plan.block_resources();
+        prop_assert!(block.smem_bytes <= gpu.max_smem_per_block);
+        prop_assert!(block.threads <= gpu.max_threads_per_sm);
+        prop_assert!(plan.grid_blocks() >= 1);
+        // The placement boundaries stay within the stored entry count.
+        prop_assert!(plan.placement.n_reg <= plan.placement.n_shared);
+        prop_assert!(plan.placement.n_shared <= vq.stored_entries());
+    }
+
+    /// Higher optimization levels never increase the Global→Shared codebook
+    /// traffic prediction.
+    #[test]
+    fn ladder_never_increases_codebook_traffic(
+        algo_idx in 0usize..5,
+        seq in prop::sample::select(vec![1024usize, 4096]),
+    ) {
+        let algo = VqAlgorithm::ALL[algo_idx];
+        let vq = algo.config();
+        let op = if algo.is_weight_algorithm() {
+            ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 }
+        } else {
+            ComputeOp::attention_decode(32, 128, seq, 1)
+        };
+        let planner = KernelPlanner::new(GpuSpec::rtx4090());
+        let prof = ProfileSummary::default_for(&vq);
+        let o2 = planner.plan_at(&vq, &op, OptLevel::O2, &prof).unwrap();
+        let o3 = planner.plan_at(&vq, &op, OptLevel::O3, &prof).unwrap();
+        prop_assert!(
+            o3.dataflow.codebook_traffic_bytes <= o2.dataflow.codebook_traffic_bytes + 1.0
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! GPU performance-model substrate for the VQ-LLM reproduction.
+//!
+//! The paper evaluates CUDA kernels on an RTX 4090 and a Tesla A40. This
+//! crate is the documented hardware substitution (DESIGN.md §1/§5): an
+//! architectural performance model that reproduces the first-order effects
+//! the paper's analysis is built on —
+//!
+//! * **occupancy**: how many thread blocks fit on an SM given their thread /
+//!   register / shared-memory appetite, and the *slack* left before the next
+//!   occupancy cliff (paper Fig. 10);
+//! * **shared-memory banking**: 32 banks × 4 B, conflict serialization for a
+//!   warp's access pattern (the paper's bank-conflict counter, Fig. 4);
+//! * **global-memory coalescing**: 128 B transactions per warp access
+//!   (duplicated codebook traffic, Fig. 5);
+//! * **warp shuffle**: functional `shfl_xor` register exchange plus its cost
+//!   relative to a shared-memory round-trip (paper §VI-B: smem ≈ 5× the cost
+//!   of register access + shuffle);
+//! * **timing**: a roofline-style latency estimate from the tallied
+//!   [`PerfCounters`], calibrated to RTX 4090 / A40 magnitudes.
+//!
+//! Kernels in `vqllm-kernels` execute *functionally* on the host while
+//! recording their memory behaviour here; latency estimates come out of
+//! [`TimingModel::latency`].
+//!
+//! # Example
+//!
+//! ```
+//! use vqllm_gpu::{BlockResources, GpuSpec};
+//!
+//! let gpu = GpuSpec::rtx4090();
+//! let block = BlockResources::new(256, 40, 16 * 1024);
+//! let occ = gpu.occupancy(&block);
+//! assert!(occ.blocks_per_sm >= 2);
+//! // Fig. 10: how much more shared memory could each block take for free?
+//! assert!(occ.smem_slack_bytes > 0);
+//! ```
+
+pub mod counters;
+pub mod device;
+pub mod gmem;
+pub mod launch;
+pub mod occupancy;
+pub mod smem;
+pub mod timing;
+pub mod warp;
+
+pub use counters::PerfCounters;
+pub use device::GpuSpec;
+pub use gmem::GlobalMemoryModel;
+pub use launch::LaunchConfig;
+pub use occupancy::{BlockResources, Occupancy};
+pub use smem::SharedMemoryModel;
+pub use timing::{LatencyBreakdown, TimingModel};
+pub use warp::{Warp, WARP_SIZE};
+
+/// Error type for GPU-model configuration problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A launch or block configuration exceeds a hardware limit.
+    ResourceExceeded {
+        /// The exceeded resource.
+        what: &'static str,
+        /// Requested amount.
+        requested: usize,
+        /// Hardware limit.
+        limit: usize,
+    },
+    /// A parameter was zero or otherwise invalid.
+    InvalidParameter {
+        /// The offending parameter.
+        what: &'static str,
+        /// Its value.
+        value: usize,
+    },
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::ResourceExceeded {
+                what,
+                requested,
+                limit,
+            } => write!(f, "{what} exceeded: requested {requested}, limit {limit}"),
+            GpuError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GpuError>;

@@ -1,0 +1,232 @@
+//! Warp abstraction with functional `shfl_xor` register exchange.
+//!
+//! The paper's register-level fusion (§VI-B) rests on the CUDA warp-shuffle
+//! intrinsic: `shfl_xor(reg, offset)` hands each lane the value of the lane
+//! whose id differs in the bits of `offset`, without touching shared memory.
+//! We model a warp as 32 lanes each holding a small register array, and we
+//! implement the exchange *functionally* so fusion correctness is testable
+//! (the shuffled registers must end up exactly in the layout `mma` needs).
+
+use crate::{GpuError, Result};
+
+/// Lanes per warp on every NVIDIA GPU this model targets.
+pub const WARP_SIZE: usize = 32;
+
+/// A warp: 32 lanes × `regs_per_lane` registers of `f32`.
+///
+/// ```
+/// use vqllm_gpu::Warp;
+/// let mut w = Warp::new(2);
+/// w.set(3, 0, 42.0);
+/// assert_eq!(w.get(3, 0), 42.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warp {
+    regs: Vec<Vec<f32>>, // [lane][reg]
+    shuffle_count: usize,
+}
+
+impl Warp {
+    /// Creates a warp with `regs_per_lane` zeroed registers per lane.
+    pub fn new(regs_per_lane: usize) -> Self {
+        Warp {
+            regs: vec![vec![0.0; regs_per_lane]; WARP_SIZE],
+            shuffle_count: 0,
+        }
+    }
+
+    /// Number of registers per lane.
+    pub fn regs_per_lane(&self) -> usize {
+        self.regs.first().map_or(0, Vec::len)
+    }
+
+    /// Register `r` of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, lane: usize, r: usize) -> f32 {
+        self.regs[lane][r]
+    }
+
+    /// Sets register `r` of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, lane: usize, r: usize, v: f32) {
+        self.regs[lane][r] = v;
+    }
+
+    /// Loads one value per lane into register `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidParameter`] if `vals` is not
+    /// [`WARP_SIZE`] long or `r` is out of range.
+    pub fn load_lanes(&mut self, r: usize, vals: &[f32]) -> Result<()> {
+        if vals.len() != WARP_SIZE {
+            return Err(GpuError::InvalidParameter {
+                what: "load_lanes values",
+                value: vals.len(),
+            });
+        }
+        if r >= self.regs_per_lane() {
+            return Err(GpuError::InvalidParameter {
+                what: "register index",
+                value: r,
+            });
+        }
+        for (lane, &v) in vals.iter().enumerate() {
+            self.regs[lane][r] = v;
+        }
+        Ok(())
+    }
+
+    /// `shfl_xor`: every lane's register `r` is replaced by the value of the
+    /// same register in lane `lane ^ mask`. This matches CUDA
+    /// `__shfl_xor_sync` applied warp-wide, and is the primitive Alg. 1's
+    /// register fusion is compiled to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::InvalidParameter`] if `mask` is zero or ≥ 32, or
+    /// `r` is out of range.
+    pub fn shfl_xor(&mut self, r: usize, mask: usize) -> Result<()> {
+        if mask == 0 || mask >= WARP_SIZE {
+            return Err(GpuError::InvalidParameter {
+                what: "shuffle mask",
+                value: mask,
+            });
+        }
+        if r >= self.regs_per_lane() {
+            return Err(GpuError::InvalidParameter {
+                what: "register index",
+                value: r,
+            });
+        }
+        let snapshot: Vec<f32> = (0..WARP_SIZE).map(|l| self.regs[l][r]).collect();
+        for lane in 0..WARP_SIZE {
+            self.regs[lane][r] = snapshot[lane ^ mask];
+        }
+        self.shuffle_count += 1;
+        Ok(())
+    }
+
+    /// Paper-style in-place exchange: for each lane `tid`, register index
+    /// `tid ^ mask` (modulo the register count) participates in a
+    /// `shfl_xor(mask)`. This is exactly the access pattern of Alg. 1 line
+    /// 14: `data[tid^off] ← shfl_xor(data[tid^off], off)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Warp::shfl_xor`].
+    pub fn shfl_xor_indexed(&mut self, mask: usize) -> Result<()> {
+        if mask == 0 || mask >= WARP_SIZE {
+            return Err(GpuError::InvalidParameter {
+                what: "shuffle mask",
+                value: mask,
+            });
+        }
+        let n = self.regs_per_lane();
+        if n == 0 {
+            return Err(GpuError::InvalidParameter {
+                what: "register count",
+                value: 0,
+            });
+        }
+        let snapshot = self.regs.clone();
+        for lane in 0..WARP_SIZE {
+            let idx = (lane ^ mask) % n;
+            let src_lane = lane ^ mask;
+            let src_idx = (src_lane ^ mask) % n; // == lane % n
+            self.regs[lane][idx] = snapshot[src_lane][src_idx];
+        }
+        self.shuffle_count += 1;
+        Ok(())
+    }
+
+    /// Number of shuffle instructions issued so far (feeds the timing
+    /// model's shuffle cost and the paper's `#Shuffle` factor, Tbl. V).
+    pub fn shuffles_issued(&self) -> usize {
+        self.shuffle_count
+    }
+
+    /// Flat copy of all registers in `[lane][reg]` order.
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.regs.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shfl_xor_swaps_pairs() {
+        let mut w = Warp::new(1);
+        let vals: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        w.load_lanes(0, &vals).unwrap();
+        w.shfl_xor(0, 1).unwrap();
+        for lane in 0..WARP_SIZE {
+            assert_eq!(w.get(lane, 0), (lane ^ 1) as f32);
+        }
+    }
+
+    #[test]
+    fn shfl_xor_is_involution() {
+        let mut w = Warp::new(1);
+        let vals: Vec<f32> = (0..32).map(|i| (i * 3) as f32).collect();
+        w.load_lanes(0, &vals).unwrap();
+        let before = w.snapshot();
+        w.shfl_xor(0, 5).unwrap();
+        w.shfl_xor(0, 5).unwrap();
+        assert_eq!(w.snapshot(), before);
+    }
+
+    #[test]
+    fn shuffle_counts_accumulate() {
+        let mut w = Warp::new(2);
+        w.shfl_xor(0, 1).unwrap();
+        w.shfl_xor(1, 2).unwrap();
+        w.shfl_xor_indexed(3).unwrap();
+        assert_eq!(w.shuffles_issued(), 3);
+    }
+
+    #[test]
+    fn invalid_masks_are_rejected() {
+        let mut w = Warp::new(1);
+        assert!(w.shfl_xor(0, 0).is_err());
+        assert!(w.shfl_xor(0, 32).is_err());
+        assert!(w.shfl_xor(1, 1).is_err(), "register out of range");
+    }
+
+    #[test]
+    fn indexed_exchange_mirrors_paper_example() {
+        // Paper Fig. 12: 4 registers/lane, mini-warps of 4 lanes. After the
+        // three exchanges (masks 1, 2, 3) lane t's register array holds
+        // element j of the data originally dequantized by lane (t & !3) | j
+        // — i.e. data is transposed within every 4-lane mini-warp.
+        let mut w = Warp::new(4);
+        for lane in 0..WARP_SIZE {
+            for r in 0..4 {
+                w.set(lane, r, (lane * 10 + r) as f32);
+            }
+        }
+        for mask in 1..4 {
+            w.shfl_xor_indexed(mask).unwrap();
+        }
+        for lane in 0..WARP_SIZE {
+            let base = lane & !3;
+            for r in 0..4 {
+                let owner = base + r; // lane that originally dequantized it
+                let within = lane & 3; // which of the owner's elements we get
+                assert_eq!(
+                    w.get(lane, r),
+                    (owner * 10 + within) as f32,
+                    "lane {lane} reg {r}"
+                );
+            }
+        }
+    }
+}

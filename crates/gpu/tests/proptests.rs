@@ -1,0 +1,120 @@
+//! Property-based tests for the GPU performance model.
+
+use proptest::prelude::*;
+use vqllm_gpu::{
+    BlockResources, GlobalMemoryModel, GpuSpec, LaunchConfig, Occupancy, PerfCounters,
+    SharedMemoryModel, TimingModel, Warp, WARP_SIZE,
+};
+
+proptest! {
+    /// Occupancy is monotone non-increasing in every resource axis.
+    #[test]
+    fn occupancy_monotone_in_smem(
+        threads in prop::sample::select(vec![32usize, 64, 128, 256, 512]),
+        regs in 16usize..128,
+        smem in 0usize..64 * 1024,
+        extra in 1usize..32 * 1024,
+    ) {
+        let gpu = GpuSpec::rtx4090();
+        let a = Occupancy::analyze(&gpu, &BlockResources::new(threads, regs, smem));
+        let b = Occupancy::analyze(&gpu, &BlockResources::new(threads, regs, smem + extra));
+        prop_assert!(b.blocks_per_sm <= a.blocks_per_sm);
+    }
+
+    /// Consuming the reported slack never reduces residency (the Fig. 10
+    /// contract the codebook cache relies on).
+    #[test]
+    fn slack_is_safe_to_consume(
+        threads in prop::sample::select(vec![64usize, 128, 256]),
+        regs in 16usize..96,
+        smem in 0usize..48 * 1024,
+    ) {
+        let gpu = GpuSpec::rtx4090();
+        let base = BlockResources::new(threads, regs, smem);
+        let occ = Occupancy::analyze(&gpu, &base);
+        prop_assume!(occ.blocks_per_sm > 0);
+        let grown = BlockResources::new(
+            threads,
+            regs + occ.reg_slack_per_thread,
+            smem + occ.smem_slack_bytes,
+        );
+        let occ2 = Occupancy::analyze(&gpu, &grown);
+        prop_assert_eq!(occ.blocks_per_sm, occ2.blocks_per_sm);
+    }
+
+    /// Bank-conflict cycles are bounded by [ideal, 32 × ideal].
+    #[test]
+    fn smem_cycles_bounded(addrs in proptest::collection::vec(0usize..16 * 1024, 32), width in prop::sample::select(vec![4usize, 8, 16])) {
+        let m = SharedMemoryModel::with_banks(32, 4);
+        let arr: [usize; 32] = addrs.as_slice().try_into().unwrap();
+        // Align addresses to the element width, as a real kernel would.
+        let arr: [usize; 32] = std::array::from_fn(|i| arr[i] / width * width);
+        let a = m.warp_access_full(&arr, width);
+        let ideal = width / 4;
+        prop_assert!(a.cycles >= ideal);
+        prop_assert!(a.cycles <= 32 * ideal);
+        prop_assert_eq!(a.conflict_cycles, a.cycles - ideal);
+    }
+
+    /// Coalescing: transactions never exceed lane count × lines per element,
+    /// and moved bytes always cover useful bytes.
+    #[test]
+    fn gmem_transactions_bounded(addrs in proptest::collection::vec(0usize..1 << 20, 32), width in prop::sample::select(vec![2usize, 4, 8, 16])) {
+        let m = GlobalMemoryModel::with_line(128);
+        let arr: [usize; 32] = addrs.as_slice().try_into().unwrap();
+        let a = m.warp_access_full(&arr, width);
+        prop_assert!(a.transactions >= 1);
+        prop_assert!(a.transactions <= 32 * (width / 128 + 2));
+        prop_assert!(a.dram_bytes >= a.useful_bytes.min(a.transactions * 128));
+    }
+
+    /// shfl_xor twice with the same mask restores the warp.
+    #[test]
+    fn shuffle_involution(vals in proptest::collection::vec(-100.0f32..100.0, WARP_SIZE), mask in 1usize..32) {
+        let mut w = Warp::new(1);
+        w.load_lanes(0, &vals).unwrap();
+        let before = w.snapshot();
+        w.shfl_xor(0, mask).unwrap();
+        w.shfl_xor(0, mask).unwrap();
+        prop_assert_eq!(w.snapshot(), before);
+    }
+
+    /// A shuffle is a permutation: multiset of values preserved.
+    #[test]
+    fn shuffle_is_permutation(vals in proptest::collection::vec(-100.0f32..100.0, WARP_SIZE), mask in 1usize..32) {
+        let mut w = Warp::new(1);
+        w.load_lanes(0, &vals).unwrap();
+        w.shfl_xor(0, mask).unwrap();
+        let mut a: Vec<f32> = w.snapshot();
+        let mut b = vals.clone();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More work never means less latency, all else equal.
+    #[test]
+    fn latency_monotone_in_traffic(bytes in 1.0e6f64..1.0e9, factor in 1.1f64..8.0) {
+        let m = TimingModel::new(GpuSpec::rtx4090());
+        let launch = LaunchConfig::new(512, BlockResources::new(256, 32, 8 * 1024));
+        let small = PerfCounters { dram_read_bytes: bytes, ..Default::default() };
+        let big = PerfCounters { dram_read_bytes: bytes * factor, ..Default::default() };
+        let a = m.latency(&launch, &small);
+        let b = m.latency(&launch, &big);
+        prop_assert!(b.total_us >= a.total_us);
+    }
+
+    /// The A40 is never faster than the 4090 on identical launches.
+    #[test]
+    fn a40_never_beats_4090(bytes in 1.0e6f64..1.0e9, flops in 1.0e6f64..1.0e12) {
+        let launch = LaunchConfig::new(512, BlockResources::new(256, 32, 8 * 1024));
+        let counters = PerfCounters {
+            dram_read_bytes: bytes,
+            flops,
+            ..Default::default()
+        };
+        let fast = TimingModel::new(GpuSpec::rtx4090()).latency(&launch, &counters);
+        let slow = TimingModel::new(GpuSpec::a40()).latency(&launch, &counters);
+        prop_assert!(slow.total_us >= fast.total_us * 0.999);
+    }
+}

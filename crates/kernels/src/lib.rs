@@ -1,0 +1,74 @@
+//! Fused kernels and baselines for the VQ-LLM reproduction.
+//!
+//! Every kernel in this crate produces a [`KernelOutput`]: the performance
+//! counters it tallied against the `vqllm-gpu` substrate and the latency
+//! estimate derived from them. Functional variants additionally compute
+//! real outputs so correctness can be checked against the reference math in
+//! `vqllm-tensor`.
+//!
+//! Kernel families:
+//!
+//! * [`fp16`] — the FP16 baselines: cutlass-style GeMM, GeMV, and the four
+//!   attention dataflows of Fig. 18 (FlashDecoding, FlashAttention, and
+//!   their paged variants).
+//! * [`vq_kernel`] — the plan-driven fused VQ kernels: executes any
+//!   [`vqllm_core::KernelPlan`] from the GC baseline to fully-optimized O4.
+//! * [`elementwise`] — the element-wise quantization comparators: AWQ-4
+//!   weight kernels and QoQ-4 KV-cache attention (Fig. 16/17).
+//! * [`traffic`] — the codebook-access cost model shared by the VQ kernels.
+
+pub mod elementwise;
+pub mod fp16;
+pub mod traffic;
+pub mod vq_kernel;
+
+pub use traffic::{l1_hit_rate, AccessProfile, CodebookAccessCost};
+
+use vqllm_gpu::{LatencyBreakdown, LaunchConfig, PerfCounters};
+
+/// The outcome of one (estimated or executed) kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelOutput {
+    /// Whole-grid performance counters.
+    pub counters: PerfCounters,
+    /// Latency estimate from the timing model.
+    pub latency: LatencyBreakdown,
+    /// The launch shape used.
+    pub launch: LaunchConfig,
+}
+
+impl KernelOutput {
+    /// Latency in microseconds (shorthand).
+    pub fn us(&self) -> f64 {
+        self.latency.total_us
+    }
+}
+
+/// Error type for kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    /// Input shapes disagree with the plan or with each other.
+    ShapeMismatch {
+        /// Description of the mismatch.
+        what: &'static str,
+    },
+    /// A required input was missing or inconsistent.
+    InvalidInput {
+        /// Description of the problem.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            KernelError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, KernelError>;

@@ -1,0 +1,135 @@
+//! KV-cache bookkeeping with quantization-overhead accounting.
+//!
+//! The paper (§VII-F) bounds the runtime cost of on-the-fly KV
+//! quantization: <1 µs per new token in decode, and <10 % of the linear
+//! projections during prefill, hidden behind computation that does not yet
+//! need the quantized values. [`KvCache`] tracks cache geometry, byte
+//! footprints at each precision, and those overheads.
+
+use crate::model::LlamaConfig;
+use serde::Serialize;
+
+/// Storage backing of the KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum KvStorage {
+    /// FP16 (baseline).
+    Fp16,
+    /// Element-wise 4-bit (QoQ).
+    Int4,
+    /// Vector-quantized at `bits_per_element` equivalent bits (CQ-4 = 4.0,
+    /// CQ-2 = 2.0).
+    Vq {
+        /// Equivalent bits per element.
+        bits_per_element: f64,
+    },
+}
+
+impl KvStorage {
+    /// Equivalent bits per cached element.
+    pub fn bits(self) -> f64 {
+        match self {
+            KvStorage::Fp16 => 16.0,
+            KvStorage::Int4 => 4.0 + 0.5, // scales per 64-group
+            KvStorage::Vq { bits_per_element } => bits_per_element,
+        }
+    }
+}
+
+/// Decode-phase quantization overhead per new token (paper: "negligible,
+/// < 1 µs").
+pub const DECODE_QUANT_OVERHEAD_US: f64 = 0.8;
+
+/// Prefill quantization overhead as a fraction of the linear projections
+/// (paper: "less than a 10 % overhead compared to linear projections").
+pub const PREFILL_QUANT_OVERHEAD_FRAC: f64 = 0.08;
+
+/// Geometry and footprint of a model-wide KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KvCache {
+    /// Model architecture.
+    pub model: LlamaConfig,
+    /// Cached tokens per sample.
+    pub seq: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Storage backing.
+    pub storage: KvStorage,
+}
+
+impl KvCache {
+    /// Creates a cache descriptor.
+    pub fn new(model: LlamaConfig, seq: usize, batch: usize, storage: KvStorage) -> Self {
+        KvCache {
+            model,
+            seq,
+            batch,
+            storage,
+        }
+    }
+
+    /// Total cache bytes at the configured precision (both K and V, all
+    /// layers).
+    pub fn bytes(&self) -> usize {
+        let elems = 2 * self.batch * self.model.layers * self.model.heads * self.seq
+            * self.model.head_dim;
+        (elems as f64 * self.storage.bits() / 8.0).ceil() as usize
+    }
+
+    /// Bytes the FP16 baseline would need.
+    pub fn fp16_bytes(&self) -> usize {
+        self.model.kv_bytes_fp16(self.seq, self.batch)
+    }
+
+    /// Compression ratio against FP16.
+    pub fn compression(&self) -> f64 {
+        self.bytes() as f64 / self.fp16_bytes() as f64
+    }
+
+    /// Appends one token per sample, returning the quantization overhead in
+    /// microseconds (0 for FP16).
+    pub fn append_token(&mut self) -> f64 {
+        self.seq += 1;
+        match self.storage {
+            KvStorage::Fp16 => 0.0,
+            _ => DECODE_QUANT_OVERHEAD_US,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cq2_compresses_to_an_eighth() {
+        let cache = KvCache::new(
+            LlamaConfig::llama_7b(),
+            1024,
+            1,
+            KvStorage::Vq { bits_per_element: 2.0 },
+        );
+        assert!((cache.compression() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_advances_and_charges_overhead() {
+        let mut cache = KvCache::new(
+            LlamaConfig::llama_7b(),
+            8,
+            1,
+            KvStorage::Vq { bits_per_element: 4.0 },
+        );
+        let us = cache.append_token();
+        assert_eq!(cache.seq, 9);
+        assert!(us > 0.0 && us < 1.0, "paper: < 1 us");
+        let mut fp = KvCache::new(LlamaConfig::llama_7b(), 8, 1, KvStorage::Fp16);
+        assert_eq!(fp.append_token(), 0.0);
+    }
+
+    #[test]
+    fn fp16_batch16_cache_is_gigabytes() {
+        let cache = KvCache::new(LlamaConfig::llama_7b(), 1280, 16, KvStorage::Fp16);
+        let gb = cache.bytes() as f64 / 1e9;
+        assert!(gb > 5.0 && gb < 12.0, "{gb}");
+    }
+}

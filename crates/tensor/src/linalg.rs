@@ -1,0 +1,247 @@
+//! Reference math: the ground truth every fused kernel is tested against.
+//!
+//! These are deliberately straightforward loops — clarity over speed — since
+//! their job is correctness oracles for `vqllm-kernels` and functional
+//! building blocks for `vqllm-llm`.
+
+use crate::{Result, Tensor2D, TensorError};
+
+/// `C = A (m×k) · B (k×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+///
+/// ```
+/// use vqllm_tensor::{Tensor2D, linalg};
+/// let a = Tensor2D::from_fn(2, 2, |r, c| (r + c) as f32);
+/// let id = Tensor2D::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(linalg::matmul(&a, &id).unwrap(), a);
+/// ```
+pub fn matmul(a: &Tensor2D, b: &Tensor2D) -> Result<Tensor2D> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor2D::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            let brow = b.row(p);
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `y = W (n×k) · x (k)` — the weight-times-activation GeMV of the decode
+/// phase (weight stored row-major, one output per weight row).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != W.cols()`.
+pub fn gemv(w: &Tensor2D, x: &[f32]) -> Result<Vec<f32>> {
+    if x.len() != w.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemv",
+            lhs: w.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    Ok(w
+        .iter_rows()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect())
+}
+
+/// Numerically-stable softmax over a slice, in place.
+pub fn softmax_inplace(v: &mut [f32]) {
+    if v.is_empty() {
+        return;
+    }
+    let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Single-head attention for decode: one query row against `tokens × dim`
+/// K/V caches. `scale` is usually `1/sqrt(dim)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes disagree.
+pub fn attention_decode_ref(
+    q: &[f32],
+    k_cache: &Tensor2D,
+    v_cache: &Tensor2D,
+    scale: f32,
+) -> Result<Vec<f32>> {
+    if q.len() != k_cache.cols() || k_cache.shape() != v_cache.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "attention_decode",
+            lhs: k_cache.shape(),
+            rhs: v_cache.shape(),
+        });
+    }
+    let mut scores: Vec<f32> = k_cache
+        .iter_rows()
+        .map(|krow| krow.iter().zip(q).map(|(a, b)| a * b).sum::<f32>() * scale)
+        .collect();
+    softmax_inplace(&mut scores);
+    let dim = v_cache.cols();
+    let mut out = vec![0.0; dim];
+    for (t, w) in scores.iter().enumerate() {
+        let vrow = v_cache.row(t);
+        for d in 0..dim {
+            out[d] += w * vrow[d];
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise RMSNorm: `x / rms(x) * gain`.
+pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len().max(1) as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+}
+
+/// SiLU activation `x * sigmoid(x)`, element-wise.
+pub fn silu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v / (1.0 + (-v).exp())).collect()
+}
+
+/// Rotary position embedding applied to consecutive even/odd pairs of a
+/// head-dimension vector at position `pos` with base `theta` (10000 in
+/// Llama).
+pub fn rope(x: &[f32], pos: usize, theta: f32) -> Vec<f32> {
+    let d = x.len();
+    let mut out = vec![0.0; d];
+    for i in (0..d.saturating_sub(1)).step_by(2) {
+        let freq = 1.0 / theta.powf(i as f32 / d as f32);
+        let angle = pos as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        out[i] = x[i] * cos - x[i + 1] * sin;
+        out[i + 1] = x[i] * sin + x[i + 1] * cos;
+    }
+    if d % 2 == 1 {
+        out[d - 1] = x[d - 1];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn matmul_identity() {
+        let a = synth::gaussian(8, 8, 1.0, 1);
+        let id = Tensor2D::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+        let c = matmul(&a, &id).unwrap();
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor2D::zeros(2, 3);
+        let b = Tensor2D::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = Tensor2D::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor2D::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemv_matches_matmul() {
+        let w = synth::gaussian(16, 8, 1.0, 2);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let y = gemv(&w, &x).unwrap();
+        let xt = Tensor2D::from_vec(8, 1, x).unwrap();
+        let y2 = matmul(&w, &xt).unwrap();
+        for (a, b) in y.iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut v = vec![1000.0, 1001.0, 1002.0];
+        softmax_inplace(&mut v);
+        let s: f32 = v.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn attention_single_token_returns_that_value() {
+        let q = vec![1.0, 0.0];
+        let k = Tensor2D::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let v = Tensor2D::from_vec(1, 2, vec![3.0, -2.0]).unwrap();
+        let out = attention_decode_ref(&q, &k, &v, 1.0).unwrap();
+        assert_eq!(out, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn attention_weights_favor_matching_key() {
+        let q = vec![4.0, 0.0];
+        let k = Tensor2D::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let v = Tensor2D::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = attention_decode_ref(&q, &k, &v, 1.0).unwrap();
+        assert!(out[0] > 0.9 && out[1] < 0.1);
+    }
+
+    #[test]
+    fn rmsnorm_normalizes_scale() {
+        let x = vec![3.0, 4.0];
+        let g = vec![1.0, 1.0];
+        let y = rmsnorm(&x, &g, 1e-6);
+        let rms = (y.iter().map(|v| v * v).sum::<f32>() / 2.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn silu_matches_definition_at_zero() {
+        assert_eq!(silu(&[0.0])[0], 0.0);
+        assert!(silu(&[10.0])[0] > 9.99);
+    }
+
+    #[test]
+    fn rope_preserves_pair_norms() {
+        let x = vec![1.0, 2.0, -0.5, 0.25];
+        let y = rope(&x, 17, 10000.0);
+        for i in (0..4).step_by(2) {
+            let n0 = (x[i].powi(2) + x[i + 1].powi(2)).sqrt();
+            let n1 = (y[i].powi(2) + y[i + 1].powi(2)).sqrt();
+            assert!((n0 - n1).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rope_at_position_zero_is_identity() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(rope(&x, 0, 10000.0), x);
+    }
+}

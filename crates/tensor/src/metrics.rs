@@ -1,0 +1,113 @@
+//! Reconstruction-error metrics used across the evaluation.
+//!
+//! The paper's Fig. 2 compares VQ and element-wise quantization by MSE; the
+//! end-to-end accuracy proxy (Fig. 17 right) is driven by these numbers.
+
+use crate::Tensor2D;
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse operands must match in length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = f64::from(x - y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// MSE between two tensors.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse_tensor(a: &Tensor2D, b: &Tensor2D) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse operands must match in shape");
+    mse(a.as_slice(), b.as_slice())
+}
+
+/// Maximum absolute element-wise difference.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Relative Frobenius-norm error `‖a−b‖ / ‖a‖` (0 when `a` is all zeros and
+/// `b == a`).
+pub fn rel_frobenius(a: &[f32], b: &[f32]) -> f64 {
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = f64::from(x - y);
+            d * d
+        })
+        .sum();
+    let den: f64 = a.iter().map(|x| f64::from(*x) * f64::from(*x)).sum();
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// Checks element-wise closeness with absolute + relative tolerance, the way
+/// fused-kernel tests compare against references.
+pub fn allclose(a: &[f32], b: &[f32], atol: f32, rtol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= atol + rtol * y.abs().max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let v = vec![1.0, -2.0, 3.5];
+        assert_eq!(mse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_value() {
+        assert!((mse(&[0.0, 0.0], &[1.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_frobenius_scales_with_error() {
+        let a = vec![2.0, 0.0];
+        let b = vec![0.0, 0.0];
+        assert!((rel_frobenius(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_frobenius_zero_reference() {
+        assert_eq!(rel_frobenius(&[0.0], &[0.0]), 0.0);
+        assert!(rel_frobenius(&[0.0], &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        assert!(allclose(&[1.0], &[1.0 + 1e-6], 1e-5, 0.0));
+        assert!(!allclose(&[1.0], &[1.1], 1e-5, 1e-5));
+        assert!(allclose(&[100.0], &[100.5], 0.0, 0.01));
+        assert!(!allclose(&[1.0, 2.0], &[1.0], 1.0, 1.0));
+    }
+
+    #[test]
+    fn max_abs_diff_finds_extreme() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Row-major 2-D tensor with logical-dtype byte accounting.
+
+use crate::{DType, Result, TensorError};
+
+/// A dense, row-major 2-D tensor of `f32` values.
+///
+/// Compute precision is always `f32`; the *storage* precision a real
+/// deployment would use is supplied per call-site via [`DType`] (e.g. the
+/// performance model bills an FP16 weight matrix 2 bytes/element even though
+/// we hold it as `f32` on the host).
+///
+/// ```
+/// use vqllm_tensor::Tensor2D;
+/// let t = Tensor2D::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(t.get(1, 2), 5.0);
+/// assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor2D {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor2D {
+    /// Creates a tensor of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("tensor size overflow");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from a generating function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a tensor from an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidDimension {
+                what: "from_vec buffer length",
+                value: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of all elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Bytes this tensor would occupy at storage precision `dtype`.
+    pub fn storage_bytes(&self, dtype: DType) -> usize {
+        dtype.bytes_for(self.len())
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor2D {
+        Tensor2D::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Copy of the sub-matrix `[r0, r0+h) × [c0, c0+w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the tensor bounds.
+    pub fn slice(&self, r0: usize, c0: usize, h: usize, w: usize) -> Tensor2D {
+        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "slice out of bounds");
+        Tensor2D::from_fn(h, w, |r, c| self.get(r0 + r, c0 + c))
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Maps every element through `f`, in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Splits every row into consecutive `width`-element sub-vectors and
+    /// returns them in scan order. This is the paper's "split the original
+    /// vector into vector-size-dimensional sub-vectors" step (Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `width` is zero or does
+    /// not divide the column count.
+    pub fn subvectors(&self, width: usize) -> Result<Vec<&[f32]>> {
+        if width == 0 || !self.cols.is_multiple_of(width) {
+            return Err(TensorError::InvalidDimension {
+                what: "subvector width",
+                value: width,
+            });
+        }
+        let mut out = Vec::with_capacity(self.len() / width);
+        for row in self.iter_rows() {
+            out.extend(row.chunks_exact(width));
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Tensor2D {
+    fn default() -> Self {
+        Tensor2D::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let t = Tensor2D::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(t.get(1, 0), 10.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor2D::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Tensor2D::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor2D::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(t.transposed().transposed(), t);
+        assert_eq!(t.transposed().get(4, 2), t.get(2, 4));
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let t = Tensor2D::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let s = t.slice(1, 2, 2, 2);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.get(0, 0), t.get(1, 2));
+        assert_eq!(s.get(1, 1), t.get(2, 3));
+    }
+
+    #[test]
+    fn subvectors_cover_tensor_in_scan_order() {
+        let t = Tensor2D::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        let sv = t.subvectors(2).unwrap();
+        assert_eq!(sv.len(), 4);
+        assert_eq!(sv[0], &[0.0, 1.0]);
+        assert_eq!(sv[1], &[2.0, 3.0]);
+        assert_eq!(sv[3], &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn subvectors_rejects_non_divisor() {
+        let t = Tensor2D::zeros(2, 4);
+        assert!(t.subvectors(3).is_err());
+        assert!(t.subvectors(0).is_err());
+    }
+
+    #[test]
+    fn storage_bytes_uses_logical_dtype() {
+        let t = Tensor2D::zeros(8, 8);
+        assert_eq!(t.storage_bytes(DType::F16), 128);
+        assert_eq!(t.storage_bytes(DType::I4), 32);
+        assert_eq!(t.storage_bytes(DType::Bits(12)), 96);
+    }
+
+    #[test]
+    fn map_inplace_applies_function() {
+        let mut t = Tensor2D::from_fn(2, 2, |_, _| 2.0);
+        t.map_inplace(|v| v * v);
+        assert!(t.as_slice().iter().all(|&v| v == 4.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use vqllm_tensor::{linalg, metrics, DType, Tensor2D};
+
+fn small_tensor(max_dim: usize) -> impl Strategy<Value = Tensor2D> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |v| Tensor2D::from_vec(r, c, v).expect("sized buffer"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(t in small_tensor(12)) {
+        prop_assert_eq!(t.transposed().transposed(), t);
+    }
+
+    #[test]
+    fn storage_bytes_monotone_in_bits(t in small_tensor(8), bits in 1u8..=32) {
+        let small = t.storage_bytes(DType::Bits(bits));
+        let big = t.storage_bytes(DType::F32);
+        prop_assert!(small <= big);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(t in small_tensor(10)) {
+        let n = t.cols();
+        let id = Tensor2D::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+        let out = linalg::matmul(&t, &id).unwrap();
+        prop_assert!(metrics::allclose(out.as_slice(), t.as_slice(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_scaling(t in small_tensor(8), s in 0.1f32..4.0) {
+        let n = t.cols();
+        let diag = Tensor2D::from_fn(n, n, |r, c| if r == c { s } else { 0.0 });
+        let scaled = linalg::matmul(&t, &diag).unwrap();
+        let mut expect = t.clone();
+        expect.map_inplace(|v| v * s);
+        prop_assert!(metrics::allclose(scaled.as_slice(), expect.as_slice(), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn softmax_is_distribution(mut v in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        linalg::softmax_inplace(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0001).contains(&p)));
+    }
+
+    #[test]
+    fn rope_preserves_norm(v in proptest::collection::vec(-10.0f32..10.0, 2..32), pos in 0usize..4096) {
+        let v = if v.len() % 2 == 1 { v[..v.len()-1].to_vec() } else { v };
+        let out = linalg::rope(&v, pos, 10000.0);
+        let n0: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let n1: f32 = out.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((n0 - n1).abs() < 1e-2 * n0.max(1.0));
+    }
+
+    #[test]
+    fn mse_is_symmetric_and_nonnegative(
+        a in proptest::collection::vec(-100.0f32..100.0, 1..128),
+        shift in -10.0f32..10.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x + shift).collect();
+        let m1 = metrics::mse(&a, &b);
+        let m2 = metrics::mse(&b, &a);
+        prop_assert!((m1 - m2).abs() < 1e-9);
+        prop_assert!(m1 >= 0.0);
+        // Constant shift of s has MSE exactly s².
+        prop_assert!((m1 - f64::from(shift) * f64::from(shift)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn subvectors_tile_exactly(r in 1usize..8, groups in 1usize..8, w in 1usize..8) {
+        let t = Tensor2D::from_fn(r, groups * w, |i, j| (i * 1000 + j) as f32);
+        let sv = t.subvectors(w).unwrap();
+        prop_assert_eq!(sv.len(), r * groups);
+        // Reassembling the subvectors in order reproduces the tensor.
+        let flat: Vec<f32> = sv.into_iter().flatten().copied().collect();
+        prop_assert_eq!(flat, t.as_slice().to_vec());
+    }
+}

@@ -1,0 +1,373 @@
+//! Codebooks and their mapping onto tensor regions.
+//!
+//! A [`Codebook`] is the trained centroid table of one (scope, residual)
+//! slice. [`CodebookSet`] owns every codebook of a quantized tensor and
+//! answers the question the compute engine keeps asking: *which codebook do
+//! I need for element (row, col) at residual r?* — the "codebook switch
+//! axes" of the paper's Tbl. III fall directly out of
+//! [`CodebookSet::scope_index`].
+
+use crate::config::{CodebookScope, VqConfig};
+use crate::kmeans;
+use crate::{Result, VqError};
+use serde::{Deserialize, Serialize};
+
+/// One trained codebook: `stored_entries × vector_size` centroids, plus the
+/// optional QuiP#-style lattice extension where logical entries are a
+/// stored entry with a per-element sign pattern applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    vector_size: usize,
+    entries: Vec<f32>,
+    lattice: bool,
+}
+
+impl Codebook {
+    /// Wraps a flat `stored × vector_size` centroid buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqError::InvalidConfig`] if the buffer is not a non-empty
+    /// multiple of `vector_size`, or (for lattice books) the stored count is
+    /// not a power of two.
+    pub fn new(entries: Vec<f32>, vector_size: usize, lattice: bool) -> Result<Self> {
+        if vector_size == 0 || entries.is_empty() || !entries.len().is_multiple_of(vector_size) {
+            return Err(VqError::InvalidConfig {
+                what: "codebook buffer length",
+                value: entries.len(),
+            });
+        }
+        let stored = entries.len() / vector_size;
+        if lattice && !stored.is_power_of_two() {
+            return Err(VqError::InvalidConfig {
+                what: "lattice stored entries (power of two)",
+                value: stored,
+            });
+        }
+        if lattice && vector_size > 16 {
+            return Err(VqError::InvalidConfig {
+                what: "lattice vector size (sign bits must fit)",
+                value: vector_size,
+            });
+        }
+        Ok(Codebook {
+            vector_size,
+            entries,
+            lattice,
+        })
+    }
+
+    /// Elements per entry.
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Entries physically stored (and looked up by kernels).
+    pub fn stored_entries(&self) -> usize {
+        self.entries.len() / self.vector_size
+    }
+
+    /// Logical entries addressable by an index (`stored × 2^vector_size`
+    /// for lattice books).
+    pub fn logical_entries(&self) -> usize {
+        if self.lattice {
+            self.stored_entries() << self.vector_size
+        } else {
+            self.stored_entries()
+        }
+    }
+
+    /// Whether this is a lattice (sign-extended) codebook.
+    pub fn is_lattice(&self) -> bool {
+        self.lattice
+    }
+
+    /// Borrow of stored entry `id` (the table a kernel would cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn stored_entry(&self, id: usize) -> &[f32] {
+        &self.entries[id * self.vector_size..(id + 1) * self.vector_size]
+    }
+
+    /// Stored-entry id that logical index `id` dereferences (identity for
+    /// plain books, low bits for lattice books). This is the id whose
+    /// *access frequency* matters for cache placement.
+    pub fn stored_id_of(&self, id: u32) -> u32 {
+        if self.lattice {
+            id & (self.stored_entries() as u32 - 1)
+        } else {
+            id
+        }
+    }
+
+    /// Materializes logical entry `id` into `out`.
+    ///
+    /// For lattice books the high bits of `id` are a sign mask applied
+    /// element-wise — the "bit operations" of Tbl. II's footnote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != vector_size` or `id` is out of range.
+    pub fn lookup(&self, id: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.vector_size, "output buffer size");
+        assert!((id as usize) < self.logical_entries(), "entry id out of range");
+        let base = self.stored_id_of(id) as usize;
+        let entry = self.stored_entry(base);
+        if self.lattice {
+            let signs = id >> self.stored_entries().trailing_zeros();
+            for (j, (o, &e)) in out.iter_mut().zip(entry).enumerate() {
+                *o = if signs & (1 << j) != 0 { -e } else { e };
+            }
+        } else {
+            out.copy_from_slice(entry);
+        }
+    }
+
+    /// Encodes `v` to the nearest logical entry id.
+    ///
+    /// Plain books scan all stored entries; lattice books pick the sign
+    /// mask from `v`'s signs and scan stored entries against `|v|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != vector_size`.
+    pub fn encode(&self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.vector_size, "input vector size");
+        if self.lattice {
+            let mut signs = 0u32;
+            let mut abs = vec![0.0f32; self.vector_size];
+            for (j, &x) in v.iter().enumerate() {
+                if x < 0.0 {
+                    signs |= 1 << j;
+                }
+                abs[j] = x.abs();
+            }
+            let (base, _) = kmeans::nearest(&abs, &self.entries, self.vector_size);
+            (signs << self.stored_entries().trailing_zeros()) | base
+        } else {
+            kmeans::nearest(v, &self.entries, self.vector_size).0
+        }
+    }
+
+    /// Bytes this codebook occupies at FP16 entry precision (what a kernel
+    /// stages into shared memory).
+    pub fn bytes_fp16(&self) -> usize {
+        self.entries.len() * 2
+    }
+
+    /// Returns a copy with stored entries permuted by `perm` (new position
+    /// → old id). Used by the codebook cache's frequency reordering; the
+    /// caller is responsible for rewriting indices to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..stored_entries()`.
+    pub fn reordered(&self, perm: &[u32]) -> Codebook {
+        assert_eq!(perm.len(), self.stored_entries(), "permutation length");
+        let vs = self.vector_size;
+        let mut entries = vec![0.0f32; self.entries.len()];
+        for (new_pos, &old_id) in perm.iter().enumerate() {
+            entries[new_pos * vs..(new_pos + 1) * vs]
+                .copy_from_slice(self.stored_entry(old_id as usize));
+        }
+        Codebook {
+            vector_size: vs,
+            entries,
+            lattice: self.lattice,
+        }
+    }
+}
+
+/// All codebooks of one quantized tensor: `books[residual][scope]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodebookSet {
+    config: VqConfig,
+    shape: (usize, usize),
+    books: Vec<Vec<Codebook>>,
+}
+
+impl CodebookSet {
+    /// Assembles a set from per-residual, per-scope codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqError::InvalidConfig`] if the nesting does not match
+    /// `config.residuals` × `num_scopes`.
+    pub fn new(
+        config: VqConfig,
+        shape: (usize, usize),
+        books: Vec<Vec<Codebook>>,
+    ) -> Result<Self> {
+        let scopes = Self::num_scopes(&config, shape);
+        if books.len() != config.residuals || books.iter().any(|b| b.len() != scopes) {
+            return Err(VqError::InvalidConfig {
+                what: "codebook set nesting",
+                value: books.len(),
+            });
+        }
+        Ok(CodebookSet {
+            config,
+            shape,
+            books,
+        })
+    }
+
+    /// Number of distinct codebooks per residual level for `shape`.
+    pub fn num_scopes(config: &VqConfig, shape: (usize, usize)) -> usize {
+        match config.scope {
+            CodebookScope::PerTensor => 1,
+            CodebookScope::PerTile { rows, cols } => {
+                shape.0.div_ceil(rows) * shape.1.div_ceil(cols)
+            }
+            CodebookScope::PerChannelGroup { channels } => shape.1.div_ceil(channels),
+        }
+    }
+
+    /// Scope index owning element `(row, col)`.
+    pub fn scope_index(&self, row: usize, col: usize) -> usize {
+        match self.config.scope {
+            CodebookScope::PerTensor => 0,
+            CodebookScope::PerTile { rows, cols } => {
+                (row / rows) * self.shape.1.div_ceil(cols) + col / cols
+            }
+            CodebookScope::PerChannelGroup { channels } => col / channels,
+        }
+    }
+
+    /// The codebook for residual level `r`, scope `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn book(&self, r: usize, s: usize) -> &Codebook {
+        &self.books[r][s]
+    }
+
+    /// Codebooks per residual level.
+    pub fn scopes(&self) -> usize {
+        self.books.first().map_or(0, Vec::len)
+    }
+
+    /// The configuration this set was trained under.
+    pub fn config(&self) -> &VqConfig {
+        &self.config
+    }
+
+    /// Shape of the quantized tensor.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Total FP16 bytes across all codebooks (the model-size overhead VQ
+    /// pays for its codebooks).
+    pub fn total_bytes(&self) -> usize {
+        self.books
+            .iter()
+            .flatten()
+            .map(Codebook::bytes_fp16)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_book() -> Codebook {
+        // 4 entries × 2 dims.
+        Codebook::new(
+            vec![0.0, 0.0, 1.0, 1.0, -1.0, 1.0, 2.0, -2.0],
+            2,
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_encode_roundtrip() {
+        let cb = plain_book();
+        let mut out = [0.0f32; 2];
+        for id in 0..4 {
+            cb.lookup(id, &mut out);
+            assert_eq!(cb.encode(&out), id);
+        }
+    }
+
+    #[test]
+    fn encode_picks_nearest() {
+        let cb = plain_book();
+        assert_eq!(cb.encode(&[0.9, 1.1]), 1);
+        assert_eq!(cb.encode(&[0.1, -0.1]), 0);
+    }
+
+    #[test]
+    fn lattice_lookup_applies_signs() {
+        // 2 stored entries × 2 dims, lattice.
+        let cb = Codebook::new(vec![1.0, 2.0, 3.0, 4.0], 2, true).unwrap();
+        assert_eq!(cb.stored_entries(), 2);
+        assert_eq!(cb.logical_entries(), 8); // 2 × 2^2
+        let mut out = [0.0f32; 2];
+        // id = signs(0b10) << 1 | base(1) = 0b101 = 5 → entry 1 with dim-1
+        // negated.
+        cb.lookup(5, &mut out);
+        assert_eq!(out, [3.0, -4.0]);
+    }
+
+    #[test]
+    fn lattice_encode_roundtrips_signs() {
+        let cb = Codebook::new(vec![1.0, 2.0, 3.0, 4.0], 2, true).unwrap();
+        let id = cb.encode(&[-1.1, 1.9]);
+        let mut out = [0.0f32; 2];
+        cb.lookup(id, &mut out);
+        assert_eq!(out, [-1.0, 2.0]);
+        // Stored id only reflects the base entry.
+        assert_eq!(cb.stored_id_of(id), 0);
+    }
+
+    #[test]
+    fn reorder_permutes_entries() {
+        let cb = plain_book();
+        let re = cb.reordered(&[2, 0, 3, 1]);
+        assert_eq!(re.stored_entry(0), cb.stored_entry(2));
+        assert_eq!(re.stored_entry(3), cb.stored_entry(1));
+    }
+
+    #[test]
+    fn scope_indices_per_variant() {
+        let per_tile = VqConfig::new(4, 256, 1, CodebookScope::PerTile { rows: 16, cols: 16 }).unwrap();
+        let books = vec![vec![plain_book_4(); 4]];
+        let set = CodebookSet::new(per_tile, (32, 32), books).unwrap();
+        assert_eq!(set.scopes(), 4);
+        assert_eq!(set.scope_index(0, 0), 0);
+        assert_eq!(set.scope_index(0, 16), 1);
+        assert_eq!(set.scope_index(16, 0), 2);
+        assert_eq!(set.scope_index(31, 31), 3);
+
+        let per_group = VqConfig::new(4, 256, 1, CodebookScope::PerChannelGroup { channels: 8 }).unwrap();
+        let set = CodebookSet::new(per_group, (32, 32), vec![vec![plain_book_4(); 4]]).unwrap();
+        assert_eq!(set.scope_index(5, 0), 0);
+        assert_eq!(set.scope_index(5, 9), 1);
+        assert_eq!(set.scope_index(31, 31), 3);
+    }
+
+    fn plain_book_4() -> Codebook {
+        Codebook::new((0..256 * 4).map(|i| i as f32).collect(), 4, false).unwrap()
+    }
+
+    #[test]
+    fn set_rejects_wrong_nesting() {
+        let cfg = VqConfig::new(4, 256, 2, CodebookScope::PerTensor).unwrap();
+        // Only one residual level supplied for residuals = 2.
+        assert!(CodebookSet::new(cfg, (8, 8), vec![vec![plain_book_4()]]).is_err());
+    }
+
+    #[test]
+    fn total_bytes_counts_all_books() {
+        let cfg = VqConfig::new(4, 256, 1, CodebookScope::PerChannelGroup { channels: 4 }).unwrap();
+        let books = vec![vec![plain_book_4(), plain_book_4()]];
+        let set = CodebookSet::new(cfg, (8, 8), books).unwrap();
+        assert_eq!(set.total_bytes(), 2 * 256 * 4 * 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! The codebook-training workhorse (paper Fig. 1: "conduct k-means
+//! clustering to group these sub-vectors into #Entry clusters"). Points are
+//! flat `f32` slices (`n × dim`, row-major) to keep the inner distance loop
+//! allocation-free.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Flat `k × dim` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Dimensionality of points/centroids.
+    pub dim: usize,
+    /// Cluster id per input point.
+    pub assignments: Vec<u32>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Tuning knobs for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansOptions {
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when relative inertia improvement drops below this.
+    pub tol: f64,
+    /// Train on at most this many points (sampled uniformly); all points
+    /// are still assigned at the end. Large-tensor codebooks do not need
+    /// every sub-vector to converge.
+    pub train_sample: usize,
+}
+
+impl Default for KmeansOptions {
+    fn default() -> Self {
+        KmeansOptions {
+            max_iters: 12,
+            tol: 1e-4,
+            train_sample: 65_536,
+        }
+    }
+}
+
+/// Squared Euclidean distance between two `dim`-length slices.
+#[inline]
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Index of the nearest centroid and its squared distance.
+#[inline]
+pub fn nearest(point: &[f32], centroids: &[f32], dim: usize) -> (u32, f32) {
+    let mut best = 0u32;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.chunks_exact(dim).enumerate() {
+        let d = dist2(point, c);
+        if d < best_d {
+            best_d = d;
+            best = i as u32;
+        }
+    }
+    (best, best_d)
+}
+
+/// Runs k-means on `points` (flat `n × dim`) for `k` clusters.
+///
+/// Uses k-means++ seeding on a training subsample, Lloyd iterations with
+/// empty-cluster repair (an empty cluster is re-seeded on the point
+/// farthest from its centroid), then assigns *all* points.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, `k == 0`, or `points.len()` is not a multiple of
+/// `dim`.
+pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOptions) -> KmeansResult {
+    assert!(dim > 0 && k > 0, "dim and k must be positive");
+    assert_eq!(points.len() % dim, 0, "points must be n × dim");
+    let n = points.len() / dim;
+    assert!(n > 0, "need at least one point");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Training subsample (uniform without replacement when sampling).
+    let train_idx: Vec<usize> = if n <= opts.train_sample {
+        (0..n).collect()
+    } else {
+        // Floyd-ish sampling: step through with random stride; uniform
+        // enough for codebook training and deterministic.
+        let stride = n as f64 / opts.train_sample as f64;
+        (0..opts.train_sample)
+            .map(|i| ((i as f64 * stride) as usize + rng.gen_range(0..stride.max(1.0) as usize + 1)).min(n - 1))
+            .collect()
+    };
+    let t = train_idx.len();
+    let point = |i: usize| -> &[f32] { &points[i * dim..(i + 1) * dim] };
+
+    // --- k-means++ seeding on the training set ---
+    let mut centroids = vec![0.0f32; k * dim];
+    let first = train_idx[rng.gen_range(0..t)];
+    centroids[..dim].copy_from_slice(point(first));
+    let mut min_d2: Vec<f32> = train_idx.iter().map(|&i| dist2(point(i), &centroids[..dim])).collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().map(|&d| f64::from(d)).sum();
+        let chosen = if total <= f64::EPSILON {
+            // All points identical / already covered: random pick.
+            rng.gen_range(0..t)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = t - 1;
+            for (j, &d) in min_d2.iter().enumerate() {
+                target -= f64::from(d);
+                if target <= 0.0 {
+                    idx = j;
+                    break;
+                }
+            }
+            idx
+        };
+        let src = point(train_idx[chosen]).to_vec();
+        centroids[c * dim..(c + 1) * dim].copy_from_slice(&src);
+        for (j, &i) in train_idx.iter().enumerate() {
+            let d = dist2(point(i), &src);
+            if d < min_d2[j] {
+                min_d2[j] = d;
+            }
+        }
+    }
+
+    // --- Lloyd iterations on the training set ---
+    let mut train_assign = vec![0u32; t];
+    let mut prev_inertia = f64::INFINITY;
+    let mut iters_done = 0;
+    for iter in 0..opts.max_iters {
+        iters_done = iter + 1;
+        let mut inertia = 0.0f64;
+        for (j, &i) in train_idx.iter().enumerate() {
+            let (a, d) = nearest(point(i), &centroids, dim);
+            train_assign[j] = a;
+            inertia += f64::from(d);
+        }
+
+        // Recompute centroids.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for (j, &i) in train_idx.iter().enumerate() {
+            let a = train_assign[j] as usize;
+            counts[a] += 1;
+            for (s, &v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(point(i)) {
+                *s += f64::from(v);
+            }
+        }
+        // Empty-cluster repair: seed on the point currently farthest from
+        // its centroid.
+        for c in 0..k {
+            if counts[c] == 0 {
+                let (far_j, _) = train_idx
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| (j, dist2(point(i), &centroids[train_assign[j] as usize * dim..][..dim])))
+                    .fold((0, -1.0f32), |acc, x| if x.1 > acc.1 { x } else { acc });
+                let src = point(train_idx[far_j]).to_vec();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(&src);
+                counts[c] = 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(&src) {
+                    *s = f64::from(v);
+                }
+                train_assign[far_j] = c as u32;
+            } else {
+                for (ci, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                    *ci = (s / counts[c] as f64) as f32;
+                }
+            }
+        }
+
+        if prev_inertia.is_finite() && (prev_inertia - inertia).abs() <= opts.tol * prev_inertia.abs() {
+            break;
+        }
+        prev_inertia = inertia;
+    }
+
+    // --- Final assignment of all points ---
+    let mut assignments = vec![0u32; n];
+    let mut inertia = 0.0f64;
+    for i in 0..n {
+        let (a, d) = nearest(point(i), &centroids, dim);
+        assignments[i] = a;
+        inertia += f64::from(d);
+    }
+
+    KmeansResult {
+        centroids,
+        dim,
+        assignments,
+        inertia,
+        iterations: iters_done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::with_capacity(n_per * 2 * 2);
+        for _ in 0..n_per {
+            pts.push(5.0 + rng.gen_range(-0.5..0.5));
+            pts.push(5.0 + rng.gen_range(-0.5..0.5));
+        }
+        for _ in 0..n_per {
+            pts.push(-5.0 + rng.gen_range(-0.5..0.5));
+            pts.push(-5.0 + rng.gen_range(-0.5..0.5));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs(100, 1);
+        let r = kmeans(&pts, 2, 2, 42, &KmeansOptions::default());
+        // Centroids near (5,5) and (-5,-5) in some order.
+        let c0 = &r.centroids[0..2];
+        let c1 = &r.centroids[2..4];
+        let near = |c: &[f32], x: f32| (c[0] - x).abs() < 1.0 && (c[1] - x).abs() < 1.0;
+        assert!((near(c0, 5.0) && near(c1, -5.0)) || (near(c0, -5.0) && near(c1, 5.0)));
+        // First 100 points share a cluster, last 100 the other.
+        assert!(r.assignments[..100].windows(2).all(|w| w[0] == w[1]));
+        assert!(r.assignments[100..].windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(r.assignments[0], r.assignments[150]);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 5.0, 5.0];
+        let r = kmeans(&pts, 2, 4, 7, &KmeansOptions::default());
+        assert!(r.inertia < 1e-9, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = two_blobs(64, 3);
+        let a = kmeans(&pts, 2, 4, 11, &KmeansOptions::default());
+        let b = kmeans(&pts, 2, 4, 11, &KmeansOptions::default());
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn handles_more_clusters_than_distinct_points() {
+        // 4 identical points, k = 3: must not panic, must assign all.
+        let pts = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let r = kmeans(&pts, 2, 3, 5, &KmeansOptions::default());
+        assert_eq!(r.assignments.len(), 4);
+    }
+
+    #[test]
+    fn subsampled_training_still_assigns_everything() {
+        let pts = two_blobs(5000, 9);
+        let opts = KmeansOptions {
+            train_sample: 256,
+            ..Default::default()
+        };
+        let r = kmeans(&pts, 2, 2, 1, &opts);
+        assert_eq!(r.assignments.len(), 10_000);
+        assert_ne!(r.assignments[0], r.assignments[9_999]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = two_blobs(200, 13);
+        let r2 = kmeans(&pts, 2, 2, 1, &KmeansOptions::default());
+        let r8 = kmeans(&pts, 2, 8, 1, &KmeansOptions::default());
+        assert!(r8.inertia <= r2.inertia);
+    }
+
+    #[test]
+    fn nearest_returns_argmin() {
+        let centroids = vec![0.0, 0.0, 10.0, 10.0];
+        let (id, d) = nearest(&[9.0, 9.0], &centroids, 2);
+        assert_eq!(id, 1);
+        assert!((d - 2.0).abs() < 1e-6);
+    }
+}

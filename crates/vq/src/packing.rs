@@ -1,0 +1,175 @@
+//! Bit-packed index streams.
+//!
+//! VQ indices occupy `log2 #entry` bits: 8 for GPTVQ/CQ, 16 for QuiP#'s
+//! lattice ids — and 12 for AQLM, whose "unaligned 12-bit storage format …
+//! necessitates additional unpacking and decoding logic" (paper §VII-B).
+//! Packing is LSB-first within little-endian bytes, the layout a CUDA
+//! kernel would decode with shift/mask ops.
+
+use crate::{Result, VqError};
+use bytes::{BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed stream of equal-width indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedIndices {
+    bits: u8,
+    len: usize,
+    data: Vec<u8>,
+}
+
+impl PackedIndices {
+    /// Packs `indices` at `bits` bits each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqError::InvalidConfig`] if `bits` is 0 or > 32, or an
+    /// index does not fit in `bits` bits.
+    pub fn pack(indices: &[u32], bits: u8) -> Result<Self> {
+        if bits == 0 || bits > 32 {
+            return Err(VqError::InvalidConfig {
+                what: "index bits",
+                value: bits as usize,
+            });
+        }
+        let limit = if bits == 32 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut buf = BytesMut::with_capacity((indices.len() * bits as usize).div_ceil(8));
+        let mut acc: u64 = 0;
+        let mut nbits: u32 = 0;
+        for &idx in indices {
+            if u64::from(idx) > limit {
+                return Err(VqError::InvalidConfig {
+                    what: "index exceeds bit width",
+                    value: idx as usize,
+                });
+            }
+            acc |= u64::from(idx) << nbits;
+            nbits += u32::from(bits);
+            while nbits >= 8 {
+                buf.put_u8((acc & 0xff) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            buf.put_u8((acc & 0xff) as u8);
+        }
+        Ok(PackedIndices {
+            bits,
+            len: indices.len(),
+            data: buf.to_vec(),
+        })
+    }
+
+    /// Index at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index out of bounds");
+        let bits = self.bits as usize;
+        let bit_pos = i * bits;
+        let mut acc: u64 = 0;
+        let first = bit_pos / 8;
+        // An index spans at most ceil((bits + 7) / 8) + 1 bytes.
+        let span = (bits + (bit_pos % 8)).div_ceil(8);
+        for (j, &b) in self.data[first..(first + span).min(self.data.len())].iter().enumerate() {
+            acc |= u64::from(b) << (8 * j);
+        }
+        acc >>= bit_pos % 8;
+        let mask = if bits == 32 { u64::MAX } else { (1u64 << bits) - 1 };
+        (acc & mask) as u32
+    }
+
+    /// Unpacks the whole stream.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of stored indices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per index.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Packed size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether decoding an index at position `i` requires non-byte-aligned
+    /// shifts — true for widths like 12 that straddle byte boundaries on
+    /// odd positions. This is the property that costs AQLM extra integer
+    /// ops in the compute engine.
+    pub fn is_byte_aligned(&self) -> bool {
+        self.bits.is_multiple_of(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_byte_aligned() {
+        let idx: Vec<u32> = (0..256).collect();
+        let p = PackedIndices::pack(&idx, 8).unwrap();
+        assert_eq!(p.unpack(), idx);
+        assert_eq!(p.byte_len(), 256);
+        assert!(p.is_byte_aligned());
+    }
+
+    #[test]
+    fn roundtrip_12_bit() {
+        let idx: Vec<u32> = (0..4096).step_by(7).collect();
+        let p = PackedIndices::pack(&idx, 12).unwrap();
+        assert_eq!(p.unpack(), idx);
+        // 586 indices × 12 bits = 7032 bits = 879 bytes.
+        assert_eq!(p.byte_len(), (idx.len() * 12).div_ceil(8));
+        assert!(!p.is_byte_aligned());
+    }
+
+    #[test]
+    fn roundtrip_odd_widths() {
+        for bits in [1u8, 3, 5, 11, 13, 16, 17, 31] {
+            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let idx: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761) & max).collect();
+            let p = PackedIndices::pack(&idx, bits).unwrap();
+            assert_eq!(p.unpack(), idx, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn random_access_matches_unpack() {
+        let idx: Vec<u32> = (0..977).map(|i| (i * 31) as u32 % 4096).collect();
+        let p = PackedIndices::pack(&idx, 12).unwrap();
+        for (i, &v) in idx.iter().enumerate() {
+            assert_eq!(p.get(i), v);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_values() {
+        assert!(PackedIndices::pack(&[256], 8).is_err());
+        assert!(PackedIndices::pack(&[4096], 12).is_err());
+        assert!(PackedIndices::pack(&[0], 0).is_err());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let p = PackedIndices::pack(&[], 12).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.byte_len(), 0);
+        assert_eq!(p.unpack(), Vec::<u32>::new());
+    }
+}

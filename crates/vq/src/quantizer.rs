@@ -1,0 +1,360 @@
+//! The quantization / dequantization pipeline (paper Fig. 1).
+//!
+//! [`VqQuantizer::quantize`] splits a tensor into `vector_size`-wide
+//! sub-vectors, trains one codebook per (scope, residual) slice with
+//! k-means, encodes every sub-vector, subtracts the reconstruction, and
+//! repeats for each residual round. [`QuantizedTensor::dequantize`] is the
+//! exact inverse path a fused kernel performs on the fly.
+
+use crate::codebook::{Codebook, CodebookSet};
+use crate::config::VqConfig;
+use crate::kmeans::{kmeans, KmeansOptions};
+use crate::packing::PackedIndices;
+use crate::{Result, VqError};
+use serde::{Deserialize, Serialize};
+use vqllm_tensor::Tensor2D;
+
+/// Trains codebooks and encodes tensors under one [`VqConfig`].
+#[derive(Debug, Clone)]
+pub struct VqQuantizer {
+    config: VqConfig,
+    opts: KmeansOptions,
+}
+
+impl VqQuantizer {
+    /// Creates a quantizer with default k-means options.
+    pub fn new(config: VqConfig) -> Self {
+        VqQuantizer {
+            config,
+            opts: KmeansOptions::default(),
+        }
+    }
+
+    /// Overrides the k-means training options.
+    pub fn with_options(mut self, opts: KmeansOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VqConfig {
+        &self.config
+    }
+
+    /// Quantizes `tensor`, training fresh codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqError::IncompatibleShape`] if the column count is not a
+    /// multiple of the vector size, or [`VqError::InsufficientData`] if a
+    /// scope has fewer sub-vectors than codebook entries *stored* (lattice
+    /// books only need their base entries).
+    pub fn quantize(&self, tensor: &Tensor2D, seed: u64) -> Result<QuantizedTensor> {
+        let cfg = &self.config;
+        let (rows, cols) = tensor.shape();
+        if rows == 0 || cols == 0 || cols % cfg.vector_size != 0 {
+            return Err(VqError::IncompatibleShape {
+                what: "quantize (cols must be a positive multiple of vector_size)",
+                shape: tensor.shape(),
+            });
+        }
+
+        let vs = cfg.vector_size;
+        let col_groups = cols / vs;
+        let num_scopes = CodebookSet::num_scopes(cfg, (rows, cols));
+        let k = cfg.stored_entries();
+
+        // Map each (row, col_group) sub-vector to its scope once.
+        let scope_of = |row: usize, group: usize| -> usize {
+            scope_index_static(cfg, (rows, cols), row, group * vs)
+        };
+
+        let mut residual = tensor.clone();
+        let mut books: Vec<Vec<Codebook>> = Vec::with_capacity(cfg.residuals);
+        let mut streams: Vec<PackedIndices> = Vec::with_capacity(cfg.residuals);
+
+        for r in 0..cfg.residuals {
+            // Gather sub-vectors per scope (flat buffers for k-means).
+            let mut per_scope: Vec<Vec<f32>> = vec![Vec::new(); num_scopes];
+            for row in 0..rows {
+                let data = residual.row(row);
+                for g in 0..col_groups {
+                    let s = scope_of(row, g);
+                    let sv = &data[g * vs..(g + 1) * vs];
+                    if cfg.lattice {
+                        per_scope[s].extend(sv.iter().map(|v| v.abs()));
+                    } else {
+                        per_scope[s].extend_from_slice(sv);
+                    }
+                }
+            }
+
+            // Train one codebook per scope.
+            let mut round_books = Vec::with_capacity(num_scopes);
+            for (s, pts) in per_scope.iter().enumerate() {
+                let n = pts.len() / vs;
+                if n < k {
+                    return Err(VqError::InsufficientData {
+                        points: n,
+                        entries: k,
+                    });
+                }
+                let km = kmeans(pts, vs, k, seed ^ ((r as u64) << 32) ^ s as u64, &self.opts);
+                round_books.push(Codebook::new(km.centroids, vs, cfg.lattice)?);
+            }
+
+            // Encode every sub-vector against its scope's codebook and
+            // subtract the reconstruction for the next residual round.
+            let mut indices = Vec::with_capacity(rows * col_groups);
+            let mut recon = vec![0.0f32; vs];
+            for row in 0..rows {
+                for g in 0..col_groups {
+                    let s = scope_of(row, g);
+                    let book = &round_books[s];
+                    let sv: Vec<f32> = residual.row(row)[g * vs..(g + 1) * vs].to_vec();
+                    let id = book.encode(&sv);
+                    indices.push(id);
+                    book.lookup(id, &mut recon);
+                    let dst = residual.row_mut(row);
+                    for (j, &rv) in recon.iter().enumerate() {
+                        dst[g * vs + j] -= rv;
+                    }
+                }
+            }
+
+            streams.push(PackedIndices::pack(&indices, cfg.index_bits() as u8)?);
+            books.push(round_books);
+        }
+
+        Ok(QuantizedTensor {
+            config: *cfg,
+            shape: (rows, cols),
+            codebooks: CodebookSet::new(*cfg, (rows, cols), books)?,
+            indices: streams,
+        })
+    }
+}
+
+fn scope_index_static(cfg: &VqConfig, shape: (usize, usize), row: usize, col: usize) -> usize {
+    use crate::config::CodebookScope::*;
+    match cfg.scope {
+        PerTensor => 0,
+        PerTile { rows, cols } => (row / rows) * shape.1.div_ceil(cols) + col / cols,
+        PerChannelGroup { channels } => col / channels,
+    }
+}
+
+/// A VQ-compressed tensor: packed index streams plus trained codebooks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    config: VqConfig,
+    shape: (usize, usize),
+    codebooks: CodebookSet,
+    indices: Vec<PackedIndices>,
+}
+
+impl QuantizedTensor {
+    /// The configuration this tensor was quantized under.
+    pub fn config(&self) -> &VqConfig {
+        &self.config
+    }
+
+    /// Original tensor shape.
+    pub fn shape(&self) -> (usize, usize) {
+        self.shape
+    }
+
+    /// Column groups per row (`cols / vector_size`).
+    pub fn col_groups(&self) -> usize {
+        self.shape.1 / self.config.vector_size
+    }
+
+    /// The trained codebooks.
+    pub fn codebooks(&self) -> &CodebookSet {
+        &self.codebooks
+    }
+
+    /// Packed index stream of residual round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= residuals`.
+    pub fn index_stream(&self, r: usize) -> &PackedIndices {
+        &self.indices[r]
+    }
+
+    /// Logical entry id for residual `r`, element row `row`, column group
+    /// `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn index_at(&self, r: usize, row: usize, group: usize) -> u32 {
+        self.indices[r].get(row * self.col_groups() + group)
+    }
+
+    /// Reconstructs the sub-vector at (`row`, `group`) into `out`,
+    /// accumulating all residual rounds — exactly what a fused kernel's
+    /// dequantization stage computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != vector_size` or the position is out of range.
+    pub fn dequantize_subvector(&self, row: usize, group: usize, out: &mut [f32]) {
+        let vs = self.config.vector_size;
+        assert_eq!(out.len(), vs, "output buffer size");
+        out.fill(0.0);
+        let mut entry = vec![0.0f32; vs];
+        for r in 0..self.config.residuals {
+            let s = self
+                .codebooks
+                .scope_index(row, group * vs);
+            let book = self.codebooks.book(r, s);
+            book.lookup(self.index_at(r, row, group), &mut entry);
+            for (o, &e) in out.iter_mut().zip(&entry) {
+                *o += e;
+            }
+        }
+    }
+
+    /// Full dequantization.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a well-formed value; returns `Result` for
+    /// forward compatibility with streaming backends.
+    pub fn dequantize(&self) -> Result<Tensor2D> {
+        let (rows, cols) = self.shape;
+        let vs = self.config.vector_size;
+        let groups = self.col_groups();
+        let mut t = Tensor2D::zeros(rows, cols);
+        let mut sv = vec![0.0f32; vs];
+        for row in 0..rows {
+            for g in 0..groups {
+                self.dequantize_subvector(row, g, &mut sv);
+                let dst = t.row_mut(row);
+                dst[g * vs..(g + 1) * vs].copy_from_slice(&sv);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Compressed payload size: packed indices + codebooks (FP16).
+    pub fn compressed_bytes(&self) -> usize {
+        self.indices.iter().map(PackedIndices::byte_len).sum::<usize>()
+            + self.codebooks.total_bytes()
+    }
+
+    /// Index-stream bytes only (what streams from DRAM per use; codebooks
+    /// are shared).
+    pub fn index_bytes(&self) -> usize {
+        self.indices.iter().map(PackedIndices::byte_len).sum()
+    }
+
+    /// Compression ratio of the index streams against FP16 storage.
+    pub fn index_compression_vs_fp16(&self) -> f64 {
+        let fp16 = self.shape.0 * self.shape.1 * 2;
+        self.index_bytes() as f64 / fp16 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodebookScope;
+    use vqllm_tensor::{metrics, synth};
+
+    fn quantize_roundtrip(cfg: VqConfig, rows: usize, cols: usize) -> (Tensor2D, Tensor2D) {
+        let w = synth::correlated_channels(rows, cols, cfg.vector_size, 0.9, 42);
+        let q = VqQuantizer::new(cfg).quantize(&w, 7).unwrap();
+        let restored = q.dequantize().unwrap();
+        (w, restored)
+    }
+
+    #[test]
+    fn per_tensor_roundtrip_has_low_error() {
+        let cfg = VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap();
+        let (w, r) = quantize_roundtrip(cfg, 64, 64);
+        let rel = metrics::rel_frobenius(w.as_slice(), r.as_slice());
+        assert!(rel < 0.7, "relative error {rel}");
+    }
+
+    #[test]
+    fn residual_rounds_reduce_error() {
+        let base = VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap();
+        let twice = VqConfig::new(4, 64, 2, CodebookScope::PerTensor).unwrap();
+        let w = synth::correlated_channels(64, 64, 4, 0.9, 3);
+        let q1 = VqQuantizer::new(base).quantize(&w, 7).unwrap();
+        let q2 = VqQuantizer::new(twice).quantize(&w, 7).unwrap();
+        let e1 = metrics::mse_tensor(&w, &q1.dequantize().unwrap());
+        let e2 = metrics::mse_tensor(&w, &q2.dequantize().unwrap());
+        assert!(e2 < e1, "residual round must reduce MSE ({e2} !< {e1})");
+    }
+
+    #[test]
+    fn channel_group_scope_trains_separate_books() {
+        let cfg = VqConfig::new(2, 16, 1, CodebookScope::PerChannelGroup { channels: 2 }).unwrap();
+        let w = synth::kv_stream(128, 8, 0.8, 9);
+        let q = VqQuantizer::new(cfg).quantize(&w, 1).unwrap();
+        assert_eq!(q.codebooks().scopes(), 4);
+        let restored = q.dequantize().unwrap();
+        assert!(metrics::rel_frobenius(w.as_slice(), restored.as_slice()) < 0.9);
+    }
+
+    #[test]
+    fn tile_scope_counts_tiles() {
+        let cfg = VqConfig::new(4, 16, 1, CodebookScope::PerTile { rows: 32, cols: 32 }).unwrap();
+        let w = synth::gaussian(64, 64, 1.0, 5);
+        let q = VqQuantizer::new(cfg).quantize(&w, 2).unwrap();
+        assert_eq!(q.codebooks().scopes(), 4);
+    }
+
+    #[test]
+    fn lattice_roundtrip_reconstructs_signs() {
+        let cfg = VqConfig::new_lattice(8, 1 << 11, 8, 1, CodebookScope::PerTensor).unwrap();
+        let w = synth::gaussian(32, 64, 1.0, 11);
+        let q = VqQuantizer::new(cfg).quantize(&w, 3).unwrap();
+        let restored = q.dequantize().unwrap();
+        // Signs must match wherever the reconstruction is clearly non-zero.
+        let mut sign_errors = 0;
+        for (a, b) in w.as_slice().iter().zip(restored.as_slice()) {
+            if b.abs() > 0.3 && a.signum() != b.signum() {
+                sign_errors += 1;
+            }
+        }
+        let frac = sign_errors as f64 / w.len() as f64;
+        assert!(frac < 0.02, "sign error fraction {frac}");
+    }
+
+    #[test]
+    fn index_bytes_match_config_math() {
+        let cfg = VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap();
+        let w = synth::gaussian(32, 32, 1.0, 1);
+        let q = VqQuantizer::new(cfg).quantize(&w, 7).unwrap();
+        assert_eq!(q.index_bytes(), cfg.index_bytes(32, 32));
+        // 8 bits per 4 elements = 1/8 of FP16 bytes.
+        assert!((q.index_compression_vs_fp16() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_starved_scopes() {
+        let cfg = VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap();
+        let w = synth::gaussian(8, 6, 1.0, 1); // 6 % 4 != 0
+        assert!(VqQuantizer::new(cfg).quantize(&w, 0).is_err());
+
+        let w = synth::gaussian(4, 8, 1.0, 1); // 8 subvectors < 256 entries
+        assert!(matches!(
+            VqQuantizer::new(cfg).quantize(&w, 0),
+            Err(VqError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn quantization_is_deterministic() {
+        let cfg = VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap();
+        let w = synth::gaussian(32, 32, 1.0, 21);
+        let a = VqQuantizer::new(cfg).quantize(&w, 5).unwrap();
+        let b = VqQuantizer::new(cfg).quantize(&w, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the VQ substrate.
+
+use proptest::prelude::*;
+use vqllm_tensor::{metrics, synth, Tensor2D};
+use vqllm_vq::config::{CodebookScope, VqConfig};
+use vqllm_vq::packing::PackedIndices;
+use vqllm_vq::quantizer::VqQuantizer;
+use vqllm_vq::stats::AccessHistogram;
+use vqllm_vq::Codebook;
+
+proptest! {
+    /// Packing is a lossless round-trip at any width.
+    #[test]
+    fn pack_unpack_roundtrip(
+        bits in 1u8..=24,
+        seed in 0u64..1000,
+        n in 0usize..300,
+    ) {
+        let max = (1u64 << bits) - 1;
+        let idx: Vec<u32> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(seed.wrapping_mul(2654435761) | 1)) & max) as u32)
+            .collect();
+        let p = PackedIndices::pack(&idx, bits).unwrap();
+        prop_assert_eq!(p.unpack(), idx);
+        prop_assert_eq!(p.byte_len(), (n * bits as usize).div_ceil(8));
+    }
+
+    /// Quantize→dequantize error never exceeds the trivial bound: the
+    /// reconstruction of each sub-vector is its nearest centroid, so MSE is
+    /// at most the data's variance around its global mean (k-means with
+    /// k ≥ 1 is at least as good as the 1-cluster solution).
+    #[test]
+    fn vq_mse_bounded_by_variance(seed in 0u64..50, entries_log2 in 2u32..6) {
+        let w = synth::gaussian(32, 32, 1.0, seed);
+        let cfg = VqConfig::new(4, 1 << entries_log2, 1, CodebookScope::PerTensor).unwrap();
+        let q = VqQuantizer::new(cfg).quantize(&w, seed).unwrap();
+        let r = q.dequantize().unwrap();
+        let mse = metrics::mse_tensor(&w, &r);
+        let mean = w.as_slice().iter().sum::<f32>() / w.len() as f32;
+        let var = w.as_slice().iter().map(|v| f64::from(v - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        prop_assert!(mse <= var * 1.05, "mse {mse} var {var}");
+    }
+
+    /// More entries never hurt reconstruction (same seed/data).
+    #[test]
+    fn more_entries_never_hurt(seed in 0u64..20) {
+        let w = synth::correlated_channels(32, 32, 4, 0.9, seed);
+        let small = VqConfig::new(4, 8, 1, CodebookScope::PerTensor).unwrap();
+        let big = VqConfig::new(4, 128, 1, CodebookScope::PerTensor).unwrap();
+        let es = metrics::mse_tensor(&w, &VqQuantizer::new(small).quantize(&w, 1).unwrap().dequantize().unwrap());
+        let eb = metrics::mse_tensor(&w, &VqQuantizer::new(big).quantize(&w, 1).unwrap().dequantize().unwrap());
+        prop_assert!(eb <= es * 1.10, "big {eb} small {es}");
+    }
+
+    /// Codebook reorder is a value-preserving permutation.
+    #[test]
+    fn reorder_preserves_entry_multiset(seed in 0u64..100) {
+        let w = synth::gaussian(16, 16, 1.0, seed);
+        let cfg = VqConfig::new(4, 16, 1, CodebookScope::PerTensor).unwrap();
+        let q = VqQuantizer::new(cfg).quantize(&w, seed).unwrap();
+        let book = q.codebooks().book(0, 0);
+        let h = AccessHistogram::profile(&q, 0);
+        let perm = h.sort_permutation();
+        let re = book.reordered(&perm);
+        let mut a: Vec<f32> = (0..book.stored_entries()).flat_map(|i| book.stored_entry(i).to_vec()).collect();
+        let mut b: Vec<f32> = (0..re.stored_entries()).flat_map(|i| re.stored_entry(i).to_vec()).collect();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Lattice encode/lookup reconstructs every element with the sign of
+    /// the input (when the reconstruction is non-zero).
+    #[test]
+    fn lattice_respects_signs(vals in proptest::collection::vec(0.5f32..4.0, 8), signs in proptest::collection::vec(any::<bool>(), 8)) {
+        let entries: Vec<f32> = (0..16 * 8).map(|i| (i % 13) as f32 * 0.3 + 0.1).collect();
+        let cb = Codebook::new(entries, 8, true).unwrap();
+        let v: Vec<f32> = vals.iter().zip(&signs).map(|(x, &s)| if s { -x } else { *x }).collect();
+        let id = cb.encode(&v);
+        let mut out = vec![0.0f32; 8];
+        cb.lookup(id, &mut out);
+        for (o, x) in out.iter().zip(&v) {
+            if o.abs() > 1e-6 {
+                prop_assert_eq!(o.signum(), x.signum());
+            }
+        }
+    }
+
+    /// Histogram totals are invariant under banding (Fig. 9's row-band
+    /// decomposition sums back to the whole).
+    #[test]
+    fn banded_histograms_sum_to_total(seed in 0u64..20, bands in 1usize..8) {
+        let w = synth::gaussian(32, 16, 1.0, seed);
+        let cfg = VqConfig::new(4, 8, 1, CodebookScope::PerTensor).unwrap();
+        let q = VqQuantizer::new(cfg).quantize(&w, seed).unwrap();
+        let whole = AccessHistogram::profile(&q, 0);
+        let band_size = 32usize.div_ceil(bands);
+        let mut acc = vec![0u64; whole.counts().len()];
+        let mut start = 0;
+        while start < 32 {
+            let end = (start + band_size).min(32);
+            let h = AccessHistogram::profile_rows(&q, 0, start, end);
+            for (a, &c) in acc.iter_mut().zip(h.counts()) {
+                *a += c;
+            }
+            start = end;
+        }
+        prop_assert_eq!(acc, whole.counts().to_vec());
+    }
+
+    /// Dequantizing a quantized all-identical tensor is exact: one centroid
+    /// absorbs everything.
+    #[test]
+    fn constant_tensor_is_exact(v in -5.0f32..5.0) {
+        let w = Tensor2D::from_fn(16, 16, |_, _| v);
+        let cfg = VqConfig::new(4, 4, 1, CodebookScope::PerTensor).unwrap();
+        let q = VqQuantizer::new(cfg).quantize(&w, 0).unwrap();
+        let r = q.dequantize().unwrap();
+        prop_assert!(metrics::max_abs_diff(w.as_slice(), r.as_slice()) < 1e-5);
+    }
+}

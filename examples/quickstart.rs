@@ -1,0 +1,52 @@
+//! Quickstart: quantize a tensor, generate an optimized fused kernel, run
+//! it, and compare against the FP16 baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vq_llm::core::{ComputeOp, KernelPlanner};
+use vq_llm::gpu::GpuSpec;
+use vq_llm::kernels::{fp16, vq_kernel, AccessProfile};
+use vq_llm::tensor::{metrics, synth};
+use vq_llm::vq::{VqAlgorithm, VqQuantizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Quantize a synthetic KV-cache stream with CQ-2 (VQ<4,8,1>).
+    let algo = VqAlgorithm::Cq2;
+    let kv = synth::kv_stream(512, 128, 0.85, 42);
+    let quantized = VqQuantizer::new(algo.config()).quantize(&kv, 7)?;
+    let restored = quantized.dequantize()?;
+    println!(
+        "quantized 512x128 KV tensor with {}: {} -> {} bytes ({}x), rel. error {:.3}",
+        algo,
+        kv.storage_bytes(vq_llm::tensor::DType::F16),
+        quantized.index_bytes(),
+        kv.storage_bytes(vq_llm::tensor::DType::F16) / quantized.index_bytes(),
+        metrics::rel_frobenius(kv.as_slice(), restored.as_slice()),
+    );
+
+    // 2. Generate an optimized fused attention kernel for an RTX 4090.
+    let gpu = GpuSpec::rtx4090();
+    let op = ComputeOp::attention_decode(32, 128, 1024, 1);
+    let planner = KernelPlanner::new(gpu.clone());
+    let plan = planner.plan(&algo.config(), &op)?;
+    println!("\ngenerated plan:\n  {}", plan.describe());
+
+    // 3. Estimate its latency against the FP16 FlashDecoding baseline.
+    let profile = AccessProfile::default_for(&algo.config());
+    let (best, out) = vq_kernel::best_plan(&gpu, &algo.config(), &op, &profile)?;
+    let baseline = fp16::attention(&gpu, fp16::AttnBaseline::FlashDecoding, 1, 32, 128, 1024);
+    println!(
+        "\nlatency: FP16 {:.1} us vs VQ-LLM {:.1} us ({:.2}x) at level {}",
+        baseline.us(),
+        out.us(),
+        baseline.us() / out.us(),
+        best.opt_level,
+    );
+
+    // 4. Emit the CUDA-like kernel a GPU backend would compile.
+    println!("\n--- generated kernel source ---");
+    println!("{}", vq_llm::core::codegen::emit(&best));
+    Ok(())
+}

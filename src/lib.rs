@@ -1,0 +1,45 @@
+//! # VQ-LLM
+//!
+//! A Rust reproduction of *“VQ-LLM: High-performance Code Generation for
+//! Vector Quantization Augmented LLM Inference”* (HPCA 2025).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — numeric substrate (tensors, dtypes, synthetic data).
+//! * [`gpu`] — GPU performance-model substrate (occupancy, shared-memory
+//!   banks, coalescing, warp shuffle, timing).
+//! * [`vq`] — vector-quantization substrate (k-means, codebooks, residual
+//!   quantization, bit packing, algorithm presets from the paper's Tbl. II).
+//! * [`core`] — the paper's contribution: codebook cache, codebook-centric
+//!   dataflow, hierarchical fusion, adaptive heuristics, and the kernel-plan
+//!   code generator.
+//! * [`kernels`] — fused VQ kernels plus every baseline the paper compares
+//!   against (FP16 flash-decoding/attention, paged variants, VQ-GC/SC,
+//!   AWQ-4, QoQ-4).
+//! * [`llm`] — Llama-shaped inference substrate for end-to-end evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vq_llm::vq::algorithms::VqAlgorithm;
+//! use vq_llm::core::{ComputeOp, KernelPlanner};
+//! use vq_llm::gpu::GpuSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Pick a VQ algorithm from the paper's Tbl. II and a computation.
+//! let algo = VqAlgorithm::Cq2.config();
+//! let op = ComputeOp::attention_decode(32, 128, 1024, 1);
+//!
+//! // Generate an optimized fused-kernel plan for an RTX 4090.
+//! let plan = KernelPlanner::new(GpuSpec::rtx4090()).plan(&algo, &op)?;
+//! println!("{}", plan.describe());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use vqllm_core as core;
+pub use vqllm_gpu as gpu;
+pub use vqllm_kernels as kernels;
+pub use vqllm_llm as llm;
+pub use vqllm_tensor as tensor;
+pub use vqllm_vq as vq;

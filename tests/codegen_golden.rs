@@ -1,0 +1,76 @@
+//! Integration: generated kernel sources contain exactly the constructs
+//! each plan's decisions imply (golden structural checks).
+
+use vq_llm::core::{codegen, ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
+use vq_llm::gpu::GpuSpec;
+use vq_llm::vq::VqAlgorithm;
+
+fn emit(algo: VqAlgorithm, op: ComputeOp, level: OptLevel) -> String {
+    let vq = algo.config();
+    let plan = KernelPlanner::new(GpuSpec::rtx4090())
+        .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
+        .unwrap();
+    codegen::emit(&plan)
+}
+
+#[test]
+fn ladder_changes_the_generated_code_monotonically() {
+    let op = ComputeOp::attention_decode(32, 128, 1024, 1);
+    let gc = emit(VqAlgorithm::Cq2, op, OptLevel::Gc);
+    let o1 = emit(VqAlgorithm::Cq2, op, OptLevel::O1);
+    let o2 = emit(VqAlgorithm::Cq2, op, OptLevel::O2);
+    let o3 = emit(VqAlgorithm::Cq2, op, OptLevel::O3);
+    let o4 = emit(VqAlgorithm::Cq2, op, OptLevel::O4);
+
+    assert!(gc.contains("all entries in global") && !gc.contains("smem_entries"));
+    assert!(o1.contains("smem_entries") && !o1.contains("reg_entries"));
+    assert!(o2.contains("reg_entries") || o2.contains("smem_entries"));
+    assert!(o3.contains("Parallel_For") && o3.contains("global_reduce"));
+    assert!(o4.contains("__shfl_xor_sync"), "CQ-2 attention fuses in registers (3 shuffles)");
+}
+
+#[test]
+fn every_preset_generates_compilable_looking_source() {
+    for algo in VqAlgorithm::ALL {
+        let op = if algo.is_weight_algorithm() {
+            ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 }
+        } else {
+            ComputeOp::attention_decode(32, 128, 1024, 1)
+        };
+        let src = emit(algo, op, OptLevel::O4);
+        assert!(src.contains("__global__ void"), "{algo}: missing kernel signature");
+        assert!(src.contains("#define VECTOR_SIZE"), "{algo}: missing config");
+        assert_eq!(
+            src.matches('{').count(),
+            src.matches('}').count(),
+            "{algo}: unbalanced braces"
+        );
+        assert!(src.contains(&algo.config().descriptor()), "{algo}: missing descriptor");
+    }
+}
+
+#[test]
+fn aqlm_source_documents_unaligned_decode() {
+    let src = emit(
+        VqAlgorithm::Aqlm3,
+        ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 },
+        OptLevel::O4,
+    );
+    assert!(src.contains("12-bit"));
+    assert!(src.contains("unaligned shift+mask decode"));
+    // 7 shuffles ≥ threshold → shared fusion, no shuffles in the source.
+    assert!(src.contains("store_smem_tile"));
+    assert!(!src.contains("__shfl_xor_sync"));
+}
+
+#[test]
+fn quip_source_contains_lattice_decode_and_three_shuffles() {
+    let src = emit(
+        VqAlgorithm::QuipSharp4,
+        ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 },
+        OptLevel::O4,
+    );
+    assert!(src.contains("apply_signs"));
+    assert_eq!(src.matches("__shfl_xor_sync").count(), 3);
+    assert!(src.contains("mma_sync_accumulate"));
+}

@@ -1,0 +1,128 @@
+//! Integration: fused VQ kernels must produce exactly the same output as
+//! dequantize-then-reference-compute, for every algorithm preset and every
+//! computation, at every optimization level.
+
+use vq_llm::core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
+use vq_llm::gpu::GpuSpec;
+use vq_llm::kernels::vq_kernel;
+use vq_llm::tensor::{linalg, metrics, synth};
+use vq_llm::vq::{CodebookScope, VqAlgorithm, VqConfig, VqQuantizer};
+
+fn planner() -> KernelPlanner {
+    KernelPlanner::new(GpuSpec::rtx4090())
+}
+
+/// Every weight algorithm: fused GeMM == A × dequant(W), across the whole
+/// optimization ladder (the cache reordering and remap must be
+/// transparent).
+#[test]
+fn gemm_matches_reference_for_all_weight_algorithms_and_levels() {
+    // Small shapes so AQLM's 4096-entry codebook still trains: use a
+    // reduced-entry stand-in per algorithm with the same structure.
+    let cases: Vec<(&str, VqConfig)> = vec![
+        (
+            "quip-like lattice",
+            VqConfig::new_lattice(8, 1 << 12, 16, 2, CodebookScope::PerTensor).unwrap(),
+        ),
+        (
+            "aqlm-like",
+            VqConfig::new(8, 128, 2, CodebookScope::PerTensor).unwrap(),
+        ),
+        (
+            "gptvq-like per-tile",
+            VqConfig::new(4, 32, 1, CodebookScope::PerTile { rows: 32, cols: 32 }).unwrap(),
+        ),
+    ];
+    let a = synth::gaussian(8, 64, 1.0, 5);
+    for (name, cfg) in cases {
+        let w = synth::correlated_channels(64, 64, cfg.vector_size, 0.9, 3);
+        let wq = VqQuantizer::new(cfg).quantize(&w, 1).expect(name);
+        let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
+        let op = ComputeOp::Gemm { m: 8, n: 64, k: 64 };
+        for level in OptLevel::ALL {
+            let plan = planner()
+                .plan_at(&cfg, &op, level, &ProfileSummary::default_for(&cfg))
+                .expect(name);
+            let (fused, out) = vq_kernel::run_gemm(&GpuSpec::rtx4090(), &plan, &a, &wq).expect(name);
+            assert!(
+                metrics::allclose(fused.as_slice(), reference.as_slice(), 1e-4, 1e-4),
+                "{name} at {level}: fused GeMM diverged"
+            );
+            assert!(out.us().is_finite() && out.us() > 0.0, "{name} at {level}");
+        }
+    }
+}
+
+/// Fused GeMV equals xᵀ × dequant(W) for a CQ-style per-channel-group
+/// configuration.
+#[test]
+fn gemv_matches_reference_with_channel_group_books() {
+    let cfg = VqConfig::new(4, 32, 1, CodebookScope::PerChannelGroup { channels: 8 }).unwrap();
+    let w = synth::correlated_channels(96, 64, 4, 0.9, 9);
+    let wq = VqQuantizer::new(cfg).quantize(&w, 2).unwrap();
+    let x: Vec<f32> = (0..96).map(|i| (i as f32 * 0.21).sin()).collect();
+    let reference = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
+    let op = ComputeOp::Gemv { n: 64, k: 96, batch: 1 };
+    for level in [OptLevel::Gc, OptLevel::O2, OptLevel::O4] {
+        let plan = planner()
+            .plan_at(&cfg, &op, level, &ProfileSummary::default_for(&cfg))
+            .unwrap();
+        let (fused, _) = vq_kernel::run_gemv(&GpuSpec::rtx4090(), &plan, &x, &wq).unwrap();
+        assert!(
+            metrics::allclose(&fused, &reference, 1e-4, 1e-4),
+            "GeMV diverged at {level}"
+        );
+    }
+}
+
+/// Fused attention with both CQ presets equals attention over the
+/// dequantized caches.
+#[test]
+fn attention_matches_reference_for_cq_presets() {
+    for algo in VqAlgorithm::KV_CACHE {
+        let cfg = algo.config();
+        let k = synth::kv_stream(256, 64, 0.85, 3);
+        let v = synth::kv_stream(256, 64, 0.85, 4);
+        let kq = VqQuantizer::new(cfg).quantize(&k, 5).unwrap();
+        let vq = VqQuantizer::new(cfg).quantize(&v, 6).unwrap();
+        let q: Vec<f32> = (0..64).map(|i| (i as f32 * 0.11).cos()).collect();
+        let reference = linalg::attention_decode_ref(
+            &q,
+            &kq.dequantize().unwrap(),
+            &vq.dequantize().unwrap(),
+            1.0 / 8.0,
+        )
+        .unwrap();
+        let op = ComputeOp::attention_decode(1, 64, 256, 1);
+        let plan = planner().plan(&cfg, &op).unwrap();
+        let (fused, _) =
+            vq_kernel::run_attention_head(&GpuSpec::rtx4090(), &plan, &q, &kq, &vq).unwrap();
+        assert!(
+            metrics::allclose(&fused, &reference, 1e-4, 1e-4),
+            "{algo}: fused attention diverged"
+        );
+    }
+}
+
+/// The quantize→dequantize path preserves enough signal that attention
+/// outputs stay close to the FP16 outputs (the algorithmic premise).
+#[test]
+fn quantized_attention_approximates_fp16_attention() {
+    let cfg = VqAlgorithm::Cq4.config();
+    let k = synth::kv_stream(512, 64, 0.9, 13);
+    let v = synth::kv_stream(512, 64, 0.9, 14);
+    let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
+    let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+    let q: Vec<f32> = (0..64).map(|i| (i as f32 * 0.17).sin()).collect();
+
+    let fp16 = linalg::attention_decode_ref(&q, &k, &v, 1.0 / 8.0).unwrap();
+    let vq_out = linalg::attention_decode_ref(
+        &q,
+        &kq.dequantize().unwrap(),
+        &vq.dequantize().unwrap(),
+        1.0 / 8.0,
+    )
+    .unwrap();
+    let rel = metrics::rel_frobenius(&fp16, &vq_out);
+    assert!(rel < 0.35, "CQ-4 attention drift too large: {rel}");
+}
