@@ -45,8 +45,14 @@ fn bench_attention(c: &mut Criterion) {
         .unwrap();
     g.bench_function("functional 256tok head", |b| {
         b.iter(|| {
-            vq_kernel::run_attention_head(&gpu, &plan, black_box(&q), black_box(&kq), black_box(&vqv))
-                .unwrap()
+            vq_kernel::run_attention_head(
+                &gpu,
+                &plan,
+                black_box(&q),
+                black_box(&kq),
+                black_box(&vqv),
+            )
+            .unwrap()
         });
     });
     g.finish();

@@ -17,7 +17,10 @@ fn bench_cache(c: &mut Criterion) {
     let q = VqQuantizer::new(cfg).quantize(&w, 3).unwrap();
     let hist = AccessHistogram::profile(&q, 0);
     let book = q.codebooks().book(0, 0);
-    let placement = CachePlacement { n_reg: 8, n_shared: 128 };
+    let placement = CachePlacement {
+        n_reg: 8,
+        n_shared: 128,
+    };
     let cache = CodebookCache::load(book, &hist, placement);
 
     let mut g = c.benchmark_group("codebook_cache");

@@ -1,12 +1,23 @@
 //! Criterion: end-to-end pipeline evaluation throughput (one full Fig. 17
-//! generation projection per iteration).
+//! generation projection per iteration), through the `Session` facade.
+//!
+//! Two variants per scheme demonstrate the plan cache on the decode hot
+//! path:
+//!
+//! * `cold`: a fresh `Pipeline` (fresh cache) every iteration — every
+//!   decode-step op re-runs Alg. 2, once per (algo, op) key per iteration;
+//! * `warm`: the session's shared cache — each op is planned exactly once
+//!   across *all* iterations and served from the cache afterwards.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vqllm_gpu::GpuSpec;
-use vqllm_llm::{LlamaConfig, Pipeline, QuantScheme};
+use vq_llm::{GpuSpec, Pipeline, QuantScheme, Session};
 
 fn bench_e2e(c: &mut Criterion) {
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session");
     let mut g = c.benchmark_group("e2e");
     g.sample_size(10);
     for (name, scheme) in [
@@ -15,12 +26,51 @@ fn bench_e2e(c: &mut Criterion) {
         ("vqllm4", QuantScheme::vq_llm_4bit()),
         ("vqllm2", QuantScheme::vq_llm_2bit()),
     ] {
-        g.bench_with_input(BenchmarkId::new("llama7b-gen256", name), &scheme, |b, scheme| {
-            let p = Pipeline::new(GpuSpec::rtx4090(), LlamaConfig::llama_7b(), *scheme);
-            b.iter(|| black_box(p.generate(1024, 256, 16)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("llama7b-gen256-cold", name),
+            &scheme,
+            |b, scheme| {
+                b.iter(|| {
+                    // Fresh pipeline, fresh cache: re-plans every key.
+                    let p = Pipeline::new(GpuSpec::rtx4090(), session.model(), *scheme);
+                    black_box(p.generate(1024, 256, 16))
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("llama7b-gen256-warm", name),
+            &scheme,
+            |b, scheme| {
+                let p = session.pipeline(*scheme);
+                b.iter(|| black_box(p.generate(1024, 256, 16)));
+            },
+        );
     }
     g.finish();
+
+    // The cache's core claim, asserted: after the warm runs above, another
+    // full generation plans *nothing* — every decode-step op of every VQ
+    // scheme was planned once per (algo, op) key, not once per layer or
+    // per iteration.
+    let before = session.cache_stats();
+    session
+        .pipeline(QuantScheme::vq_llm_4bit())
+        .generate(1024, 256, 16);
+    session
+        .pipeline(QuantScheme::vq_llm_2bit())
+        .generate(1024, 256, 16);
+    let after = session.cache_stats();
+    assert_eq!(
+        after.misses, before.misses,
+        "warm pipelines must not re-plan"
+    );
+    println!(
+        "plan cache: {} unique (algo, op) keys planned once; {} total lookups, \
+         {:.1}% hit rate",
+        session.plan_cache().len(),
+        after.hits + after.misses,
+        after.hit_rate() * 100.0
+    );
 }
 
 criterion_group!(benches, bench_e2e);

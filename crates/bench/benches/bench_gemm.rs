@@ -13,20 +13,28 @@ use vqllm_vq::{VqAlgorithm, VqQuantizer};
 fn bench_gemm(c: &mut Criterion) {
     let gpu = GpuSpec::rtx4090();
     let planner = KernelPlanner::new(gpu.clone());
-    let op = ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 };
+    let op = ComputeOp::Gemm {
+        m: 2048,
+        n: 11008,
+        k: 4096,
+    };
 
     let mut g = c.benchmark_group("gemm");
     for algo in VqAlgorithm::WEIGHT {
         let vq = algo.config();
         let profile = AccessProfile::default_for(&vq);
-        g.bench_with_input(BenchmarkId::new("plan+estimate", algo.name()), &vq, |b, vq| {
-            b.iter(|| {
-                let plan = planner
-                    .plan_at(vq, &op, OptLevel::O4, &ProfileSummary::default_for(vq))
-                    .unwrap();
-                black_box(vq_kernel::estimate(&gpu, &plan, &profile))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("plan+estimate", algo.name()),
+            &vq,
+            |b, vq| {
+                b.iter(|| {
+                    let plan = planner
+                        .plan_at(vq, &op, OptLevel::O4, &ProfileSummary::default_for(vq))
+                        .unwrap();
+                    black_box(vq_kernel::estimate(&gpu, &plan, &profile))
+                });
+            },
+        );
         g.bench_with_input(BenchmarkId::new("best_plan", algo.name()), &vq, |b, vq| {
             b.iter(|| black_box(vq_kernel::best_plan(&gpu, vq, &op, &profile).unwrap()));
         });
@@ -37,9 +45,18 @@ fn bench_gemm(c: &mut Criterion) {
     let w = synth::correlated_channels(64, 64, 4, 0.9, 3);
     let wq = VqQuantizer::new(cfg).quantize(&w, 1).unwrap();
     let a = synth::gaussian(16, 64, 1.0, 5);
-    let small = ComputeOp::Gemm { m: 16, n: 64, k: 64 };
+    let small = ComputeOp::Gemm {
+        m: 16,
+        n: 64,
+        k: 64,
+    };
     let plan = planner
-        .plan_at(&cfg, &small, OptLevel::O4, &ProfileSummary::default_for(&cfg))
+        .plan_at(
+            &cfg,
+            &small,
+            OptLevel::O4,
+            &ProfileSummary::default_for(&cfg),
+        )
         .unwrap();
     g.bench_function("functional 16x64x64", |b| {
         b.iter(|| vq_kernel::run_gemm(&gpu, &plan, black_box(&a), black_box(&wq)).unwrap());

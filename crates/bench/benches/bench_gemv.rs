@@ -11,20 +11,28 @@ use vqllm_vq::VqAlgorithm;
 fn bench_gemv(c: &mut Criterion) {
     let gpu = GpuSpec::rtx4090();
     let planner = KernelPlanner::new(gpu.clone());
-    let op = ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 };
+    let op = ComputeOp::Gemv {
+        n: 11008,
+        k: 4096,
+        batch: 1,
+    };
 
     let mut g = c.benchmark_group("gemv");
     for level in OptLevel::ALL {
         let vq = VqAlgorithm::Aqlm3.config();
         let profile = AccessProfile::default_for(&vq);
-        g.bench_with_input(BenchmarkId::new("aqlm3-estimate", level.name()), &level, |b, &level| {
-            b.iter(|| {
-                let plan = planner
-                    .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
-                    .unwrap();
-                black_box(vq_kernel::estimate(&gpu, &plan, &profile))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("aqlm3-estimate", level.name()),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let plan = planner
+                        .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
+                        .unwrap();
+                    black_box(vq_kernel::estimate(&gpu, &plan, &profile))
+                });
+            },
+        );
     }
     g.bench_function("fp16-baseline", |b| {
         b.iter(|| black_box(fp16::gemv(&gpu, 11008, 4096, 1)));

@@ -13,9 +13,18 @@ fn bench_quantize(c: &mut Criterion) {
     let w = synth::correlated_channels(128, 256, 4, 0.9, 42);
 
     for (name, cfg) in [
-        ("vq<4,6,1>", VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap()),
-        ("vq<4,8,1>", VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap()),
-        ("vq<8,8,2>", VqConfig::new(8, 256, 2, CodebookScope::PerTensor).unwrap()),
+        (
+            "vq<4,6,1>",
+            VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap(),
+        ),
+        (
+            "vq<4,8,1>",
+            VqConfig::new(4, 256, 1, CodebookScope::PerTensor).unwrap(),
+        ),
+        (
+            "vq<8,8,2>",
+            VqConfig::new(8, 256, 2, CodebookScope::PerTensor).unwrap(),
+        ),
         (
             "vq<4,6,1>-tiled",
             VqConfig::new(4, 64, 1, CodebookScope::PerTile { rows: 64, cols: 64 }).unwrap(),

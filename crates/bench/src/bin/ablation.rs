@@ -23,7 +23,10 @@ use vqllm_kernels::{vq_kernel, AccessProfile};
 use vqllm_vq::VqAlgorithm;
 
 fn main() {
-    let mut r = Report::new("ablation", "Sensitivity studies for each adaptive heuristic");
+    let mut r = Report::new(
+        "ablation",
+        "Sensitivity studies for each adaptive heuristic",
+    );
     let gpu = GpuSpec::rtx4090();
 
     // --- 1. Split factor ---
@@ -33,7 +36,11 @@ fn main() {
     let best = optimal_split_factor(cb_traffic, output, 64);
     for split in [1usize, 2, 4, 8, 16, 32, 44, 64] {
         let total = cb_traffic / split as f64 + split as f64 * output;
-        let marker = if split == best { "  <- chosen optimum" } else { "" };
+        let marker = if split == best {
+            "  <- chosen optimum"
+        } else {
+            ""
+        };
         r.line(format!(
             "split {split:3}: codebook {} + reduce {} = {}{marker}",
             fmt_bytes(cb_traffic / split as f64),
@@ -89,7 +96,10 @@ fn main() {
     let aqlm = VqAlgorithm::Aqlm3.config();
     let aprofile = AccessProfile::default_for(&aqlm);
     for n_reg in [0usize, 4, 8, 16, 32, 64] {
-        let placement = CachePlacement { n_reg, n_shared: 2048 };
+        let placement = CachePlacement {
+            n_reg,
+            n_shared: 2048,
+        };
         let cost = model_codebook_access(
             &aprofile,
             &placement,
@@ -106,7 +116,10 @@ fn main() {
     }
     let no_reg = model_codebook_access(
         &aprofile,
-        &CachePlacement { n_reg: 0, n_shared: 2048 },
+        &CachePlacement {
+            n_reg: 0,
+            n_shared: 2048,
+        },
         32,
         &gpu,
         256,
@@ -114,7 +127,10 @@ fn main() {
     );
     let with_reg = model_codebook_access(
         &aprofile,
-        &CachePlacement { n_reg: 32, n_shared: 2048 },
+        &CachePlacement {
+            n_reg: 32,
+            n_shared: 2048,
+        },
         32,
         &gpu,
         256,
@@ -147,7 +163,11 @@ fn main() {
     let shared_when_costly = matches!(choose_fusion(8, 1), FusionLevel::Shared);
     r.line(format!(
         "[{}] threshold keeps register fusion only while shuffles < 5",
-        if reg_when_cheap && shared_when_costly { "MATCH" } else { "DEVIATION" }
+        if reg_when_cheap && shared_when_costly {
+            "MATCH"
+        } else {
+            "DEVIATION"
+        }
     ));
 
     r.finish();

@@ -1,26 +1,47 @@
 //! Scratch harness for inspecting per-kernel latency breakdowns while
-//! calibrating the performance model.
+//! calibrating the performance model, driven through one `Session` per
+//! device.
 
-use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vqllm_gpu::GpuSpec;
-use vqllm_kernels::{elementwise, fp16, vq_kernel, AccessProfile};
-use vqllm_llm::{LlamaConfig, Pipeline, QuantScheme};
-use vqllm_vq::VqAlgorithm;
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, QuantScheme, Session, VqAlgorithm};
+use vqllm_kernels::{elementwise, fp16};
 
 fn main() {
     for gpu in [GpuSpec::rtx4090(), GpuSpec::a40()] {
         println!("=== {} ===", gpu);
-        let planner = KernelPlanner::new(gpu.clone());
+        let session = Session::builder()
+            .gpu(gpu.clone())
+            .build()
+            .expect("valid session");
 
         for (name, algo, op) in [
-            ("GeMV 4096x4096 QuiP#-4", VqAlgorithm::QuipSharp4, ComputeOp::Gemv { n: 4096, k: 4096, batch: 16 }),
-            ("GeMV 11008x4096 QuiP#-4", VqAlgorithm::QuipSharp4, ComputeOp::Gemv { n: 11008, k: 4096, batch: 16 }),
-            ("Attn 1152 bs16 CQ-4", VqAlgorithm::Cq4, ComputeOp::attention_decode(32, 128, 1152, 16)),
+            (
+                "GeMV 4096x4096 QuiP#-4",
+                VqAlgorithm::QuipSharp4,
+                ComputeOp::Gemv {
+                    n: 4096,
+                    k: 4096,
+                    batch: 16,
+                },
+            ),
+            (
+                "GeMV 11008x4096 QuiP#-4",
+                VqAlgorithm::QuipSharp4,
+                ComputeOp::Gemv {
+                    n: 11008,
+                    k: 4096,
+                    batch: 16,
+                },
+            ),
+            (
+                "Attn 1152 bs16 CQ-4",
+                VqAlgorithm::Cq4,
+                ComputeOp::attention_decode(32, 128, 1152, 16),
+            ),
         ] {
             let vq = algo.config();
-            for level in [OptLevel::Gc, OptLevel::Sc, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4] {
-                let plan = planner.plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq)).unwrap();
-                let out = vq_kernel::estimate(&gpu, &plan, &AccessProfile::default_for(&vq));
+            for level in OptLevel::ALL {
+                let plan = session.plan_at(&vq, &op, level).unwrap();
+                let out = session.estimate(&plan);
                 println!(
                     "{name} {level}: {:8.1} us | dram {:8.1} compute {:8.1} int {:8.1} smem {:8.1} | occ {} grid {}",
                     out.us(), out.latency.dram_us, out.latency.compute_us, out.latency.int_us, out.latency.smem_us,
@@ -28,17 +49,41 @@ fn main() {
                 );
             }
         }
-        println!("FP16 GeMV 4096: {:.1} us", fp16::gemv(&gpu, 4096, 4096, 16).us());
-        println!("FP16 attn 1152 bs16: {:.1} us", fp16::attention(&gpu, fp16::AttnBaseline::FlashDecoding, 16, 32, 128, 1152).us());
-        println!("AWQ GeMV 4096: {:.1} us", elementwise::awq_gemv(&gpu, 4096, 4096, 16).us());
-        println!("QoQ attn 1152 bs16: {:.1} us", elementwise::qoq_attention(&gpu, 16, 32, 128, 1152).us());
+        println!(
+            "FP16 GeMV 4096: {:.1} us",
+            fp16::gemv(&gpu, 4096, 4096, 16).us()
+        );
+        println!(
+            "FP16 attn 1152 bs16: {:.1} us",
+            fp16::attention(&gpu, fp16::AttnBaseline::FlashDecoding, 16, 32, 128, 1152).us()
+        );
+        println!(
+            "AWQ GeMV 4096: {:.1} us",
+            elementwise::awq_gemv(&gpu, 4096, 4096, 16).us()
+        );
+        println!(
+            "QoQ attn 1152 bs16: {:.1} us",
+            elementwise::qoq_attention(&gpu, 16, 32, 128, 1152).us()
+        );
 
-        for scheme in [QuantScheme::Fp16, QuantScheme::QServe4, QuantScheme::vq_llm_4bit(), QuantScheme::vq_llm_2bit()] {
-            let r = Pipeline::new(gpu.clone(), LlamaConfig::llama_7b(), scheme).generate(1024, 256, 16);
+        for scheme in [
+            QuantScheme::Fp16,
+            QuantScheme::QServe4,
+            QuantScheme::vq_llm_4bit(),
+            QuantScheme::vq_llm_2bit(),
+        ] {
+            let r = session.pipeline(scheme).generate(1024, 256, 16);
             println!(
                 "E2E {:24} prefill {:8.1} ms decode {:8.1} ms | step: lin {:7.1} attn {:7.1} elem {:6.1} us",
                 r.scheme, r.prefill_ms, r.decode_ms, r.step.linear_us, r.step.attention_us, r.step.elementwise_us
             );
         }
+        let stats = session.cache_stats();
+        println!(
+            "plan cache: {} plans, {} hits / {} misses",
+            session.plan_cache().len(),
+            stats.hits,
+            stats.misses
+        );
     }
 }

@@ -37,13 +37,18 @@ fn main() {
 
     // VQ: 16 entries over 2-D vectors → the same 4 bits per point.
     let cfg = VqConfig::new(2, 16, 1, CodebookScope::PerTensor).expect("valid config");
-    let q = VqQuantizer::new(cfg).quantize(&points, 7).expect("quantize");
+    let q = VqQuantizer::new(cfg)
+        .quantize(&points, 7)
+        .expect("quantize");
     let vq_mse = metrics::mse_tensor(&points, &q.dequantize().expect("dequantize"));
 
-    r.line("points: 8192 correlated 2-D samples (ρ=0.85, 2% outliers)".to_string());
+    r.line("points: 8192 correlated 2-D samples (ρ=0.85, 2% outliers)");
     r.line(format!("element-wise 2-bit grid   MSE = {ew_mse:.3e}"));
     r.line(format!("VQ<2,4,1> (16 entries)    MSE = {vq_mse:.3e}"));
-    r.line(format!("VQ / element-wise ratio   = {:.2}", vq_mse / ew_mse));
+    r.line(format!(
+        "VQ / element-wise ratio   = {:.2}",
+        vq_mse / ew_mse
+    ));
     r.blank();
     r.line("Paper: element-wise 5.2e-3 vs VQ 3.2e-3 (ratio 0.62).");
     r.line(format!(

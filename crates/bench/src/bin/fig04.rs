@@ -25,15 +25,27 @@ fn main() {
     let prof = ProfileSummary::default_for(&vq);
 
     let fp = fp16::attention(&gpu, AttnBaseline::FlashDecoding, 1, 32, 128, 1024);
-    let gc_plan = planner.plan_at(&vq, &op, OptLevel::Gc, &prof).expect("plan GC");
-    let sc_plan = planner.plan_at(&vq, &op, OptLevel::Sc, &prof).expect("plan SC");
+    let gc_plan = planner
+        .plan_at(&vq, &op, OptLevel::Gc, &prof)
+        .expect("plan GC");
+    let sc_plan = planner
+        .plan_at(&vq, &op, OptLevel::Sc, &prof)
+        .expect("plan SC");
     let gc = vq_kernel::estimate(&gpu, &gc_plan, &profile);
     let sc = vq_kernel::estimate(&gpu, &sc_plan, &profile);
 
     r.section("(left) latency relative to FP16-attn");
     r.line(format!("FP16-attn   {}  (1.00x)", fmt_us(fp.us())));
-    r.line(format!("VQ-attn-GC  {}  ({:.2}x)", fmt_us(gc.us()), gc.us() / fp.us()));
-    r.line(format!("VQ-attn-SC  {}  ({:.2}x)", fmt_us(sc.us()), sc.us() / fp.us()));
+    r.line(format!(
+        "VQ-attn-GC  {}  ({:.2}x)",
+        fmt_us(gc.us()),
+        gc.us() / fp.us()
+    ));
+    r.line(format!(
+        "VQ-attn-SC  {}  ({:.2}x)",
+        fmt_us(sc.us()),
+        sc.us() / fp.us()
+    ));
     r.line("Paper: GC ≈ 2.3x, SC ≈ 1.4x, both slower than FP16 despite the 8x");
     r.line("memory reduction.");
 
@@ -48,8 +60,12 @@ fn main() {
     };
     let g2s = sc.counters.global_to_shared_bytes / fp.counters.global_to_shared_bytes;
     let s2r = sc.counters.shared_reg_traffic() / fp.counters.shared_reg_traffic();
-    r.line(format!("SM utilization      {sm_util:6.2}x   (paper: > 30% drop, i.e. < 0.7)"));
-    r.line(format!("Shared usage        {smem_usage:6.2}x   (paper: ~4-5x)"));
+    r.line(format!(
+        "SM utilization      {sm_util:6.2}x   (paper: > 30% drop, i.e. < 0.7)"
+    ));
+    r.line(format!(
+        "Shared usage        {smem_usage:6.2}x   (paper: ~4-5x)"
+    ));
     r.line(format!(
         "Bank conflicts      {}   (paper: enormous — FP16 has none)",
         if conflicts.is_infinite() {
@@ -58,11 +74,18 @@ fn main() {
             format!("{conflicts:6.2}x")
         }
     ));
-    r.line(format!("Global→Shared       {g2s:6.2}x   (paper: > 1, counterintuitively)"));
-    r.line(format!("Shared→Reg          {s2r:6.2}x   (paper: ~2x from the V-cache round-trip)"));
+    r.line(format!(
+        "Global→Shared       {g2s:6.2}x   (paper: > 1, counterintuitively)"
+    ));
+    r.line(format!(
+        "Shared→Reg          {s2r:6.2}x   (paper: ~2x from the V-cache round-trip)"
+    ));
 
     r.section("claims checked");
-    r.line(claim("GC and SC both slower than FP16", gc.us() > fp.us() && sc.us() > fp.us()));
+    r.line(claim(
+        "GC and SC both slower than FP16",
+        gc.us() > fp.us() && sc.us() > fp.us(),
+    ));
     r.line(claim("SC outperforms GC", sc.us() < gc.us()));
     r.line(claim("SC drops SM utilization > 30%", sm_util < 0.7));
     r.line(claim("SC Global→Shared exceeds FP16", g2s > 1.0));

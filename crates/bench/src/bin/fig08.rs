@@ -28,8 +28,13 @@ fn main() {
     let total = hist.counts().len();
 
     r.line(format!("entries: {total}, accesses: {}", hist.total()));
-    r.line(format!("µ = {mean:.2}, σ = {:.2}, µ+3σ = {hot_thresh:.2}", hist.std_dev()));
-    r.line(format!("hot entries (> µ+3σ): {num_hot}   (paper: 15-30 for AQLM-3)"));
+    r.line(format!(
+        "µ = {mean:.2}, σ = {:.2}, µ+3σ = {hot_thresh:.2}",
+        hist.std_dev()
+    ));
+    r.line(format!(
+        "hot entries (> µ+3σ): {num_hot}   (paper: 15-30 for AQLM-3)"
+    ));
     r.line(format!(
         "entries at/below µ: {num_cold} = {:.0}%   (paper: 'over half')",
         num_cold as f64 * 100.0 / total as f64
@@ -42,16 +47,26 @@ fn main() {
     for (i, &c) in counts.iter().take(32).enumerate() {
         r.line(format!("rank {i:4}: {c:6} {}", bar(c as f64, max, 48)));
     }
-    r.line(format!("...          µ ≈ {mean:.1}, µ+3σ ≈ {hot_thresh:.1}"));
+    r.line(format!(
+        "...          µ ≈ {mean:.1}, µ+3σ ≈ {hot_thresh:.1}"
+    ));
 
     r.section("claims checked");
     r.line(format!(
         "[{}] a small hot set exists (1 ≤ hot ≤ 64)",
-        if (1..=64).contains(&num_hot) { "MATCH" } else { "DEVIATION" }
+        if (1..=64).contains(&num_hot) {
+            "MATCH"
+        } else {
+            "DEVIATION"
+        }
     ));
     r.line(format!(
         "[{}] at least 40% of entries sit at/below the mean",
-        if num_cold * 5 >= total * 2 { "MATCH" } else { "DEVIATION" }
+        if num_cold * 5 >= total * 2 {
+            "MATCH"
+        } else {
+            "DEVIATION"
+        }
     ));
     r.finish();
 }

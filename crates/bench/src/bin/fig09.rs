@@ -22,8 +22,12 @@ fn main() {
     let matrix = BlockAccessMatrix::profile(&q, 0, blocks);
     let consistency = matrix.cross_block_consistency();
 
-    r.line(format!("tensor split into {blocks} row-band blocks, 256 entries"));
-    r.line(format!("mean pairwise correlation of per-block histograms: {consistency:.3}"));
+    r.line(format!(
+        "tensor split into {blocks} row-band blocks, 256 entries"
+    ));
+    r.line(format!(
+        "mean pairwise correlation of per-block histograms: {consistency:.3}"
+    ));
     r.blank();
 
     // Render: rows = blocks, columns = the 48 globally-hottest entries,
@@ -36,7 +40,13 @@ fn main() {
         let row: String = order
             .iter()
             .take(48)
-            .map(|&id| if h.counts()[id as usize] as f64 > mean { '#' } else { '.' })
+            .map(|&id| {
+                if h.counts()[id as usize] as f64 > mean {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         r.line(format!("block {b:2}: {row}"));
     }
@@ -45,7 +55,11 @@ fn main() {
     r.line("matching the paper's white lines and supporting tensor-level reorder.");
     r.line(format!(
         "[{}] cross-block consistency > 0.4",
-        if consistency > 0.4 { "MATCH" } else { "DEVIATION" }
+        if consistency > 0.4 {
+            "MATCH"
+        } else {
+            "DEVIATION"
+        }
     ));
     r.finish();
 }

@@ -15,11 +15,19 @@ fn main() {
     let gpu = GpuSpec::rtx4090();
 
     for (name, threads, regs, smem_data) in [
-        ("OP A (GeMM-like, 256 thr)", 256usize, 64usize, 32 * 1024usize),
+        (
+            "OP A (GeMM-like, 256 thr)",
+            256usize,
+            64usize,
+            32 * 1024usize,
+        ),
         ("OP B (attention-like, 128 thr)", 128, 48, 16 * 1024),
     ] {
         r.section(name);
-        r.line(format!("{:>12} {:>10} {:>10}", "smem (KB)", "blocks/SM", "occupancy"));
+        r.line(format!(
+            "{:>12} {:>10} {:>10}",
+            "smem (KB)", "blocks/SM", "occupancy"
+        ));
         for smem_kb in [0usize, 16, 32, 48, 64, 80, 96] {
             let occ = Occupancy::analyze(&gpu, &BlockResources::new(threads, regs, smem_kb * 1024));
             r.line(format!(
@@ -29,7 +37,10 @@ fn main() {
                 occ.occupancy * 100.0
             ));
         }
-        r.line(format!("{:>12} {:>10} {:>10}", "regs/thread", "blocks/SM", "occupancy"));
+        r.line(format!(
+            "{:>12} {:>10} {:>10}",
+            "regs/thread", "blocks/SM", "occupancy"
+        ));
         for regs_t in [32usize, 64, 96, 128, 160, 192] {
             let occ = Occupancy::analyze(&gpu, &BlockResources::new(threads, regs_t, smem_data));
             r.line(format!(

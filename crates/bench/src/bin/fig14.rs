@@ -5,39 +5,59 @@
 //! shared caching), O2 (+register caching), O3 (+codebook-centric
 //! dataflow), O4 (+hierarchical fusion).
 
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 use vqllm_bench::{fmt_us, Report};
-use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vqllm_gpu::GpuSpec;
-use vqllm_kernels::{vq_kernel, AccessProfile};
-use vqllm_vq::VqAlgorithm;
 
-fn ladder(gpu: &GpuSpec, algo: VqAlgorithm, op: ComputeOp) -> Vec<(OptLevel, f64)> {
+fn ladder(s: &Session, algo: VqAlgorithm, op: ComputeOp) -> Vec<(OptLevel, f64)> {
     let vq = algo.config();
-    let profile = AccessProfile::default_for(&vq);
-    let planner = KernelPlanner::new(gpu.clone());
     OptLevel::ALL
         .iter()
         .map(|&level| {
-            let plan = planner
-                .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
-                .expect("plan");
-            (level, vq_kernel::estimate(gpu, &plan, &profile).us())
+            let plan = s.plan_at(&vq, &op, level).expect("plan");
+            (level, s.estimate(&plan).us())
         })
         .collect()
 }
 
 fn main() {
-    let mut r = Report::new("fig14", "Optimization breakdown, GeMM & GeMV (paper Fig. 14)");
-    let gpu = GpuSpec::rtx4090();
+    let mut r = Report::new(
+        "fig14",
+        "Optimization breakdown, GeMM & GeMV (paper Fig. 14)",
+    );
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session");
 
     for (kind, op) in [
-        ("GeMM 2048x11008x4096", ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 }),
-        ("GeMV 11008x4096 BS1", ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 }),
-        ("GeMV 11008x4096 BS16", ComputeOp::Gemv { n: 11008, k: 4096, batch: 16 }),
+        (
+            "GeMM 2048x11008x4096",
+            ComputeOp::Gemm {
+                m: 2048,
+                n: 11008,
+                k: 4096,
+            },
+        ),
+        (
+            "GeMV 11008x4096 BS1",
+            ComputeOp::Gemv {
+                n: 11008,
+                k: 4096,
+                batch: 1,
+            },
+        ),
+        (
+            "GeMV 11008x4096 BS16",
+            ComputeOp::Gemv {
+                n: 11008,
+                k: 4096,
+                batch: 16,
+            },
+        ),
     ] {
         r.section(kind);
         for algo in VqAlgorithm::WEIGHT {
-            let lad = ladder(&gpu, algo, op);
+            let lad = ladder(&session, algo, op);
             let row: Vec<String> = lad
                 .iter()
                 .map(|(l, us)| format!("{l} {}", fmt_us(*us).trim()))
@@ -47,12 +67,18 @@ fn main() {
     }
 
     r.section("paper-shape checks (GeMM)");
-    let gemm = ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 };
-    let quip = ladder(&gpu, VqAlgorithm::QuipSharp4, gemm);
-    let get = |lad: &[(OptLevel, f64)], l: OptLevel| lad.iter().find(|(x, _)| *x == l).expect("level").1;
+    let gemm = ComputeOp::Gemm {
+        m: 2048,
+        n: 11008,
+        k: 4096,
+    };
+    let quip = ladder(&session, VqAlgorithm::QuipSharp4, gemm);
+    let get =
+        |lad: &[(OptLevel, f64)], l: OptLevel| lad.iter().find(|(x, _)| *x == l).expect("level").1;
     r.line(check(
         "QuiP#: SC ≈ O1 (2 KB codebook fits either way)",
-        (get(&quip, OptLevel::Sc) - get(&quip, OptLevel::O1)).abs() / get(&quip, OptLevel::O1) < 0.1,
+        (get(&quip, OptLevel::Sc) - get(&quip, OptLevel::O1)).abs() / get(&quip, OptLevel::O1)
+            < 0.1,
     ));
     r.line(check(
         "QuiP#: O3 regresses GeMM (residual split → redundant compute)",
@@ -62,20 +88,24 @@ fn main() {
         "QuiP#: O4 recovers from O3 via register fusion",
         get(&quip, OptLevel::O4) <= get(&quip, OptLevel::O3),
     ));
-    let aqlm = ladder(&gpu, VqAlgorithm::Aqlm3, gemm);
+    let aqlm = ladder(&session, VqAlgorithm::Aqlm3, gemm);
     r.line(check(
         "AQLM: O2 register caching helps (15-30 hot entries)",
         get(&aqlm, OptLevel::O2) < get(&aqlm, OptLevel::O1),
     ));
 
     r.section("paper-shape checks (GeMV)");
-    let gemv = ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 };
-    let aqlm_v = ladder(&gpu, VqAlgorithm::Aqlm3, gemv);
+    let gemv = ComputeOp::Gemv {
+        n: 11008,
+        k: 4096,
+        batch: 1,
+    };
+    let aqlm_v = ladder(&session, VqAlgorithm::Aqlm3, gemv);
     r.line(check(
         "AQLM GeMV: O3 helps (small output, cheap reduction)",
         get(&aqlm_v, OptLevel::O3) < get(&aqlm_v, OptLevel::O2) * 1.02,
     ));
-    let quip_v = ladder(&gpu, VqAlgorithm::QuipSharp4, gemv);
+    let quip_v = ladder(&session, VqAlgorithm::QuipSharp4, gemv);
     r.line(check(
         "QuiP# GeMV: O4 does not shuffle (7 ≥ threshold → shared fusion)",
         (get(&quip_v, OptLevel::O4) - get(&quip_v, OptLevel::O3)).abs()

@@ -2,43 +2,38 @@
 //! across sequence length and batch; (right) CQ-4 latency relative to
 //! CQ-2 at the best level.
 
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 use vqllm_bench::{fmt_us, Report};
-use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vqllm_gpu::GpuSpec;
-use vqllm_kernels::{vq_kernel, AccessProfile};
-use vqllm_vq::VqAlgorithm;
 
-fn ladder(gpu: &GpuSpec, algo: VqAlgorithm, op: ComputeOp) -> Vec<(OptLevel, f64)> {
+fn ladder(s: &Session, algo: VqAlgorithm, op: ComputeOp) -> Vec<(OptLevel, f64)> {
     let vq = algo.config();
-    let profile = AccessProfile::default_for(&vq);
-    let planner = KernelPlanner::new(gpu.clone());
     OptLevel::ALL
         .iter()
         .map(|&level| {
-            let plan = planner
-                .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
-                .expect("plan");
-            (level, vq_kernel::estimate(gpu, &plan, &profile).us())
+            let plan = s.plan_at(&vq, &op, level).expect("plan");
+            (level, s.estimate(&plan).us())
         })
         .collect()
 }
 
-fn best(gpu: &GpuSpec, algo: VqAlgorithm, op: ComputeOp) -> f64 {
-    let vq = algo.config();
-    vq_kernel::best_plan(gpu, &vq, &op, &AccessProfile::default_for(&vq))
-        .expect("best plan")
-        .1
-        .us()
+fn best(s: &Session, algo: VqAlgorithm, op: ComputeOp) -> f64 {
+    s.best_plan(&algo.config(), &op).expect("best plan").1.us()
 }
 
 fn main() {
-    let mut r = Report::new("fig15", "Attention breakdown CQ-2 + CQ-4 relative (paper Fig. 15)");
-    let gpu = GpuSpec::rtx4090();
+    let mut r = Report::new(
+        "fig15",
+        "Attention breakdown CQ-2 + CQ-4 relative (paper Fig. 15)",
+    );
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session");
 
     r.section("(left) CQ-2 optimization ladder, Llama-7B attention decode");
     for (seq, batch) in [(1024usize, 1usize), (1024, 8), (4096, 1), (4096, 8)] {
         let op = ComputeOp::attention_decode(32, 128, seq, batch);
-        let lad = ladder(&gpu, VqAlgorithm::Cq2, op);
+        let lad = ladder(&session, VqAlgorithm::Cq2, op);
         let row: Vec<String> = lad
             .iter()
             .map(|(l, us)| format!("{l} {}", fmt_us(*us).trim()))
@@ -49,8 +44,8 @@ fn main() {
     r.section("(right) CQ-4 relative latency against CQ-2 (best level)");
     for (seq, batch) in [(1024usize, 1usize), (1024, 8), (4096, 1), (4096, 8)] {
         let op = ComputeOp::attention_decode(32, 128, seq, batch);
-        let cq2 = best(&gpu, VqAlgorithm::Cq2, op);
-        let cq4 = best(&gpu, VqAlgorithm::Cq4, op);
+        let cq2 = best(&session, VqAlgorithm::Cq2, op);
+        let cq4 = best(&session, VqAlgorithm::Cq4, op);
         r.line(format!(
             "{}k BS{batch}: CQ-2 {} CQ-4 {} → relative {:.2}",
             seq / 1024,
@@ -64,21 +59,33 @@ fn main() {
     // SC-vs-O1 at 4k BS8: with real parallel supply, SC's occupancy loss
     // shows (at 1k BS1 the grid is supply-limited either way).
     let op_big = ComputeOp::attention_decode(32, 128, 4096, 8);
-    let lad_big = ladder(&gpu, VqAlgorithm::Cq2, op_big);
+    let lad_big = ladder(&session, VqAlgorithm::Cq2, op_big);
     let get_big = |l: OptLevel| lad_big.iter().find(|(x, _)| *x == l).expect("level").1;
     let op = ComputeOp::attention_decode(32, 128, 1024, 1);
-    let lad = ladder(&gpu, VqAlgorithm::Cq2, op);
+    let lad = ladder(&session, VqAlgorithm::Cq2, op);
     let get = |l: OptLevel| lad.iter().find(|(x, _)| *x == l).expect("level").1;
     r.line(check(
         "SC hurts vs O1 at scale (large CQ codebooks kill occupancy)",
         get_big(OptLevel::Sc) > get_big(OptLevel::O1),
     ));
-    r.line(check("O3 gives the major dataflow win", get(OptLevel::O3) < get(OptLevel::O2) * 0.8));
-    r.line(check("O4 adds a minor further gain", get(OptLevel::O4) <= get(OptLevel::O3) * 1.02));
-    r.line(check("O2 is minor for CQ (few hot entries)", (get(OptLevel::O2) - get(OptLevel::O1)).abs() / get(OptLevel::O1) < 0.15));
-    let cq2 = best(&gpu, VqAlgorithm::Cq2, op);
-    let cq4 = best(&gpu, VqAlgorithm::Cq4, op);
-    r.line(check("CQ-4 lands within 2x of CQ-2 (similar optimization behaviour)", cq4 / cq2 < 2.0 && cq4 / cq2 > 0.8));
+    r.line(check(
+        "O3 gives the major dataflow win",
+        get(OptLevel::O3) < get(OptLevel::O2) * 0.8,
+    ));
+    r.line(check(
+        "O4 adds a minor further gain",
+        get(OptLevel::O4) <= get(OptLevel::O3) * 1.02,
+    ));
+    r.line(check(
+        "O2 is minor for CQ (few hot entries)",
+        (get(OptLevel::O2) - get(OptLevel::O1)).abs() / get(OptLevel::O1) < 0.15,
+    ));
+    let cq2 = best(&session, VqAlgorithm::Cq2, op);
+    let cq4 = best(&session, VqAlgorithm::Cq4, op);
+    r.line(check(
+        "CQ-4 lands within 2x of CQ-2 (similar optimization behaviour)",
+        cq4 / cq2 < 2.0 && cq4 / cq2 > 0.8,
+    ));
     r.finish();
 }
 

@@ -6,38 +6,43 @@
 //! repositories, which ship exactly this kind of unfused global-codebook
 //! kernel).
 
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 use vqllm_bench::{fmt_us, Report};
-use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vqllm_gpu::GpuSpec;
-use vqllm_kernels::{elementwise, fp16, vq_kernel, AccessProfile};
-use vqllm_vq::VqAlgorithm;
+use vqllm_kernels::{elementwise, fp16};
 
-fn vq_best(gpu: &GpuSpec, algo: VqAlgorithm, op: ComputeOp) -> f64 {
-    vq_kernel::best_plan(gpu, &algo.config(), &op, &AccessProfile::default_for(&algo.config()))
-        .expect("best plan")
-        .1
-        .us()
+fn vq_best(s: &Session, algo: VqAlgorithm, op: ComputeOp) -> f64 {
+    s.best_plan(&algo.config(), &op).expect("best plan").1.us()
 }
 
-fn vq_gc(gpu: &GpuSpec, algo: VqAlgorithm, op: ComputeOp) -> f64 {
-    let vq = algo.config();
-    let plan = KernelPlanner::new(gpu.clone())
-        .plan_at(&vq, &op, OptLevel::Gc, &ProfileSummary::default_for(&vq))
+fn vq_gc(s: &Session, algo: VqAlgorithm, op: ComputeOp) -> f64 {
+    let plan = s
+        .plan_at(&algo.config(), &op, OptLevel::Gc)
         .expect("GC plan");
-    vq_kernel::estimate(gpu, &plan, &AccessProfile::default_for(&vq)).us()
+    s.estimate(&plan).us()
 }
 
 fn main() {
-    let mut r = Report::new("fig16", "Comparison with element-wise quantization (paper Fig. 16)");
-    let gpu = GpuSpec::rtx4090();
+    let mut r = Report::new(
+        "fig16",
+        "Comparison with element-wise quantization (paper Fig. 16)",
+    );
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session");
+    let gpu = session.gpu().clone();
 
     r.section("GeMM 2048x11008x4096 (relative to AWQ-4)");
-    let gemm = ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 };
+    let gemm = ComputeOp::Gemm {
+        m: 2048,
+        n: 11008,
+        k: 4096,
+    };
     let awq = elementwise::awq_gemm(&gpu, 2048, 11008, 4096).us();
     let cutlass = fp16::gemm(&gpu, 2048, 11008, 4096).us();
-    let quip = vq_best(&gpu, VqAlgorithm::QuipSharp4, gemm);
-    let gptvq = vq_best(&gpu, VqAlgorithm::Gptvq2, gemm);
-    let quip_open = vq_gc(&gpu, VqAlgorithm::QuipSharp4, gemm);
+    let quip = vq_best(&session, VqAlgorithm::QuipSharp4, gemm);
+    let gptvq = vq_best(&session, VqAlgorithm::Gptvq2, gemm);
+    let quip_open = vq_gc(&session, VqAlgorithm::QuipSharp4, gemm);
     for (name, us) in [
         ("AWQ-4bit (qServe)", awq),
         ("cutlass-16", cutlass),
@@ -49,12 +54,16 @@ fn main() {
     }
 
     r.section("GeMV 11008x4096 BS16 (relative to AWQ-4)");
-    let gemv = ComputeOp::Gemv { n: 11008, k: 4096, batch: 16 };
+    let gemv = ComputeOp::Gemv {
+        n: 11008,
+        k: 4096,
+        batch: 16,
+    };
     let awq_v = elementwise::awq_gemv(&gpu, 11008, 4096, 16).us();
     let fp_v = fp16::gemv(&gpu, 11008, 4096, 16).us();
-    let quip_v = vq_best(&gpu, VqAlgorithm::QuipSharp4, gemv);
-    let gptvq_v = vq_best(&gpu, VqAlgorithm::Gptvq2, gemv);
-    let quip_v_open = vq_gc(&gpu, VqAlgorithm::QuipSharp4, gemv);
+    let quip_v = vq_best(&session, VqAlgorithm::QuipSharp4, gemv);
+    let gptvq_v = vq_best(&session, VqAlgorithm::Gptvq2, gemv);
+    let quip_v_open = vq_gc(&session, VqAlgorithm::QuipSharp4, gemv);
     for (name, us) in [
         ("AWQ-4bit (qServe)", awq_v),
         ("cutlass-16", fp_v),
@@ -62,15 +71,19 @@ fn main() {
         ("GPTVQ-2 (VQ-LLM)", gptvq_v),
         ("QuiP#-4 (open-source style GC)", quip_v_open),
     ] {
-        r.line(format!("{name:32} {} ({:5.2}x AWQ)", fmt_us(us), us / awq_v));
+        r.line(format!(
+            "{name:32} {} ({:5.2}x AWQ)",
+            fmt_us(us),
+            us / awq_v
+        ));
     }
 
     r.section("Attention decode BS1 seq 1k (relative to QoQ-4)");
     let attn = ComputeOp::attention_decode(32, 128, 1024, 1);
     let qoq = elementwise::qoq_attention(&gpu, 1, 32, 128, 1024).us();
     let flash = fp16::attention(&gpu, fp16::AttnBaseline::FlashDecoding, 1, 32, 128, 1024).us();
-    let cq4 = vq_best(&gpu, VqAlgorithm::Cq4, attn);
-    let cq2 = vq_best(&gpu, VqAlgorithm::Cq2, attn);
+    let cq4 = vq_best(&session, VqAlgorithm::Cq4, attn);
+    let cq2 = vq_best(&session, VqAlgorithm::Cq2, attn);
     for (name, us) in [
         ("QoQ-4bit (qServe)", qoq),
         ("Flash-16", flash),

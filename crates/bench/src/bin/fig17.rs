@@ -2,15 +2,23 @@
 //! accuracy proxy (right).
 //!
 //! Llama-7B, batch 16, prompt 1024, 256 generated tokens; RTX 4090 plus
-//! the bandwidth-constrained Tesla A40 for the 4-bit configuration.
+//! the bandwidth-constrained Tesla A40 for the 4-bit configuration. All
+//! pipelines run through one `Session` per device, so every decode-step
+//! kernel is planned once and served from the session's plan cache.
 
+use vq_llm::{GpuSpec, QuantScheme, Session};
 use vqllm_bench::Report;
-use vqllm_gpu::GpuSpec;
-use vqllm_llm::{AccuracyProxy, LlamaConfig, Pipeline, QuantScheme};
+use vqllm_llm::AccuracyProxy;
 
 fn main() {
-    let mut r = Report::new("fig17", "End-to-end speedup and accuracy proxy (paper Fig. 17)");
-    let model = LlamaConfig::llama_7b();
+    let mut r = Report::new(
+        "fig17",
+        "End-to-end speedup and accuracy proxy (paper Fig. 17)",
+    );
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session");
     let schemes = [
         QuantScheme::Fp16,
         QuantScheme::QServe4,
@@ -19,10 +27,10 @@ fn main() {
     ];
 
     r.section("(left) E2E latency and speedup, RTX 4090");
-    let base = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::Fp16).generate(1024, 256, 16);
+    let base = session.pipeline(QuantScheme::Fp16).generate(1024, 256, 16);
     let mut speedup_4bit = 0.0;
     for scheme in schemes {
-        let rep = Pipeline::new(GpuSpec::rtx4090(), model, scheme).generate(1024, 256, 16);
+        let rep = session.pipeline(scheme).generate(1024, 256, 16);
         let speedup = base.total_ms() / rep.total_ms();
         if scheme == QuantScheme::vq_llm_4bit() {
             speedup_4bit = speedup;
@@ -38,8 +46,14 @@ fn main() {
     }
 
     r.section("(left, cont.) VQ-LLM 4-bit on the Tesla A40");
-    let a40_base = Pipeline::new(GpuSpec::a40(), model, QuantScheme::Fp16).generate(1024, 256, 16);
-    let a40_vq = Pipeline::new(GpuSpec::a40(), model, QuantScheme::vq_llm_4bit()).generate(1024, 256, 16);
+    let a40 = Session::builder()
+        .gpu(GpuSpec::a40())
+        .build()
+        .expect("valid session");
+    let a40_base = a40.pipeline(QuantScheme::Fp16).generate(1024, 256, 16);
+    let a40_vq = a40
+        .pipeline(QuantScheme::vq_llm_4bit())
+        .generate(1024, 256, 16);
     let a40_speedup = a40_base.total_ms() / a40_vq.total_ms();
     r.line(format!(
         "A40: FP16 {:8.1} ms vs VQ-LLM-4 {:8.1} ms → speedup {a40_speedup:4.2}x",
@@ -54,7 +68,11 @@ fn main() {
 
     r.section("(right) arc-challenge accuracy proxy");
     let proxy = AccuracyProxy::default();
-    for scheme in [QuantScheme::Fp16, QuantScheme::QServe4, QuantScheme::vq_llm_4bit()] {
+    for scheme in [
+        QuantScheme::Fp16,
+        QuantScheme::QServe4,
+        QuantScheme::vq_llm_4bit(),
+    ] {
         let acc = proxy.evaluate(&scheme);
         r.line(format!(
             "{:26} weight nMSE {:8.4}  kv nMSE {:8.4}  accuracy {:5.2}%",
@@ -66,9 +84,15 @@ fn main() {
     }
 
     r.section("paper-shape checks");
-    let qserve = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::QServe4).generate(1024, 256, 16);
-    let v4 = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::vq_llm_4bit()).generate(1024, 256, 16);
-    let v2 = Pipeline::new(GpuSpec::rtx4090(), model, QuantScheme::vq_llm_2bit()).generate(1024, 256, 16);
+    let qserve = session
+        .pipeline(QuantScheme::QServe4)
+        .generate(1024, 256, 16);
+    let v4 = session
+        .pipeline(QuantScheme::vq_llm_4bit())
+        .generate(1024, 256, 16);
+    let v2 = session
+        .pipeline(QuantScheme::vq_llm_2bit())
+        .generate(1024, 256, 16);
     r.line(check(
         "VQ-LLM-4 ≈ qServe-4 (within 25%), both ≈ 2.2x over FP16",
         (v4.total_ms() / qserve.total_ms() - 1.0).abs() < 0.25 && speedup_4bit > 1.7,
@@ -83,6 +107,16 @@ fn main() {
     r.line(check(
         "VQ-LLM-4 accuracy above qServe-4 (paper: +2.5%)",
         acc_vq > acc_qs,
+    ));
+
+    let stats = session.cache_stats();
+    r.section("plan cache");
+    r.line(format!(
+        "4090 session: {} plans for {} lookups ({:.0}% hit rate — every repeated \
+         decode-step op served from cache)",
+        session.plan_cache().len(),
+        stats.hits + stats.misses,
+        stats.hit_rate() * 100.0
     ));
     r.finish();
 }

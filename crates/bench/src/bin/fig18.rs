@@ -9,7 +9,10 @@ use vqllm_kernels::{vq_kernel, AccessProfile};
 use vqllm_vq::VqAlgorithm;
 
 fn main() {
-    let mut r = Report::new("fig18", "Attention baselines vs VQ-LLM CQ-4 (paper Fig. 18)");
+    let mut r = Report::new(
+        "fig18",
+        "Attention baselines vs VQ-LLM CQ-4 (paper Fig. 18)",
+    );
     let gpu = GpuSpec::rtx4090();
     let vq = VqAlgorithm::Cq4.config();
     let profile = AccessProfile::default_for(&vq);
@@ -20,7 +23,10 @@ fn main() {
             r.section(&format!("seq {} BS{batch}", seq));
             let op = ComputeOp::attention_decode(32, 128, seq, batch);
             let (_, ours) = vq_kernel::best_plan(&gpu, &vq, &op, &profile).expect("best plan");
-            r.line(format!("VQ-LLM CQ-4          {} (1.00x)", fmt_us(ours.us())));
+            r.line(format!(
+                "VQ-LLM CQ-4          {} (1.00x)",
+                fmt_us(ours.us())
+            ));
             let mut best_fp16 = f64::INFINITY;
             for baseline in AttnBaseline::ALL {
                 let out = fp16::attention(&gpu, baseline, batch, 32, 128, seq);
@@ -44,7 +50,11 @@ fn main() {
     ));
     r.line(format!(
         "[{}] reduction in the 45-80% band with a 75% smaller KV footprint",
-        if (45.0..=80.0).contains(&best_reduction) { "MATCH" } else { "DEVIATION" }
+        if (45.0..=80.0).contains(&best_reduction) {
+            "MATCH"
+        } else {
+            "DEVIATION"
+        }
     ));
     r.finish();
 }

@@ -7,8 +7,8 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "tbl02", "tbl03", "tbl05", "fig02", "fig04", "fig08", "fig09", "fig10", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18",
+        "tbl02", "tbl03", "tbl05", "fig02", "fig04", "fig08", "fig09", "fig10", "fig13", "fig14",
+        "fig15", "fig16", "fig17", "fig18",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("bin dir");

@@ -6,7 +6,11 @@ use vqllm_vq::VqAlgorithm;
 
 fn main() {
     let mut r = Report::new("tbl03", "Reduce and codebook-switch axes (paper Tbl. III)");
-    let gemm = ComputeOp::Gemm { m: 2048, n: 4096, k: 4096 };
+    let gemm = ComputeOp::Gemm {
+        m: 2048,
+        n: 4096,
+        k: 4096,
+    };
     let attn = ComputeOp::attention_decode(32, 128, 1024, 1);
 
     r.section("Weight computations (GeMM / GeMV)");
@@ -29,7 +33,10 @@ fn main() {
     r.section("Attention (KV-cache computations)");
     for algo in VqAlgorithm::KV_CACHE {
         let scope = algo.config().scope;
-        for (name, operand) in [("K cache", AttnOperand::KCache), ("V cache", AttnOperand::VCache)] {
+        for (name, operand) in [
+            ("K cache", AttnOperand::KCache),
+            ("V cache", AttnOperand::VCache),
+        ] {
             r.line(format!(
                 "{:10} {:8} all {:?} reduce {:?} switch {:?} → global reduce on {:?}",
                 algo.name(),

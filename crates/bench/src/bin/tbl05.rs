@@ -9,9 +9,20 @@ use vqllm_vq::stats::AccessHistogram;
 use vqllm_vq::{VqAlgorithm, VqQuantizer};
 
 fn main() {
-    let mut r = Report::new("tbl05", "Factors that influence the optimizations (paper Tbl. V)");
-    let gemm = ComputeOp::Gemm { m: 2048, n: 4096, k: 4096 };
-    let gemv = ComputeOp::Gemv { n: 4096, k: 4096, batch: 1 };
+    let mut r = Report::new(
+        "tbl05",
+        "Factors that influence the optimizations (paper Tbl. V)",
+    );
+    let gemm = ComputeOp::Gemm {
+        m: 2048,
+        n: 4096,
+        k: 4096,
+    };
+    let gemv = ComputeOp::Gemv {
+        n: 4096,
+        k: 4096,
+        batch: 1,
+    };
     let attn = ComputeOp::attention_decode(32, 128, 1024, 1);
 
     r.line(format!(
@@ -20,7 +31,11 @@ fn main() {
     ));
     for algo in VqAlgorithm::ALL {
         let vq = algo.config();
-        let op = if algo.is_weight_algorithm() { gemm } else { attn };
+        let op = if algo.is_weight_algorithm() {
+            gemm
+        } else {
+            attn
+        };
         let tiling = baseline_tiling(&op, &vq);
         let cb_per_block = tiling.books_per_block * kernel_codebook_bytes(&vq);
 
@@ -30,9 +45,15 @@ fn main() {
         let out_desc = if algo.is_weight_algorithm() {
             let tg = baseline_tiling(&gemm, &vq).output_bytes_per_block;
             let tv = baseline_tiling(&gemv, &vq).output_bytes_per_block;
-            format!("{}/{}", fmt_bytes(tg as f64).trim(), fmt_bytes(tv as f64).trim())
+            format!(
+                "{}/{}",
+                fmt_bytes(tg as f64).trim(),
+                fmt_bytes(tv as f64).trim()
+            )
         } else {
-            fmt_bytes(tiling.output_bytes_per_block as f64).trim().to_string()
+            fmt_bytes(tiling.output_bytes_per_block as f64)
+                .trim()
+                .to_string()
         };
 
         let shuffles = if algo.is_weight_algorithm() {

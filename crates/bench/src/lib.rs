@@ -22,9 +22,15 @@ impl Report {
     /// Starts a report for experiment `id` (e.g. `"fig13"`).
     pub fn new(id: &str, title: &str) -> Self {
         let mut body = String::new();
-        let _ = writeln!(body, "================================================================");
+        let _ = writeln!(
+            body,
+            "================================================================"
+        );
         let _ = writeln!(body, "{id}: {title}");
-        let _ = writeln!(body, "================================================================");
+        let _ = writeln!(
+            body,
+            "================================================================"
+        );
         Report {
             id: id.to_string(),
             body,

@@ -49,7 +49,10 @@ pub struct CachePlacement {
 impl CachePlacement {
     /// Everything in global memory (the GC baseline).
     pub fn global_only() -> Self {
-        CachePlacement { n_reg: 0, n_shared: 0 }
+        CachePlacement {
+            n_reg: 0,
+            n_shared: 0,
+        }
     }
 
     /// Everything in shared memory (the greedy SC baseline), up to
@@ -74,7 +77,9 @@ impl CachePlacement {
         use_registers: bool,
     ) -> Self {
         let n_reg = if use_registers {
-            (reg_slack_bytes_per_thread / entry_bytes.max(1)).min(num_hot).min(stored)
+            (reg_slack_bytes_per_thread / entry_bytes.max(1))
+                .min(num_hot)
+                .min(stored)
         } else {
             0
         };
@@ -229,7 +234,8 @@ impl CodebookCache {
     /// materializing it.
     pub fn level_of(&self, old_logical_id: u32) -> CacheLevel {
         let old_stored = self.book.stored_id_of(old_logical_id);
-        self.placement.level_of(self.remap[old_stored as usize] as usize)
+        self.placement
+            .level_of(self.remap[old_stored as usize] as usize)
     }
 
     /// The reordered codebook (what a generated kernel embeds).
@@ -276,7 +282,10 @@ mod tests {
 
     #[test]
     fn placement_boundaries_partition() {
-        let p = CachePlacement { n_reg: 2, n_shared: 5 };
+        let p = CachePlacement {
+            n_reg: 2,
+            n_shared: 5,
+        };
         assert_eq!(p.level_of(0), CacheLevel::Register);
         assert_eq!(p.level_of(1), CacheLevel::Register);
         assert_eq!(p.level_of(2), CacheLevel::Shared);
@@ -307,7 +316,14 @@ mod tests {
     #[test]
     fn access_returns_same_values_as_uncached_book() {
         let b = book();
-        let cache = CodebookCache::load(&b, &hist(), CachePlacement { n_reg: 1, n_shared: 4 });
+        let cache = CodebookCache::load(
+            &b,
+            &hist(),
+            CachePlacement {
+                n_reg: 1,
+                n_shared: 4,
+            },
+        );
         let mut got = [0.0f32; 2];
         let mut want = [0.0f32; 2];
         for id in 0..8u32 {
@@ -319,7 +335,14 @@ mod tests {
 
     #[test]
     fn hottest_entry_is_register_resident() {
-        let cache = CodebookCache::load(&book(), &hist(), CachePlacement { n_reg: 1, n_shared: 4 });
+        let cache = CodebookCache::load(
+            &book(),
+            &hist(),
+            CachePlacement {
+                n_reg: 1,
+                n_shared: 4,
+            },
+        );
         // Entry 5 has the top count → new id 0 → register.
         assert_eq!(cache.level_of(5), CacheLevel::Register);
         // Entry 2 is second → shared.
@@ -343,7 +366,14 @@ mod tests {
         // 4 stored entries × 2 dims, lattice.
         let b = Codebook::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], 2, true).unwrap();
         let h = AccessHistogram::from_counts(vec![5, 100, 1, 2]);
-        let cache = CodebookCache::load(&b, &h, CachePlacement { n_reg: 1, n_shared: 2 });
+        let cache = CodebookCache::load(
+            &b,
+            &h,
+            CachePlacement {
+                n_reg: 1,
+                n_shared: 2,
+            },
+        );
         // Logical id: signs(0b01) << 2 | base 1 → entry [−3, 4].
         let mut got = [0.0f32; 2];
         let lvl = cache.access(0b01_01, &mut got);

@@ -159,7 +159,11 @@ mod tests {
     fn gemm_with_per_tensor_books_pays_redundant_compute() {
         // QuiP#-4 / AQLM-3 split the residual axis → compute replays per
         // residual (the §VII-C regression).
-        let op = ComputeOp::Gemm { m: 4096, n: 4096, k: 4096 };
+        let op = ComputeOp::Gemm {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        };
         let quip = VqAlgorithm::QuipSharp4.config();
         let plan = plan_dataflow(&op, &quip, None, 1e6, 64);
         assert!(plan.needs_global_reduce);
@@ -168,7 +172,11 @@ mod tests {
 
     #[test]
     fn gptvq_gemm_splits_without_redundancy() {
-        let op = ComputeOp::Gemm { m: 4096, n: 4096, k: 4096 };
+        let op = ComputeOp::Gemm {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        };
         let gptvq = VqAlgorithm::Gptvq2.config();
         let plan = plan_dataflow(&op, &gptvq, None, 1e6, 64);
         assert!(plan.needs_global_reduce, "M is switched and reduced");
@@ -198,8 +206,16 @@ mod tests {
 
     #[test]
     fn bigger_output_pulls_split_down() {
-        let small_out = ComputeOp::Gemv { n: 4096, k: 4096, batch: 1 };
-        let big_out = ComputeOp::Gemm { m: 4096, n: 4096, k: 4096 };
+        let small_out = ComputeOp::Gemv {
+            n: 4096,
+            k: 4096,
+            batch: 1,
+        };
+        let big_out = ComputeOp::Gemm {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        };
         let aqlm = VqAlgorithm::Aqlm3.config();
         let s_small = plan_dataflow(&small_out, &aqlm, None, 1e8, 4096).split_factor;
         let s_big = plan_dataflow(&big_out, &aqlm, None, 1e8, 4096).split_factor;

@@ -235,9 +235,7 @@ fn books_per_block_weight(vq: &VqConfig, k: usize, block_cols: usize) -> usize {
         CodebookScope::PerTile { rows, cols } => {
             (k.div_ceil(rows) * block_cols.div_ceil(cols).max(1)) * vq.residuals
         }
-        CodebookScope::PerChannelGroup { channels } => {
-            block_cols.div_ceil(channels) * vq.residuals
-        }
+        CodebookScope::PerChannelGroup { channels } => block_cols.div_ceil(channels) * vq.residuals,
     }
 }
 
@@ -361,7 +359,8 @@ impl KernelPlanner {
         let book_bytes = kernel_codebook_bytes(vq);
 
         // --- Dataflow (O3+) ---
-        let baseline_cb_traffic = tiling.grid_blocks as f64 * (tiling.books_per_block * book_bytes) as f64;
+        let baseline_cb_traffic =
+            tiling.grid_blocks as f64 * (tiling.books_per_block * book_bytes) as f64;
         let (dataflow, books_per_block) = if level >= OptLevel::O3 {
             let max_split = self.max_split(op, vq);
             let operand = match op {
@@ -380,7 +379,10 @@ impl KernelPlanner {
             let books = match vq.scope {
                 CodebookScope::PerTensor => 1,
                 // Splitting the switch axes divides the resident books.
-                _ => tiling.books_per_block.div_ceil(df.split_factor.max(1)).max(1),
+                _ => tiling
+                    .books_per_block
+                    .div_ceil(df.split_factor.max(1))
+                    .max(1),
             };
             (df, books)
         } else {
@@ -462,9 +464,14 @@ impl KernelPlanner {
             if level == OptLevel::Sc {
                 return Ok(plan); // kernels handle the degraded occupancy
             }
-            return Err(CoreError::Unplannable {
+            return Err(CoreError::Unplannable(Box::new(crate::Unplannable {
                 what: "block resources exceed device limits",
-            });
+                op: *op,
+                vq: *vq,
+                opt_level: level,
+                gpu: self.gpu.name.clone(),
+                resources: plan.block_resources(),
+            })));
         }
         Ok(plan)
     }
@@ -473,12 +480,14 @@ impl KernelPlanner {
     fn max_split(&self, op: &ComputeOp, vq: &VqConfig) -> usize {
         match (op, vq.scope) {
             (_, CodebookScope::PerTensor) => vq.residuals,
-            (ComputeOp::Gemm { k, .. } | ComputeOp::Gemv { k, .. }, CodebookScope::PerTile { rows, .. }) => {
-                k.div_ceil(rows).max(1)
-            }
-            (ComputeOp::AttentionDecode { head_dim, .. }, CodebookScope::PerChannelGroup { channels }) => {
-                head_dim.div_ceil(channels).max(1)
-            }
+            (
+                ComputeOp::Gemm { k, .. } | ComputeOp::Gemv { k, .. },
+                CodebookScope::PerTile { rows, .. },
+            ) => k.div_ceil(rows).max(1),
+            (
+                ComputeOp::AttentionDecode { head_dim, .. },
+                CodebookScope::PerChannelGroup { channels },
+            ) => head_dim.div_ceil(channels).max(1),
             _ => 1,
         }
     }
@@ -494,7 +503,11 @@ mod tests {
     }
 
     fn llama7b_gemm() -> ComputeOp {
-        ComputeOp::Gemm { m: 2048, n: 4096, k: 4096 }
+        ComputeOp::Gemm {
+            m: 2048,
+            n: 4096,
+            k: 4096,
+        }
     }
 
     fn llama7b_attn() -> ComputeOp {
@@ -523,8 +536,15 @@ mod tests {
     fn table_v_output_per_block() {
         let vq = VqAlgorithm::Gptvq2.config();
         // GeMM: 32 KB output per block; GeMV: < 1 KB.
-        assert_eq!(baseline_tiling(&llama7b_gemm(), &vq).output_bytes_per_block, 32 * 1024);
-        let gemv = ComputeOp::Gemv { n: 4096, k: 4096, batch: 1 };
+        assert_eq!(
+            baseline_tiling(&llama7b_gemm(), &vq).output_bytes_per_block,
+            32 * 1024
+        );
+        let gemv = ComputeOp::Gemv {
+            n: 4096,
+            k: 4096,
+            batch: 1,
+        };
         assert!(baseline_tiling(&gemv, &vq).output_bytes_per_block < 1024);
     }
 
@@ -533,11 +553,15 @@ mod tests {
         let vq = VqAlgorithm::Cq2.config();
         let p = planner();
         let prof = ProfileSummary::default_for(&vq);
-        let gc = p.plan_at(&vq, &llama7b_attn(), OptLevel::Gc, &prof).unwrap();
+        let gc = p
+            .plan_at(&vq, &llama7b_attn(), OptLevel::Gc, &prof)
+            .unwrap();
         assert_eq!(gc.placement, CachePlacement::global_only());
         assert_eq!(gc.smem_codebook_bytes, 0);
 
-        let sc = p.plan_at(&vq, &llama7b_attn(), OptLevel::Sc, &prof).unwrap();
+        let sc = p
+            .plan_at(&vq, &llama7b_attn(), OptLevel::Sc, &prof)
+            .unwrap();
         // SC caches all 256 entries of each of the 32 resident books.
         assert_eq!(sc.placement.n_shared, 256);
         assert_eq!(sc.smem_codebook_bytes, 64 * 1024);
@@ -548,8 +572,12 @@ mod tests {
         let vq = VqAlgorithm::Cq2.config();
         let p = planner();
         let prof = ProfileSummary::default_for(&vq);
-        let sc = p.plan_at(&vq, &llama7b_attn(), OptLevel::Sc, &prof).unwrap();
-        let o1 = p.plan_at(&vq, &llama7b_attn(), OptLevel::O1, &prof).unwrap();
+        let sc = p
+            .plan_at(&vq, &llama7b_attn(), OptLevel::Sc, &prof)
+            .unwrap();
+        let o1 = p
+            .plan_at(&vq, &llama7b_attn(), OptLevel::O1, &prof)
+            .unwrap();
         let occ_sc = p.gpu().occupancy(&sc.block_resources());
         let occ_o1 = p.gpu().occupancy(&o1.block_resources());
         assert!(
@@ -565,11 +593,21 @@ mod tests {
         let p = planner();
         let aqlm = VqAlgorithm::Aqlm3.config();
         let o2 = p
-            .plan_at(&aqlm, &llama7b_gemm(), OptLevel::O2, &ProfileSummary { num_hot: 20 })
+            .plan_at(
+                &aqlm,
+                &llama7b_gemm(),
+                OptLevel::O2,
+                &ProfileSummary { num_hot: 20 },
+            )
             .unwrap();
         assert!(o2.placement.n_reg > 0, "AQLM has hot entries");
         let o2_cold = p
-            .plan_at(&aqlm, &llama7b_gemm(), OptLevel::O2, &ProfileSummary { num_hot: 0 })
+            .plan_at(
+                &aqlm,
+                &llama7b_gemm(),
+                OptLevel::O2,
+                &ProfileSummary { num_hot: 0 },
+            )
             .unwrap();
         assert_eq!(o2_cold.placement.n_reg, 0);
     }
@@ -579,12 +617,16 @@ mod tests {
         let p = planner();
         let aqlm = VqAlgorithm::Aqlm3.config();
         let prof = ProfileSummary::default_for(&aqlm);
-        let o3 = p.plan_at(&aqlm, &llama7b_gemm(), OptLevel::O3, &prof).unwrap();
+        let o3 = p
+            .plan_at(&aqlm, &llama7b_gemm(), OptLevel::O3, &prof)
+            .unwrap();
         assert_eq!(o3.dataflow.split_factor, 2);
         assert_eq!(o3.books_per_block, 1);
         assert_eq!(o3.dataflow.redundant_compute_factor, 2.0);
         // Grid doubles: one residual per block group.
-        let o2 = p.plan_at(&aqlm, &llama7b_gemm(), OptLevel::O2, &prof).unwrap();
+        let o2 = p
+            .plan_at(&aqlm, &llama7b_gemm(), OptLevel::O2, &prof)
+            .unwrap();
         assert_eq!(o3.grid_blocks(), 2 * o2.grid_blocks());
     }
 
@@ -593,8 +635,12 @@ mod tests {
         let p = planner();
         let cq2 = VqAlgorithm::Cq2.config();
         let prof = ProfileSummary::default_for(&cq2);
-        let o2 = p.plan_at(&cq2, &llama7b_attn(), OptLevel::O2, &prof).unwrap();
-        let o3 = p.plan_at(&cq2, &llama7b_attn(), OptLevel::O3, &prof).unwrap();
+        let o2 = p
+            .plan_at(&cq2, &llama7b_attn(), OptLevel::O2, &prof)
+            .unwrap();
+        let o3 = p
+            .plan_at(&cq2, &llama7b_attn(), OptLevel::O3, &prof)
+            .unwrap();
         assert!(o3.dataflow.split_factor > 1);
         assert!(
             o3.dataflow.codebook_traffic_bytes < o2.dataflow.codebook_traffic_bytes / 2.0,
@@ -610,10 +656,16 @@ mod tests {
         // QuiP# on GeMM: 3 shuffles → register fusion.
         let quip = VqAlgorithm::QuipSharp4.config();
         let prof = ProfileSummary::default_for(&quip);
-        let gemm_plan = p.plan_at(&quip, &llama7b_gemm(), OptLevel::O4, &prof).unwrap();
+        let gemm_plan = p
+            .plan_at(&quip, &llama7b_gemm(), OptLevel::O4, &prof)
+            .unwrap();
         assert_eq!(gemm_plan.fusion, FusionLevel::Register { shuffles: 3 });
         // QuiP# on GeMV: 7 shuffles → stays shared.
-        let gemv = ComputeOp::Gemv { n: 4096, k: 4096, batch: 1 };
+        let gemv = ComputeOp::Gemv {
+            n: 4096,
+            k: 4096,
+            batch: 1,
+        };
         let gemv_plan = p.plan_at(&quip, &gemv, OptLevel::O4, &prof).unwrap();
         assert_eq!(gemv_plan.fusion, FusionLevel::Shared);
     }
@@ -631,7 +683,9 @@ mod tests {
             let plan = p.plan(&vq, &op).unwrap();
             let occ = p.gpu().occupancy(&plan.block_resources());
             assert!(occ.blocks_per_sm > 0, "{algo} plan unlaunchable");
-            assert!(plan.describe().contains(algo.config().descriptor().as_str()));
+            assert!(plan
+                .describe()
+                .contains(algo.config().descriptor().as_str()));
         }
     }
 }

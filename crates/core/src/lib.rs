@@ -45,27 +45,58 @@ pub mod dataflow;
 pub mod engine;
 pub mod fusion;
 pub mod ops;
+pub mod plan_cache;
 
 pub use cache::{CacheBudget, CacheLevel, CachePlacement, CodebookCache};
 pub use dataflow::{optimal_split_factor, DataflowPlan};
 pub use engine::{KernelPlan, KernelPlanner, OptLevel, ProfileSummary, Tiling};
 pub use fusion::{FusionLevel, ThreadMapping, SHUFFLE_THRESHOLD};
 pub use ops::{AttnOperand, Axis, ComputeOp};
+pub use plan_cache::{CacheStats, PlanCache, PlanKey, PlanRequest};
+
+/// Full planning context of an unplannable request, so callers can report
+/// (and programmatically react to) exactly which request overflowed which
+/// budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unplannable {
+    /// Why planning failed.
+    pub what: &'static str,
+    /// The computation being planned.
+    pub op: ComputeOp,
+    /// The VQ configuration being fused.
+    pub vq: vqllm_vq::VqConfig,
+    /// The optimization level requested.
+    pub opt_level: OptLevel,
+    /// The target device's name.
+    pub gpu: String,
+    /// Block resources of the rejected configuration.
+    pub resources: vqllm_gpu::BlockResources,
+}
 
 /// Error type for planning failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
-    /// No launchable configuration exists for the request.
-    Unplannable {
-        /// Why planning failed.
-        what: &'static str,
-    },
+    /// No launchable configuration exists for the request (boxed: the
+    /// context is large and the `Ok` path is hot).
+    Unplannable(Box<Unplannable>),
 }
 
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CoreError::Unplannable { what } => write!(f, "unplannable kernel: {what}"),
+            CoreError::Unplannable(u) => write!(
+                f,
+                "unplannable kernel: {} ({} ⊕ {} at {} on {}: \
+                 {} threads, {} regs/thread, {} B smem per block)",
+                u.what,
+                u.vq.descriptor(),
+                u.op,
+                u.opt_level,
+                u.gpu,
+                u.resources.threads,
+                u.resources.regs_per_thread,
+                u.resources.smem_bytes,
+            ),
         }
     }
 }

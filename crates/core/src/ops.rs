@@ -257,7 +257,11 @@ mod tests {
     use super::*;
 
     fn gemm() -> ComputeOp {
-        ComputeOp::Gemm { m: 128, n: 4096, k: 4096 }
+        ComputeOp::Gemm {
+            m: 128,
+            n: 4096,
+            k: 4096,
+        }
     }
 
     fn attn() -> ComputeOp {
@@ -267,7 +271,10 @@ mod tests {
     #[test]
     fn table_iii_weight_axes() {
         let per_tensor = CodebookScope::PerTensor;
-        let per_tile = CodebookScope::PerTile { rows: 256, cols: 256 };
+        let per_tile = CodebookScope::PerTile {
+            rows: 256,
+            cols: 256,
+        };
         assert_eq!(gemm().switch_axes(per_tensor), &[Axis::R]);
         assert_eq!(gemm().switch_axes(per_tile), &[Axis::M, Axis::N]);
         assert_eq!(gemm().reduce_axes(None), &[Axis::M, Axis::R]);
@@ -296,7 +303,15 @@ mod tests {
     #[test]
     fn required_layouts_match_fig12() {
         assert_eq!(gemm().required_layout(), 2, "mma fragment");
-        assert_eq!(ComputeOp::Gemv { n: 1, k: 1, batch: 1 }.required_layout(), 1);
+        assert_eq!(
+            ComputeOp::Gemv {
+                n: 1,
+                k: 1,
+                batch: 1
+            }
+            .required_layout(),
+            1
+        );
         assert_eq!(attn().required_layout(), 1);
     }
 

@@ -92,11 +92,10 @@ impl Occupancy {
 
         let by_threads = gpu.max_threads_per_sm / block.threads;
         let by_regs = gpu.regs_per_sm / regs_per_block;
-        let by_smem = if block.smem_bytes == 0 {
-            usize::MAX
-        } else {
-            gpu.smem_per_sm / block.smem_bytes
-        };
+        let by_smem = gpu
+            .smem_per_sm
+            .checked_div(block.smem_bytes)
+            .unwrap_or(usize::MAX);
         let by_slots = gpu.max_blocks_per_sm;
 
         let blocks = by_threads.min(by_regs).min(by_smem).min(by_slots);
@@ -130,8 +129,7 @@ impl Occupancy {
         let reg_budget_per_warp = reg_budget_per_block / warps_per_block;
         // Invert the granularity rounding: largest per-thread count whose
         // rounded per-warp allocation still fits the budget.
-        let reg_budget_per_thread =
-            round_down(reg_budget_per_warp, gpu.reg_alloc_granularity) / 32;
+        let reg_budget_per_thread = round_down(reg_budget_per_warp, gpu.reg_alloc_granularity) / 32;
         let reg_slack = reg_budget_per_thread.saturating_sub(block.regs_per_thread);
 
         Occupancy {
@@ -218,7 +216,7 @@ mod tests {
         let occ2 = Occupancy::analyze(&gpu(), &grown);
         assert_eq!(occ.blocks_per_sm, occ2.blocks_per_sm);
 
-        if grown.smem_bytes + 1 <= gpu().max_smem_per_block {
+        if grown.smem_bytes < gpu().max_smem_per_block {
             let over = BlockResources::new(256, 32, grown.smem_bytes + 1);
             let occ3 = Occupancy::analyze(&gpu(), &over);
             assert!(occ3.blocks_per_sm < occ.blocks_per_sm);

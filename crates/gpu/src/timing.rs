@@ -115,7 +115,7 @@ impl TimingModel {
         let hide_compute = (resident_warps_per_sm / g.warps_to_hide_compute).min(1.0);
         let total_resident = resident_warps_per_sm * sms_used;
         let bw_needed = g.warps_to_hide_memory * g.num_sms as f64;
-        let hide_mem = (total_resident / bw_needed).min(1.0).max(0.05);
+        let hide_mem = (total_resident / bw_needed).clamp(0.05, 1.0);
 
         let clock = g.clock_ghz * 1e9;
 
@@ -150,7 +150,10 @@ impl TimingModel {
             (Bound::SharedMemory, smem_us),
         ]
         .into_iter()
-        .fold((Bound::Dram, 0.0f64), |acc, x| if x.1 > acc.1 { x } else { acc });
+        .fold(
+            (Bound::Dram, 0.0f64),
+            |acc, x| if x.1 > acc.1 { x } else { acc },
+        );
 
         let sm_utilization = (sms_used / g.num_sms as f64) * hide_compute;
 
@@ -226,7 +229,11 @@ mod tests {
         let lat = model().latency(&big_launch(), &counters);
         assert_eq!(lat.bound, Bound::Compute);
         // 137.4e9 / (82.6e12 × 4) ≈ 416 µs.
-        assert!(lat.compute_us > 300.0 && lat.compute_us < 550.0, "{}", lat.compute_us);
+        assert!(
+            lat.compute_us > 300.0 && lat.compute_us < 550.0,
+            "{}",
+            lat.compute_us
+        );
     }
 
     #[test]
@@ -262,7 +269,12 @@ mod tests {
             &LaunchConfig::new(1024, BlockResources::new(128, 32, 90 * 1024)),
             &counters,
         );
-        assert!(fat.total_us > lean.total_us, "fat {} lean {}", fat.total_us, lean.total_us);
+        assert!(
+            fat.total_us > lean.total_us,
+            "fat {} lean {}",
+            fat.total_us,
+            lean.total_us
+        );
         assert!(fat.sm_utilization < lean.sm_utilization);
     }
 

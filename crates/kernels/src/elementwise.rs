@@ -121,7 +121,10 @@ mod tests {
         let fp = fp16::gemv(&gpu(), 4096, 4096, 1);
         let awq = awq_gemv(&gpu(), 4096, 4096, 1);
         assert!(awq.us() < fp.us(), "AWQ {} !< FP16 {}", awq.us(), fp.us());
-        assert!(awq.us() > fp.us() / 5.0, "overheads keep it off the ideal 4x");
+        assert!(
+            awq.us() > fp.us() / 5.0,
+            "overheads keep it off the ideal 4x"
+        );
     }
 
     #[test]
@@ -130,7 +133,12 @@ mod tests {
         // (compute-bound + dequant overhead).
         let fp = fp16::gemm(&gpu(), 2048, 4096, 4096);
         let awq = awq_gemm(&gpu(), 2048, 4096, 4096);
-        assert!(awq.us() >= fp.us() * 0.95, "AWQ {} vs FP16 {}", awq.us(), fp.us());
+        assert!(
+            awq.us() >= fp.us() * 0.95,
+            "AWQ {} vs FP16 {}",
+            awq.us(),
+            fp.us()
+        );
     }
 
     #[test]
@@ -144,6 +152,11 @@ mod tests {
     fn qoq_scales_with_batch_and_seq() {
         let small = qoq_attention(&gpu(), 1, 32, 128, 1024);
         let big = qoq_attention(&gpu(), 8, 32, 128, 4096);
-        assert!(big.us() > 8.0 * small.us() * 0.5, "{} vs {}", big.us(), small.us());
+        assert!(
+            big.us() > 8.0 * small.us() * 0.5,
+            "{} vs {}",
+            big.us(),
+            small.us()
+        );
     }
 }

@@ -199,7 +199,11 @@ mod tests {
         // Llama-7B 4096×4096 layer: 33.5 MB of weights ≈ 33 µs at peak BW.
         let out = gemv(&gpu(), 4096, 4096, 1);
         assert_eq!(out.latency.bound, vqllm_gpu::timing::Bound::Dram);
-        assert!(out.us() > 30.0 && out.us() < 120.0, "latency {} us", out.us());
+        assert!(
+            out.us() > 30.0 && out.us() < 120.0,
+            "latency {} us",
+            out.us()
+        );
     }
 
     #[test]
@@ -213,7 +217,11 @@ mod tests {
     fn flash_decoding_is_kv_bandwidth_bound() {
         // 32 heads × 1k × 128 × 2 (K+V) × 2 B = 16.8 MB.
         let out = attention(&gpu(), AttnBaseline::FlashDecoding, 1, 32, 128, 1024);
-        assert!(out.us() > 10.0 && out.us() < 120.0, "latency {} us", out.us());
+        assert!(
+            out.us() > 10.0 && out.us() < 120.0,
+            "latency {} us",
+            out.us()
+        );
     }
 
     #[test]
@@ -225,7 +233,12 @@ mod tests {
         // At batch 8 the gap shrinks.
         let fd8 = attention(&gpu(), AttnBaseline::FlashDecoding, 8, 32, 128, 4096);
         let fa8 = attention(&gpu(), AttnBaseline::FlashAttention, 8, 32, 128, 4096);
-        assert!(fa8.us() < 1.5 * fd8.us(), "FA8 {} vs FD8 {}", fa8.us(), fd8.us());
+        assert!(
+            fa8.us() < 1.5 * fd8.us(),
+            "FA8 {} vs FD8 {}",
+            fa8.us(),
+            fd8.us()
+        );
     }
 
     #[test]
@@ -246,8 +259,22 @@ mod tests {
 
     #[test]
     fn a40_is_slower_than_4090() {
-        let fast = attention(&GpuSpec::rtx4090(), AttnBaseline::FlashDecoding, 8, 32, 128, 2048);
-        let slow = attention(&GpuSpec::a40(), AttnBaseline::FlashDecoding, 8, 32, 128, 2048);
+        let fast = attention(
+            &GpuSpec::rtx4090(),
+            AttnBaseline::FlashDecoding,
+            8,
+            32,
+            128,
+            2048,
+        );
+        let slow = attention(
+            &GpuSpec::a40(),
+            AttnBaseline::FlashDecoding,
+            8,
+            32,
+            128,
+            2048,
+        );
         let ratio = slow.us() / fast.us();
         assert!(ratio > 1.2 && ratio < 2.2, "bw ratio should show: {ratio}");
     }

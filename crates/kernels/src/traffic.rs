@@ -73,6 +73,17 @@ impl AccessProfile {
         self.cumulative.len()
     }
 
+    /// Stable fingerprint of the distribution (FNV-1a over the bit
+    /// patterns), for use as a plan-cache key component: two profiles with
+    /// different shapes must not alias to one cached best-rung decision.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &c in &self.cumulative {
+            h = (h ^ c.to_bits()).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
     /// Samples a rank from the distribution given `u ∈ [0, 1)`.
     pub fn sample(&self, u: f64) -> usize {
         match self
@@ -243,7 +254,11 @@ mod tests {
         let cost = model_codebook_access(&p, &CachePlacement::global_only(), 8, &gpu(), 64, 1);
         assert_eq!(cost.frac_global, 1.0);
         assert_eq!(cost.smem_cycles_per_warp, 0.0);
-        assert!(cost.gmem_lines_per_warp > 4.0, "{}", cost.gmem_lines_per_warp);
+        assert!(
+            cost.gmem_lines_per_warp > 4.0,
+            "{}",
+            cost.gmem_lines_per_warp
+        );
     }
 
     #[test]
@@ -266,7 +281,10 @@ mod tests {
         let sc = model_codebook_access(&p, &CachePlacement::all_shared(256), 8, &gpu(), 128, 3);
         let o2 = model_codebook_access(
             &p,
-            &CachePlacement { n_reg: 16, n_shared: 256 },
+            &CachePlacement {
+                n_reg: 16,
+                n_shared: 256,
+            },
             8,
             &gpu(),
             128,
@@ -286,7 +304,10 @@ mod tests {
         let p = AccessProfile::zipf(256, 0.8);
         let cost = model_codebook_access(
             &p,
-            &CachePlacement { n_reg: 0, n_shared: 64 },
+            &CachePlacement {
+                n_reg: 0,
+                n_shared: 64,
+            },
             8,
             &gpu(),
             128,

@@ -78,9 +78,7 @@ pub fn best_plan(
             continue;
         };
         let out = estimate(gpu, &plan, profile);
-        let better = best
-            .as_ref()
-            .is_none_or(|(_, cur)| out.us() < cur.us());
+        let better = best.as_ref().is_none_or(|(_, cur)| out.us() < cur.us());
         if better {
             best = Some((plan, out));
         }
@@ -98,9 +96,7 @@ pub fn total_lookups(plan: &KernelPlan) -> f64 {
         // Each 128-row strip of A re-dequantizes the whole weight tile
         // (the paper: compute-bound kernels "suffer more from the extra
         // operation (dequantization)").
-        ComputeOp::Gemm { m, n, k } => {
-            (n * k / vq.vector_size) as f64 * m.div_ceil(128) as f64
-        }
+        ComputeOp::Gemm { m, n, k } => (n * k / vq.vector_size) as f64 * m.div_ceil(128) as f64,
         // Weights are dequantized once and reused across the batch — the
         // reason GeMV speedups are batch-insensitive (§VII-B).
         ComputeOp::Gemv { n, k, .. } => (n * k / vq.vector_size) as f64,
@@ -237,8 +233,7 @@ fn assemble_counters(gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) 
             } else {
                 c.flops += op.flops() * redundant;
             }
-            let x_staged = (k * batch * 2) as f64 * plan.grid_blocks() as f64
-                / gpu.num_sms as f64;
+            let x_staged = (k * batch * 2) as f64 * plan.grid_blocks() as f64 / gpu.num_sms as f64;
             c.global_to_shared_bytes += x_staged;
             c.smem_cycles += x_staged / gpu.smem_bytes_per_cycle as f64;
         }
@@ -287,10 +282,7 @@ fn build_caches(plan: &KernelPlan, q: &QuantizedTensor) -> Vec<Vec<CodebookCache
 /// Dequantizes the whole tensor through the codebook caches, returning the
 /// tensor and the fraction of lookups served per level (sanity statistics
 /// for tests).
-fn dequantize_via_cache(
-    plan: &KernelPlan,
-    q: &QuantizedTensor,
-) -> (Tensor2D, [f64; 3]) {
+fn dequantize_via_cache(plan: &KernelPlan, q: &QuantizedTensor) -> (Tensor2D, [f64; 3]) {
     let caches = build_caches(plan, q);
     let (rows, cols) = q.shape();
     let vs = q.config().vector_size;
@@ -301,9 +293,9 @@ fn dequantize_via_cache(
     for row in 0..rows {
         for g in 0..groups {
             let mut acc = vec![0.0f32; vs];
-            for r in 0..q.config().residuals {
+            for (r, cache_row) in caches.iter().enumerate().take(q.config().residuals) {
                 let s = q.codebooks().scope_index(row, g * vs);
-                let lvl = caches[r][s].access(q.index_at(r, row, g), &mut entry);
+                let lvl = cache_row[s].access(q.index_at(r, row, g), &mut entry);
                 level_counts[match lvl {
                     CacheLevel::Register => 0,
                     CacheLevel::Shared => 1,
@@ -391,11 +383,10 @@ pub fn run_attention_head(
     let (k, _) = dequantize_via_cache(plan, kq);
     let (v, _) = dequantize_via_cache(plan, vq);
     let scale = 1.0 / (q.len() as f32).sqrt();
-    let out = linalg::attention_decode_ref(q, &k, &v, scale).map_err(|_| {
-        KernelError::ShapeMismatch {
+    let out =
+        linalg::attention_decode_ref(q, &k, &v, scale).map_err(|_| KernelError::ShapeMismatch {
             what: "attention shapes",
-        }
-    })?;
+        })?;
     let profile = AccessProfile::from_histogram(&AccessHistogram::profile(kq, 0));
     Ok((out, estimate(gpu, plan, &profile)))
 }
@@ -446,7 +437,12 @@ mod tests {
 
         let (fused, out) = run_gemm(&gpu(), &p, &a, &wq).unwrap();
         let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
-        assert!(metrics::allclose(fused.as_slice(), reference.as_slice(), 1e-4, 1e-4));
+        assert!(metrics::allclose(
+            fused.as_slice(),
+            reference.as_slice(),
+            1e-4,
+            1e-4
+        ));
         assert!(out.us().is_finite() && out.us() > 0.0);
     }
 
@@ -464,8 +460,7 @@ mod tests {
         let (fused, _) = run_attention_head(&gpu(), &p, &q, &kq, &vq_t).unwrap();
         let kd = kq.dequantize().unwrap();
         let vd = vq_t.dequantize().unwrap();
-        let reference =
-            linalg::attention_decode_ref(&q, &kd, &vd, 1.0 / 8.0).unwrap();
+        let reference = linalg::attention_decode_ref(&q, &kd, &vd, 1.0 / 8.0).unwrap();
         assert!(metrics::allclose(&fused, &reference, 1e-4, 1e-4));
     }
 
@@ -473,8 +468,16 @@ mod tests {
     fn sc_beats_gc_for_attention() {
         // Fig. 4: shared-memory codebooks outperform global-memory ones.
         let profile = AccessProfile::default_for(&VqAlgorithm::Cq2.config());
-        let gc = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Gc), &profile);
-        let sc = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Sc), &profile);
+        let gc = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Gc),
+            &profile,
+        );
+        let sc = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Sc),
+            &profile,
+        );
         assert!(sc.us() < gc.us(), "SC {} !< GC {}", sc.us(), gc.us());
     }
 
@@ -483,7 +486,11 @@ mod tests {
         // Fig. 4 (left): both naive VQ versions lose to FP16-attn despite
         // the 8× memory reduction.
         let profile = AccessProfile::default_for(&VqAlgorithm::Cq2.config());
-        let gc = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Gc), &profile);
+        let gc = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Gc),
+            &profile,
+        );
         let fp16 = crate::fp16::attention(
             &gpu(),
             crate::fp16::AttnBaseline::FlashDecoding,
@@ -498,8 +505,16 @@ mod tests {
     #[test]
     fn optimized_attention_beats_gc_substantially() {
         let profile = AccessProfile::default_for(&VqAlgorithm::Cq2.config());
-        let gc = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Gc), &profile);
-        let o4 = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O4), &profile);
+        let gc = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::Gc),
+            &profile,
+        );
+        let o4 = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O4),
+            &profile,
+        );
         let reduction = 1.0 - o4.us() / gc.us();
         assert!(
             reduction > 0.35,
@@ -513,8 +528,16 @@ mod tests {
     fn o3_cuts_global_to_shared_traffic() {
         // The dataflow's whole point (Fig. 5 → Fig. 11).
         let profile = AccessProfile::default_for(&VqAlgorithm::Cq2.config());
-        let o2 = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O2), &profile);
-        let o3 = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O3), &profile);
+        let o2 = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O2),
+            &profile,
+        );
+        let o3 = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O3),
+            &profile,
+        );
         assert!(
             o3.counters.global_to_shared_bytes < o2.counters.global_to_shared_bytes,
             "O3 {} !< O2 {}",
@@ -526,8 +549,16 @@ mod tests {
     #[test]
     fn o4_replaces_roundtrip_with_shuffles() {
         let profile = AccessProfile::default_for(&VqAlgorithm::Cq2.config());
-        let o3 = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O3), &profile);
-        let o4 = estimate(&gpu(), &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O4), &profile);
+        let o3 = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O3),
+            &profile,
+        );
+        let o4 = estimate(
+            &gpu(),
+            &plan(VqAlgorithm::Cq2, attn_op(), OptLevel::O4),
+            &profile,
+        );
         assert_eq!(o3.counters.shuffles, 0.0);
         assert!(o4.counters.shuffles > 0.0);
         assert!(o4.counters.reg_to_shared_bytes < o3.counters.reg_to_shared_bytes);
@@ -536,16 +567,48 @@ mod tests {
     #[test]
     fn gemv_lookups_are_batch_invariant() {
         let vq = VqAlgorithm::Aqlm3.config();
-        let p1 = plan(VqAlgorithm::Aqlm3, ComputeOp::Gemv { n: 4096, k: 4096, batch: 1 }, OptLevel::O4);
-        let p16 = plan(VqAlgorithm::Aqlm3, ComputeOp::Gemv { n: 4096, k: 4096, batch: 16 }, OptLevel::O4);
+        let p1 = plan(
+            VqAlgorithm::Aqlm3,
+            ComputeOp::Gemv {
+                n: 4096,
+                k: 4096,
+                batch: 1,
+            },
+            OptLevel::O4,
+        );
+        let p16 = plan(
+            VqAlgorithm::Aqlm3,
+            ComputeOp::Gemv {
+                n: 4096,
+                k: 4096,
+                batch: 16,
+            },
+            OptLevel::O4,
+        );
         assert_eq!(total_lookups(&p1), total_lookups(&p16));
         let _ = vq;
     }
 
     #[test]
     fn gemm_redequantizes_per_row_strip() {
-        let p_small = plan(VqAlgorithm::Gptvq2, ComputeOp::Gemm { m: 128, n: 4096, k: 4096 }, OptLevel::O4);
-        let p_big = plan(VqAlgorithm::Gptvq2, ComputeOp::Gemm { m: 2048, n: 4096, k: 4096 }, OptLevel::O4);
+        let p_small = plan(
+            VqAlgorithm::Gptvq2,
+            ComputeOp::Gemm {
+                m: 128,
+                n: 4096,
+                k: 4096,
+            },
+            OptLevel::O4,
+        );
+        let p_big = plan(
+            VqAlgorithm::Gptvq2,
+            ComputeOp::Gemm {
+                m: 2048,
+                n: 4096,
+                k: 4096,
+            },
+            OptLevel::O4,
+        );
         assert_eq!(total_lookups(&p_big), 16.0 * total_lookups(&p_small));
     }
 
@@ -556,7 +619,9 @@ mod tests {
         let wq = VqQuantizer::new(vq).quantize(&w, 3).unwrap();
         let op = ComputeOp::Gemm { m: 8, n: 64, k: 64 };
 
-        let p_gc = planner().plan_at(&vq, &op, OptLevel::Gc, &ProfileSummary::default_for(&vq)).unwrap();
+        let p_gc = planner()
+            .plan_at(&vq, &op, OptLevel::Gc, &ProfileSummary::default_for(&vq))
+            .unwrap();
         let fr_gc = cache_level_fractions(&p_gc, &wq);
         assert_eq!(fr_gc[2], 1.0, "GC serves everything from global");
 

@@ -61,7 +61,11 @@ impl AccuracyProxy {
                 scalar_nmse(&weights, ScalarQuantConfig::awq4()),
                 scalar_nmse(&kv, ScalarQuantConfig::qoq_kv4()),
             ),
-            QuantScheme::VqLlm { weight, kv: kv_algo, .. } => (
+            QuantScheme::VqLlm {
+                weight,
+                kv: kv_algo,
+                ..
+            } => (
                 vq_nmse(&weights, *weight, self.seed),
                 vq_nmse(&kv, *kv_algo, self.seed ^ 1),
             ),

@@ -70,8 +70,8 @@ impl KvCache {
     /// Total cache bytes at the configured precision (both K and V, all
     /// layers).
     pub fn bytes(&self) -> usize {
-        let elems = 2 * self.batch * self.model.layers * self.model.heads * self.seq
-            * self.model.head_dim;
+        let elems =
+            2 * self.batch * self.model.layers * self.model.heads * self.seq * self.model.head_dim;
         (elems as f64 * self.storage.bits() / 8.0).ceil() as usize
     }
 
@@ -106,7 +106,9 @@ mod tests {
             LlamaConfig::llama_7b(),
             1024,
             1,
-            KvStorage::Vq { bits_per_element: 2.0 },
+            KvStorage::Vq {
+                bits_per_element: 2.0,
+            },
         );
         assert!((cache.compression() - 0.125).abs() < 1e-9);
     }
@@ -117,7 +119,9 @@ mod tests {
             LlamaConfig::llama_7b(),
             8,
             1,
-            KvStorage::Vq { bits_per_element: 4.0 },
+            KvStorage::Vq {
+                bits_per_element: 4.0,
+            },
         );
         let us = cache.append_token();
         assert_eq!(cache.seq, 9);

@@ -75,10 +75,10 @@ impl LlamaConfig {
     /// decode-phase GeMV.
     pub fn linear_shapes(&self) -> [(usize, usize); 7] {
         [
-            (self.hidden, self.hidden), // Q
-            (self.hidden, self.hidden), // K
-            (self.hidden, self.hidden), // V
-            (self.hidden, self.hidden), // O
+            (self.hidden, self.hidden),       // Q
+            (self.hidden, self.hidden),       // K
+            (self.hidden, self.hidden),       // V
+            (self.hidden, self.hidden),       // O
             (self.intermediate, self.hidden), // gate
             (self.intermediate, self.hidden), // up
             (self.hidden, self.intermediate), // down
@@ -100,10 +100,7 @@ mod tests {
     fn llama7b_is_about_7b_params() {
         let cfg = LlamaConfig::llama_7b();
         let total = cfg.decoder_params() + 2 * cfg.vocab * cfg.hidden;
-        assert!(
-            (6.4e9..7.2e9).contains(&(total as f64)),
-            "params {total}"
-        );
+        assert!((6.4e9..7.2e9).contains(&(total as f64)), "params {total}");
         assert_eq!(cfg.heads * cfg.head_dim, cfg.hidden);
     }
 
@@ -111,10 +108,7 @@ mod tests {
     fn llama65b_is_about_65b_params() {
         let cfg = LlamaConfig::llama_65b();
         let total = cfg.decoder_params() + 2 * cfg.vocab * cfg.hidden;
-        assert!(
-            (6.2e10..6.8e10).contains(&(total as f64)),
-            "params {total}"
-        );
+        assert!((6.2e10..6.8e10).contains(&(total as f64)), "params {total}");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use crate::kv::{KvStorage, DECODE_QUANT_OVERHEAD_US, PREFILL_QUANT_OVERHEAD_FRAC};
 use crate::model::LlamaConfig;
 use serde::{Deserialize, Serialize};
-use vqllm_core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
+use std::sync::Arc;
+use vqllm_core::plan_cache::{self, PlanCache, PlanKey, PlanRequest};
+use vqllm_core::{ComputeOp, KernelPlan, KernelPlanner, OptLevel, ProfileSummary};
 use vqllm_gpu::GpuSpec;
 use vqllm_kernels::fp16::AttnBaseline;
 use vqllm_kernels::{elementwise, fp16, vq_kernel, AccessProfile};
@@ -130,22 +132,53 @@ impl E2eReport {
 }
 
 /// E2E latency pipeline for one (device, model, scheme) triple.
+///
+/// Kernel plans for the decode-step operators are memoized in a
+/// [`PlanCache`]: each unique `(vq algorithm, op)` pair is planned once
+/// and every later decode step — and every other pipeline or `Session`
+/// sharing the cache — reuses the `Arc`'d plan.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     gpu: GpuSpec,
+    /// Precomputed full-spec cache identity ([`plan_cache::gpu_identity`])
+    /// so per-op cache lookups don't re-render the spec.
+    gpu_identity: Arc<str>,
     model: LlamaConfig,
     scheme: QuantScheme,
+    cache: Arc<PlanCache>,
 }
 
 impl Pipeline {
-    /// Creates a pipeline.
+    /// Creates a pipeline with a private plan cache.
     pub fn new(gpu: GpuSpec, model: LlamaConfig, scheme: QuantScheme) -> Self {
-        Pipeline { gpu, model, scheme }
+        Pipeline::with_cache(gpu, model, scheme, Arc::new(PlanCache::new()))
+    }
+
+    /// Creates a pipeline sharing an existing plan cache (the `Session`
+    /// facade passes its own so all pipelines of a session reuse plans).
+    pub fn with_cache(
+        gpu: GpuSpec,
+        model: LlamaConfig,
+        scheme: QuantScheme,
+        cache: Arc<PlanCache>,
+    ) -> Self {
+        Pipeline {
+            gpu_identity: plan_cache::gpu_identity(&gpu),
+            gpu,
+            model,
+            scheme,
+            cache,
+        }
     }
 
     /// The configured scheme.
     pub fn scheme(&self) -> &QuantScheme {
         &self.scheme
+    }
+
+    /// The plan cache memoizing this pipeline's kernel plans.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
     }
 
     /// Latency of one decode step at `seq` cached tokens and `batch`
@@ -192,9 +225,8 @@ impl Pipeline {
             us += self.gemm_latency_us(rows, n, k);
         }
         // Prefill attention: causal QK^T + PV at FP16 on tensor cores.
-        let attn_flops = (batch * m.heads) as f64
-            * 2.0
-            * (prompt as f64 * prompt as f64 * m.head_dim as f64);
+        let attn_flops =
+            (batch * m.heads) as f64 * 2.0 * (prompt as f64 * prompt as f64 * m.head_dim as f64);
         let attn_us = attn_flops / (self.gpu.peak_flops() * self.gpu.mma_multiplier) * 1e6;
         us += attn_us;
         us *= m.layers as f64;
@@ -216,8 +248,7 @@ impl Pipeline {
         let step = self.decode_step(mid, batch);
         let decode_ms = step.total_us() * gen_tokens as f64 / 1000.0;
 
-        let weight_gb =
-            self.model.decoder_params() as f64 * self.scheme.weight_bits() / 8.0 / 1e9;
+        let weight_gb = self.model.decoder_params() as f64 * self.scheme.weight_bits() / 8.0 / 1e9;
         let kv_gb = self.model.kv_bytes_fp16(prompt + gen_tokens, batch) as f64
             * (self.scheme.kv_storage().bits() / 16.0)
             / 1e9;
@@ -293,24 +324,61 @@ impl Pipeline {
 
     /// VQ kernel latency at the requested level; `O4` means the fully
     /// adaptive framework (fastest rung per the planner's heuristics, the
-    /// paper's "best perform version").
-    fn vq_latency_us(
+    /// paper's "best perform version"). Plans are memoized in the
+    /// pipeline's [`PlanCache`], so only the first request per
+    /// `(vq, op, opt)` key runs the planner.
+    fn vq_latency_us(&self, vq: &vqllm_vq::VqConfig, op: &ComputeOp, opt: OptLevel) -> Option<f64> {
+        let profile = AccessProfile::default_for(vq);
+        let plan = self.vq_plan(vq, op, opt, &profile)?;
+        Some(vq_kernel::estimate(&self.gpu, &plan, &profile).us())
+    }
+
+    /// Memoized plan lookup: `O4` resolves to the adaptive best plan
+    /// under `profile` (fingerprinted into the key via the canonical
+    /// [`PlanKey::best`] recipe, so `Session` shares the entry), lower
+    /// levels to a fixed-rung plan.
+    fn vq_plan(
         &self,
         vq: &vqllm_vq::VqConfig,
         op: &ComputeOp,
         opt: OptLevel,
-    ) -> Option<f64> {
-        let profile = AccessProfile::default_for(vq);
-        if opt == OptLevel::O4 {
-            return vq_kernel::best_plan(&self.gpu, vq, op, &profile)
-                .ok()
-                .map(|(_, out)| out.us());
-        }
-        let planner = KernelPlanner::new(self.gpu.clone());
-        planner
-            .plan_at(vq, op, opt, &ProfileSummary::default_for(vq))
+        profile: &AccessProfile,
+    ) -> Option<Arc<KernelPlan>> {
+        let summary = ProfileSummary::default_for(vq);
+        let (key, request) = if opt == OptLevel::O4 {
+            (
+                PlanKey::best(
+                    Arc::clone(&self.gpu_identity),
+                    vq,
+                    op,
+                    profile.fingerprint(),
+                ),
+                PlanRequest::Best,
+            )
+        } else {
+            (
+                PlanKey::with_identity(
+                    Arc::clone(&self.gpu_identity),
+                    vq,
+                    op,
+                    PlanRequest::At(opt),
+                    &summary,
+                ),
+                PlanRequest::At(opt),
+            )
+        };
+        self.cache
+            .get_or_try_insert_with(key, || -> Result<KernelPlan, ()> {
+                match request {
+                    PlanRequest::Best => vq_kernel::best_plan(&self.gpu, vq, op, profile)
+                        .map(|(plan, _)| plan)
+                        .map_err(|_| ()),
+                    PlanRequest::At(level) => KernelPlanner::new(self.gpu.clone())
+                        .plan_at(vq, op, level, &summary)
+                        .map_err(|_| ()),
+                }
+            })
             .ok()
-            .map(|plan| vq_kernel::estimate(&self.gpu, &plan, &profile).us())
     }
 }
 
@@ -319,8 +387,7 @@ mod tests {
     use super::*;
 
     fn report(scheme: QuantScheme) -> E2eReport {
-        Pipeline::new(GpuSpec::rtx4090(), LlamaConfig::llama_7b(), scheme)
-            .generate(1024, 256, 16)
+        Pipeline::new(GpuSpec::rtx4090(), LlamaConfig::llama_7b(), scheme).generate(1024, 256, 16)
     }
 
     #[test]
@@ -343,7 +410,12 @@ mod tests {
         // Paper: "a greater speedup with a 2-bit compression ratio".
         let v4 = report(QuantScheme::vq_llm_4bit());
         let v2 = report(QuantScheme::vq_llm_2bit());
-        assert!(v2.total_ms() < v4.total_ms(), "2-bit {} !< 4-bit {}", v2.total_ms(), v4.total_ms());
+        assert!(
+            v2.total_ms() < v4.total_ms(),
+            "2-bit {} !< 4-bit {}",
+            v2.total_ms(),
+            v4.total_ms()
+        );
     }
 
     #[test]

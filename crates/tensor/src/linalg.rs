@@ -56,8 +56,7 @@ pub fn gemv(w: &Tensor2D, x: &[f32]) -> Result<Vec<f32>> {
             rhs: (x.len(), 1),
         });
     }
-    Ok(w
-        .iter_rows()
+    Ok(w.iter_rows()
         .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
         .collect())
 }

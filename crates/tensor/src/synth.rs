@@ -80,7 +80,7 @@ pub fn correlated_channels(
         .collect();
     let mut t = Tensor2D::zeros(rows, cols);
     for r in 0..rows {
-        for g in 0..groups {
+        for (g, &scale) in scales.iter().enumerate() {
             let latent = normal(&mut rng);
             for k in 0..group {
                 let c = g * group + k;
@@ -88,7 +88,7 @@ pub fn correlated_channels(
                     break;
                 }
                 let noise = normal(&mut rng);
-                let v = (rho * latent + (1.0 - rho * rho).sqrt() * noise) * scales[g] * 0.02;
+                let v = (rho * latent + (1.0 - rho * rho).sqrt() * noise) * scale * 0.02;
                 t.set(r, c, v);
             }
         }
@@ -178,11 +178,7 @@ mod tests {
     fn outliers_increase_kurtosis() {
         let base = gaussian(64, 64, 1.0, 3);
         let heavy = gaussian_with_outliers(64, 64, 1.0, 0.05, 8.0, 3);
-        let maxabs = |t: &Tensor2D| {
-            t.as_slice()
-                .iter()
-                .fold(0.0f32, |m, v| m.max(v.abs()))
-        };
+        let maxabs = |t: &Tensor2D| t.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
         assert!(maxabs(&heavy) > maxabs(&base) * 2.0);
     }
 
@@ -194,7 +190,12 @@ mod tests {
         let n = xs.len() as f32;
         let mx = xs.iter().sum::<f32>() / n;
         let my = ys.iter().sum::<f32>() / n;
-        let cov: f32 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f32>() / n;
+        let cov: f32 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f32>()
+            / n;
         let sx = (xs.iter().map(|x| (x - mx).powi(2)).sum::<f32>() / n).sqrt();
         let sy = (ys.iter().map(|y| (y - my).powi(2)).sum::<f32>() / n).sqrt();
         let corr = cov / (sx * sy);
@@ -208,7 +209,11 @@ mod tests {
         let xs: Vec<f32> = (0..t.rows()).map(|r| t.get(r, 0)).collect();
         let n = (xs.len() - 1) as f32;
         let mean = xs.iter().sum::<f32>() / xs.len() as f32;
-        let num: f32 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f32>() / n;
+        let num: f32 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f32>()
+            / n;
         let den: f32 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / xs.len() as f32;
         assert!(num / den > 0.5, "autocorr {}", num / den);
     }
@@ -222,7 +227,12 @@ mod tests {
             let n = a.len() as f32;
             let ma = a.iter().sum::<f32>() / n;
             let mb = b.iter().sum::<f32>() / n;
-            let cov: f32 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f32>() / n;
+            let cov: f32 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - ma) * (y - mb))
+                .sum::<f32>()
+                / n;
             let sa = (a.iter().map(|x| (x - ma).powi(2)).sum::<f32>() / n).sqrt();
             let sb = (b.iter().map(|y| (y - mb).powi(2)).sum::<f32>() / n).sqrt();
             cov / (sa * sb)

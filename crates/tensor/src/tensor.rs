@@ -161,7 +161,10 @@ impl Tensor2D {
     ///
     /// Panics if the window exceeds the tensor bounds.
     pub fn slice(&self, r0: usize, c0: usize, h: usize, w: usize) -> Tensor2D {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "slice out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "slice out of bounds"
+        );
         Tensor2D::from_fn(h, w, |r, c| self.get(r0 + r, c0 + c))
     }
 

@@ -51,14 +51,10 @@ impl VqAlgorithm {
     /// Never panics: all presets are valid by construction.
     pub fn config(self) -> VqConfig {
         match self {
-            VqAlgorithm::QuipSharp4 => VqConfig::new_lattice(
-                8,
-                65_536,
-                256,
-                2,
-                CodebookScope::PerTensor,
-            )
-            .expect("preset is valid"),
+            VqAlgorithm::QuipSharp4 => {
+                VqConfig::new_lattice(8, 65_536, 256, 2, CodebookScope::PerTensor)
+                    .expect("preset is valid")
+            }
             VqAlgorithm::Aqlm3 => {
                 VqConfig::new(8, 4096, 2, CodebookScope::PerTensor).expect("preset is valid")
             }
@@ -66,23 +62,20 @@ impl VqAlgorithm {
                 4,
                 256,
                 1,
-                CodebookScope::PerTile { rows: 256, cols: 256 },
+                CodebookScope::PerTile {
+                    rows: 256,
+                    cols: 256,
+                },
             )
             .expect("preset is valid"),
-            VqAlgorithm::Cq4 => VqConfig::new(
-                2,
-                256,
-                1,
-                CodebookScope::PerChannelGroup { channels: 2 },
-            )
-            .expect("preset is valid"),
-            VqAlgorithm::Cq2 => VqConfig::new(
-                4,
-                256,
-                1,
-                CodebookScope::PerChannelGroup { channels: 4 },
-            )
-            .expect("preset is valid"),
+            VqAlgorithm::Cq4 => {
+                VqConfig::new(2, 256, 1, CodebookScope::PerChannelGroup { channels: 2 })
+                    .expect("preset is valid")
+            }
+            VqAlgorithm::Cq2 => {
+                VqConfig::new(4, 256, 1, CodebookScope::PerChannelGroup { channels: 4 })
+                    .expect("preset is valid")
+            }
         }
     }
 
@@ -137,16 +130,28 @@ mod tests {
     #[test]
     fn table_ii_parameters() {
         let quip = VqAlgorithm::QuipSharp4.config();
-        assert_eq!((quip.vector_size, quip.num_entries, quip.residuals), (8, 65536, 2));
+        assert_eq!(
+            (quip.vector_size, quip.num_entries, quip.residuals),
+            (8, 65536, 2)
+        );
         assert!(quip.lattice);
         assert_eq!(quip.stored_entries(), 256);
 
         let aqlm = VqAlgorithm::Aqlm3.config();
-        assert_eq!((aqlm.vector_size, aqlm.num_entries, aqlm.residuals), (8, 4096, 2));
+        assert_eq!(
+            (aqlm.vector_size, aqlm.num_entries, aqlm.residuals),
+            (8, 4096, 2)
+        );
         assert_eq!(aqlm.index_bits(), 12, "AQLM's unaligned 12-bit format");
 
         let gptvq = VqAlgorithm::Gptvq2.config();
-        assert_eq!(gptvq.scope, CodebookScope::PerTile { rows: 256, cols: 256 });
+        assert_eq!(
+            gptvq.scope,
+            CodebookScope::PerTile {
+                rows: 256,
+                cols: 256
+            }
+        );
 
         let cq2 = VqAlgorithm::Cq2.config();
         assert_eq!(cq2.descriptor(), "VQ<4,8,1>");

@@ -112,7 +112,10 @@ impl Codebook {
     /// Panics if `out.len() != vector_size` or `id` is out of range.
     pub fn lookup(&self, id: u32, out: &mut [f32]) {
         assert_eq!(out.len(), self.vector_size, "output buffer size");
-        assert!((id as usize) < self.logical_entries(), "entry id out of range");
+        assert!(
+            (id as usize) < self.logical_entries(),
+            "entry id out of range"
+        );
         let base = self.stored_id_of(id) as usize;
         let entry = self.stored_entry(base);
         if self.lattice {
@@ -195,11 +198,7 @@ impl CodebookSet {
     ///
     /// Returns [`VqError::InvalidConfig`] if the nesting does not match
     /// `config.residuals` × `num_scopes`.
-    pub fn new(
-        config: VqConfig,
-        shape: (usize, usize),
-        books: Vec<Vec<Codebook>>,
-    ) -> Result<Self> {
+    pub fn new(config: VqConfig, shape: (usize, usize), books: Vec<Vec<Codebook>>) -> Result<Self> {
         let scopes = Self::num_scopes(&config, shape);
         if books.len() != config.residuals || books.iter().any(|b| b.len() != scopes) {
             return Err(VqError::InvalidConfig {
@@ -263,11 +262,7 @@ impl CodebookSet {
     /// Total FP16 bytes across all codebooks (the model-size overhead VQ
     /// pays for its codebooks).
     pub fn total_bytes(&self) -> usize {
-        self.books
-            .iter()
-            .flatten()
-            .map(Codebook::bytes_fp16)
-            .sum()
+        self.books.iter().flatten().map(Codebook::bytes_fp16).sum()
     }
 }
 
@@ -277,12 +272,7 @@ mod tests {
 
     fn plain_book() -> Codebook {
         // 4 entries × 2 dims.
-        Codebook::new(
-            vec![0.0, 0.0, 1.0, 1.0, -1.0, 1.0, 2.0, -2.0],
-            2,
-            false,
-        )
-        .unwrap()
+        Codebook::new(vec![0.0, 0.0, 1.0, 1.0, -1.0, 1.0, 2.0, -2.0], 2, false).unwrap()
     }
 
     #[test]
@@ -336,7 +326,8 @@ mod tests {
 
     #[test]
     fn scope_indices_per_variant() {
-        let per_tile = VqConfig::new(4, 256, 1, CodebookScope::PerTile { rows: 16, cols: 16 }).unwrap();
+        let per_tile =
+            VqConfig::new(4, 256, 1, CodebookScope::PerTile { rows: 16, cols: 16 }).unwrap();
         let books = vec![vec![plain_book_4(); 4]];
         let set = CodebookSet::new(per_tile, (32, 32), books).unwrap();
         assert_eq!(set.scopes(), 4);
@@ -345,7 +336,8 @@ mod tests {
         assert_eq!(set.scope_index(16, 0), 2);
         assert_eq!(set.scope_index(31, 31), 3);
 
-        let per_group = VqConfig::new(4, 256, 1, CodebookScope::PerChannelGroup { channels: 8 }).unwrap();
+        let per_group =
+            VqConfig::new(4, 256, 1, CodebookScope::PerChannelGroup { channels: 8 }).unwrap();
         let set = CodebookSet::new(per_group, (32, 32), vec![vec![plain_book_4(); 4]]).unwrap();
         assert_eq!(set.scope_index(5, 0), 0);
         assert_eq!(set.scope_index(5, 9), 1);

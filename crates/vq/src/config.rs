@@ -226,7 +226,16 @@ mod tests {
         assert_eq!(aqlm.equivalent_bits(), 3.0);
         assert!((aqlm.compression_vs_fp16() - 0.1875).abs() < 1e-12);
 
-        let gptvq = VqConfig::new(4, 256, 1, CodebookScope::PerTile { rows: 256, cols: 256 }).unwrap();
+        let gptvq = VqConfig::new(
+            4,
+            256,
+            1,
+            CodebookScope::PerTile {
+                rows: 256,
+                cols: 256,
+            },
+        )
+        .unwrap();
         assert_eq!(gptvq.equivalent_bits(), 2.0);
 
         let cq4 = VqConfig::new(2, 256, 1, CodebookScope::PerChannelGroup { channels: 2 }).unwrap();

@@ -82,7 +82,13 @@ pub fn nearest(point: &[f32], centroids: &[f32], dim: usize) -> (u32, f32) {
 ///
 /// Panics if `dim == 0`, `k == 0`, or `points.len()` is not a multiple of
 /// `dim`.
-pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOptions) -> KmeansResult {
+pub fn kmeans(
+    points: &[f32],
+    dim: usize,
+    k: usize,
+    seed: u64,
+    opts: &KmeansOptions,
+) -> KmeansResult {
     assert!(dim > 0 && k > 0, "dim and k must be positive");
     assert_eq!(points.len() % dim, 0, "points must be n × dim");
     let n = points.len() / dim;
@@ -98,7 +104,10 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOpti
         // enough for codebook training and deterministic.
         let stride = n as f64 / opts.train_sample as f64;
         (0..opts.train_sample)
-            .map(|i| ((i as f64 * stride) as usize + rng.gen_range(0..stride.max(1.0) as usize + 1)).min(n - 1))
+            .map(|i| {
+                ((i as f64 * stride) as usize + rng.gen_range(0..stride.max(1.0) as usize + 1))
+                    .min(n - 1)
+            })
             .collect()
     };
     let t = train_idx.len();
@@ -108,7 +117,10 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOpti
     let mut centroids = vec![0.0f32; k * dim];
     let first = train_idx[rng.gen_range(0..t)];
     centroids[..dim].copy_from_slice(point(first));
-    let mut min_d2: Vec<f32> = train_idx.iter().map(|&i| dist2(point(i), &centroids[..dim])).collect();
+    let mut min_d2: Vec<f32> = train_idx
+        .iter()
+        .map(|&i| dist2(point(i), &centroids[..dim]))
+        .collect();
     for c in 1..k {
         let total: f64 = min_d2.iter().map(|&d| f64::from(d)).sum();
         let chosen = if total <= f64::EPSILON {
@@ -166,7 +178,15 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOpti
                 let (far_j, _) = train_idx
                     .iter()
                     .enumerate()
-                    .map(|(j, &i)| (j, dist2(point(i), &centroids[train_assign[j] as usize * dim..][..dim])))
+                    .map(|(j, &i)| {
+                        (
+                            j,
+                            dist2(
+                                point(i),
+                                &centroids[train_assign[j] as usize * dim..][..dim],
+                            ),
+                        )
+                    })
                     .fold((0, -1.0f32), |acc, x| if x.1 > acc.1 { x } else { acc });
                 let src = point(train_idx[far_j]).to_vec();
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(&src);
@@ -176,13 +196,18 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOpti
                 }
                 train_assign[far_j] = c as u32;
             } else {
-                for (ci, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                for (ci, s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
                     *ci = (s / counts[c] as f64) as f32;
                 }
             }
         }
 
-        if prev_inertia.is_finite() && (prev_inertia - inertia).abs() <= opts.tol * prev_inertia.abs() {
+        if prev_inertia.is_finite()
+            && (prev_inertia - inertia).abs() <= opts.tol * prev_inertia.abs()
+        {
             break;
         }
         prev_inertia = inertia;
@@ -191,9 +216,9 @@ pub fn kmeans(points: &[f32], dim: usize, k: usize, seed: u64, opts: &KmeansOpti
     // --- Final assignment of all points ---
     let mut assignments = vec![0u32; n];
     let mut inertia = 0.0f64;
-    for i in 0..n {
+    for (i, slot) in assignments.iter_mut().enumerate() {
         let (a, d) = nearest(point(i), &centroids, dim);
-        assignments[i] = a;
+        *slot = a;
         inertia += f64::from(d);
     }
 
@@ -214,12 +239,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pts = Vec::with_capacity(n_per * 2 * 2);
         for _ in 0..n_per {
-            pts.push(5.0 + rng.gen_range(-0.5..0.5));
-            pts.push(5.0 + rng.gen_range(-0.5..0.5));
+            pts.push(5.0 + rng.gen_range(-0.5f32..0.5));
+            pts.push(5.0 + rng.gen_range(-0.5f32..0.5));
         }
         for _ in 0..n_per {
-            pts.push(-5.0 + rng.gen_range(-0.5..0.5));
-            pts.push(-5.0 + rng.gen_range(-0.5..0.5));
+            pts.push(-5.0 + rng.gen_range(-0.5f32..0.5));
+            pts.push(-5.0 + rng.gen_range(-0.5f32..0.5));
         }
         pts
     }

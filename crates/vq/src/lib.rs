@@ -82,7 +82,11 @@ impl std::fmt::Display for VqError {
                 write!(f, "invalid VQ config: {what} = {value}")
             }
             VqError::IncompatibleShape { what, shape } => {
-                write!(f, "incompatible tensor shape {}x{} for {what}", shape.0, shape.1)
+                write!(
+                    f,
+                    "incompatible tensor shape {}x{} for {what}",
+                    shape.0, shape.1
+                )
             }
             VqError::InsufficientData { points, entries } => {
                 write!(f, "cannot train {entries} entries from {points} points")

@@ -7,7 +7,6 @@
 //! kernel would decode with shift/mask ops.
 
 use crate::{Result, VqError};
-use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
 /// A bit-packed stream of equal-width indices.
@@ -32,8 +31,12 @@ impl PackedIndices {
                 value: bits as usize,
             });
         }
-        let limit = if bits == 32 { u64::MAX } else { (1u64 << bits) - 1 };
-        let mut buf = BytesMut::with_capacity((indices.len() * bits as usize).div_ceil(8));
+        let limit = if bits == 32 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        let mut buf = Vec::with_capacity((indices.len() * bits as usize).div_ceil(8));
         let mut acc: u64 = 0;
         let mut nbits: u32 = 0;
         for &idx in indices {
@@ -46,18 +49,18 @@ impl PackedIndices {
             acc |= u64::from(idx) << nbits;
             nbits += u32::from(bits);
             while nbits >= 8 {
-                buf.put_u8((acc & 0xff) as u8);
+                buf.push((acc & 0xff) as u8);
                 acc >>= 8;
                 nbits -= 8;
             }
         }
         if nbits > 0 {
-            buf.put_u8((acc & 0xff) as u8);
+            buf.push((acc & 0xff) as u8);
         }
         Ok(PackedIndices {
             bits,
             len: indices.len(),
-            data: buf.to_vec(),
+            data: buf,
         })
     }
 
@@ -74,11 +77,18 @@ impl PackedIndices {
         let first = bit_pos / 8;
         // An index spans at most ceil((bits + 7) / 8) + 1 bytes.
         let span = (bits + (bit_pos % 8)).div_ceil(8);
-        for (j, &b) in self.data[first..(first + span).min(self.data.len())].iter().enumerate() {
+        for (j, &b) in self.data[first..(first + span).min(self.data.len())]
+            .iter()
+            .enumerate()
+        {
             acc |= u64::from(b) << (8 * j);
         }
         acc >>= bit_pos % 8;
-        let mask = if bits == 32 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits == 32 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         (acc & mask) as u32
     }
 
@@ -142,8 +152,14 @@ mod tests {
     #[test]
     fn roundtrip_odd_widths() {
         for bits in [1u8, 3, 5, 11, 13, 16, 17, 31] {
-            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
-            let idx: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761) & max).collect();
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
+            let idx: Vec<u32> = (0..100u32)
+                .map(|i| i.wrapping_mul(2654435761) & max)
+                .collect();
             let p = PackedIndices::pack(&idx, bits).unwrap();
             assert_eq!(p.unpack(), idx, "width {bits}");
         }

@@ -206,9 +206,7 @@ impl QuantizedTensor {
         out.fill(0.0);
         let mut entry = vec![0.0f32; vs];
         for r in 0..self.config.residuals {
-            let s = self
-                .codebooks
-                .scope_index(row, group * vs);
+            let s = self.codebooks.scope_index(row, group * vs);
             let book = self.codebooks.book(r, s);
             book.lookup(self.index_at(r, row, group), &mut entry);
             for (o, &e) in out.iter_mut().zip(&entry) {
@@ -241,7 +239,10 @@ impl QuantizedTensor {
 
     /// Compressed payload size: packed indices + codebooks (FP16).
     pub fn compressed_bytes(&self) -> usize {
-        self.indices.iter().map(PackedIndices::byte_len).sum::<usize>()
+        self.indices
+            .iter()
+            .map(PackedIndices::byte_len)
+            .sum::<usize>()
             + self.codebooks.total_bytes()
     }
 

@@ -162,11 +162,27 @@ mod tests {
     fn more_bits_reduce_error() {
         let t = synth::gaussian(16, 128, 1.0, 3);
         let e4 = {
-            let q = quantize(&t, ScalarQuantConfig { bits: 4, group_size: 64, asymmetric: true }).unwrap();
+            let q = quantize(
+                &t,
+                ScalarQuantConfig {
+                    bits: 4,
+                    group_size: 64,
+                    asymmetric: true,
+                },
+            )
+            .unwrap();
             metrics::mse_tensor(&t, &q.dequantize())
         };
         let e8 = {
-            let q = quantize(&t, ScalarQuantConfig { bits: 8, group_size: 64, asymmetric: true }).unwrap();
+            let q = quantize(
+                &t,
+                ScalarQuantConfig {
+                    bits: 8,
+                    group_size: 64,
+                    asymmetric: true,
+                },
+            )
+            .unwrap();
             metrics::mse_tensor(&t, &q.dequantize())
         };
         assert!(e8 < e4 / 10.0, "e8 {e8} vs e4 {e4}");
@@ -175,7 +191,15 @@ mod tests {
     #[test]
     fn symmetric_mode_centers_zero() {
         let t = Tensor2D::from_vec(1, 4, vec![-1.0, -0.5, 0.5, 1.0]).unwrap();
-        let q = quantize(&t, ScalarQuantConfig { bits: 4, group_size: 4, asymmetric: false }).unwrap();
+        let q = quantize(
+            &t,
+            ScalarQuantConfig {
+                bits: 4,
+                group_size: 4,
+                asymmetric: false,
+            },
+        )
+        .unwrap();
         let r = q.dequantize();
         assert!(metrics::max_abs_diff(t.as_slice(), r.as_slice()) < 0.15);
     }
@@ -187,7 +211,11 @@ mod tests {
         let clean = synth::gaussian(1, 128, 0.1, 5);
         let mut dirty = clean.clone();
         dirty.set(0, 0, 10.0);
-        let cfg = ScalarQuantConfig { bits: 4, group_size: 128, asymmetric: true };
+        let cfg = ScalarQuantConfig {
+            bits: 4,
+            group_size: 128,
+            asymmetric: true,
+        };
         let e_clean = metrics::mse_tensor(&clean, &quantize(&clean, cfg).unwrap().dequantize());
         let e_dirty = {
             let q = quantize(&dirty, cfg).unwrap().dequantize();
@@ -214,8 +242,32 @@ mod tests {
     #[test]
     fn rejects_invalid_config() {
         let t = synth::gaussian(2, 8, 1.0, 1);
-        assert!(quantize(&t, ScalarQuantConfig { bits: 0, group_size: 8, asymmetric: true }).is_err());
-        assert!(quantize(&t, ScalarQuantConfig { bits: 9, group_size: 8, asymmetric: true }).is_err());
-        assert!(quantize(&t, ScalarQuantConfig { bits: 4, group_size: 0, asymmetric: true }).is_err());
+        assert!(quantize(
+            &t,
+            ScalarQuantConfig {
+                bits: 0,
+                group_size: 8,
+                asymmetric: true
+            }
+        )
+        .is_err());
+        assert!(quantize(
+            &t,
+            ScalarQuantConfig {
+                bits: 9,
+                group_size: 8,
+                asymmetric: true
+            }
+        )
+        .is_err());
+        assert!(quantize(
+            &t,
+            ScalarQuantConfig {
+                bits: 4,
+                group_size: 0,
+                asymmetric: true
+            }
+        )
+        .is_err());
     }
 }

@@ -137,13 +137,19 @@ impl AccessHistogram {
 
     /// Number of entries above µ+3σ (Tbl. V's "#Entry freq > µ+3σ" row).
     pub fn num_hot(&self) -> usize {
-        self.classify().iter().filter(|c| **c == EntryClass::Hot).count()
+        self.classify()
+            .iter()
+            .filter(|c| **c == EntryClass::Hot)
+            .count()
     }
 
     /// Entries accessed at or below the mean (the ">half yield little
     /// benefit in shared memory" population of §V-A).
     pub fn num_cold(&self) -> usize {
-        self.classify().iter().filter(|c| **c == EntryClass::Cold).count()
+        self.classify()
+            .iter()
+            .filter(|c| **c == EntryClass::Cold)
+            .count()
     }
 
     /// Permutation sorting entries by descending frequency: element `i` is
@@ -306,8 +312,17 @@ mod tests {
         let h = AccessHistogram::profile(&q, 0);
         // At least 40 % of entries at-or-below the mean on this synthetic
         // tensor (the paper reports "over half" on real Llama weights).
-        assert!(h.num_cold() * 5 >= h.counts().len() * 2, "cold {}", h.num_cold());
-        assert!(h.std_dev() > 0.2 * h.mean(), "std {} mean {}", h.std_dev(), h.mean());
+        assert!(
+            h.num_cold() * 5 >= h.counts().len() * 2,
+            "cold {}",
+            h.num_cold()
+        );
+        assert!(
+            h.std_dev() > 0.2 * h.mean(),
+            "std {} mean {}",
+            h.std_dev(),
+            h.mean()
+        );
     }
 
     #[test]

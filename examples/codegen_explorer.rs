@@ -6,26 +6,47 @@
 //! cargo run --release --example codegen_explorer
 //! ```
 
-use vq_llm::core::{codegen, ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::vq::VqAlgorithm;
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let planner = KernelPlanner::new(GpuSpec::rtx4090());
+    let session = Session::builder().gpu(GpuSpec::rtx4090()).build()?;
 
     let cases = [
-        (VqAlgorithm::Cq2, ComputeOp::attention_decode(32, 128, 1024, 1), OptLevel::Gc),
-        (VqAlgorithm::Cq2, ComputeOp::attention_decode(32, 128, 1024, 1), OptLevel::O4),
-        (VqAlgorithm::QuipSharp4, ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 }, OptLevel::O4),
-        (VqAlgorithm::Aqlm3, ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 }, OptLevel::O4),
+        (
+            VqAlgorithm::Cq2,
+            ComputeOp::attention_decode(32, 128, 1024, 1),
+            OptLevel::Gc,
+        ),
+        (
+            VqAlgorithm::Cq2,
+            ComputeOp::attention_decode(32, 128, 1024, 1),
+            OptLevel::O4,
+        ),
+        (
+            VqAlgorithm::QuipSharp4,
+            ComputeOp::Gemm {
+                m: 2048,
+                n: 11008,
+                k: 4096,
+            },
+            OptLevel::O4,
+        ),
+        (
+            VqAlgorithm::Aqlm3,
+            ComputeOp::Gemv {
+                n: 11008,
+                k: 4096,
+                batch: 1,
+            },
+            OptLevel::O4,
+        ),
     ];
 
     for (algo, op, level) in cases {
-        let vq = algo.config();
-        let plan = planner.plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))?;
+        let plan = session.plan_at(&algo.config(), &op, level)?;
         println!("────────────────────────────────────────────────────────────");
         println!("{} ⊕ {} at {}\n", algo, op, level);
-        println!("{}", codegen::emit(&plan));
+        println!("{}", session.emit(&plan));
     }
 
     println!("────────────────────────────────────────────────────────────");

@@ -1,36 +1,34 @@
 //! KV-cache compression scenario: a decode loop over a CQ-compressed KV
 //! cache, with per-step attention verified functionally and the end-to-end
-//! latency projected through the pipeline.
+//! latency projected through the session's pipeline.
 //!
 //! ```sh
 //! cargo run --release --example kv_cache_decode
 //! ```
 
-use vq_llm::core::{ComputeOp, KernelPlanner};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::kernels::vq_kernel;
 use vq_llm::llm::kv::KvStorage;
-use vq_llm::llm::{KvCache, LlamaConfig, Pipeline, QuantScheme};
+use vq_llm::llm::KvCache;
 use vq_llm::tensor::{linalg, metrics, synth};
-use vq_llm::vq::{VqAlgorithm, VqQuantizer};
+use vq_llm::{ComputeOp, GpuSpec, QuantScheme, Session, VqAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let gpu = GpuSpec::rtx4090();
-    let model = LlamaConfig::llama_7b();
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .kv_algo(VqAlgorithm::Cq4)
+        .build()?;
+    let model = session.model();
 
     // --- Functional check: one head of attention over quantized K/V ---
-    let algo = VqAlgorithm::Cq4;
     let seq = 256;
     let dim = 64;
     let k = synth::kv_stream(seq, dim, 0.85, 1);
     let v = synth::kv_stream(seq, dim, 0.85, 2);
-    let kq = VqQuantizer::new(algo.config()).quantize(&k, 3)?;
-    let vq = VqQuantizer::new(algo.config()).quantize(&v, 4)?;
+    let kq = session.quantize_kv(&k, 3)?;
+    let vq = session.quantize_kv(&v, 4)?;
     let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.31).cos()).collect();
 
-    let plan = KernelPlanner::new(gpu.clone())
-        .plan(&algo.config(), &ComputeOp::attention_decode(1, dim, seq, 1))?;
-    let (out, kernel) = vq_kernel::run_attention_head(&gpu, &plan, &q, &kq, &vq)?;
+    let plan = session.kv_plan(&ComputeOp::attention_decode(1, dim, seq, 1))?;
+    let (out, kernel) = session.run_attention_head(&plan, &q, &kq, &vq)?;
     let reference = linalg::attention_decode_ref(
         &q,
         &kq.dequantize()?,
@@ -44,7 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Cache footprint as the sequence grows ---
-    let mut cache = KvCache::new(model, 1024, 16, KvStorage::Vq { bits_per_element: 4.0 });
+    let mut cache = KvCache::new(
+        model,
+        1024,
+        16,
+        KvStorage::Vq {
+            bits_per_element: 4.0,
+        },
+    );
     let mut quant_overhead = 0.0;
     for _ in 0..256 {
         quant_overhead += cache.append_token();
@@ -59,9 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quant_overhead
     );
 
-    // --- End-to-end projection ---
-    for scheme in [QuantScheme::Fp16, QuantScheme::vq_llm_4bit(), QuantScheme::vq_llm_2bit()] {
-        let rep = Pipeline::new(gpu.clone(), model, scheme).generate(1024, 256, 16);
+    // --- End-to-end projection: every scheme through the same session
+    //     (and the same plan cache) ---
+    for scheme in [
+        QuantScheme::Fp16,
+        QuantScheme::vq_llm_4bit(),
+        QuantScheme::vq_llm_2bit(),
+    ] {
+        let rep = session.pipeline(scheme).generate(1024, 256, 16);
         println!(
             "{:28} prefill {:7.1} ms + decode {:7.1} ms = {:8.1} ms ({:.2} GB)",
             rep.scheme,
@@ -71,5 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rep.memory_gb
         );
     }
+    let stats = session.cache_stats();
+    println!(
+        "\nplan cache after all projections: {} plans, {:.0}% hit rate",
+        session.plan_cache().len(),
+        stats.hit_rate() * 100.0
+    );
     Ok(())
 }

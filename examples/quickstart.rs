@@ -1,42 +1,52 @@
-//! Quickstart: quantize a tensor, generate an optimized fused kernel, run
-//! it, and compare against the FP16 baseline.
+//! Quickstart: open a `Session`, quantize a tensor, generate an optimized
+//! fused kernel, and compare against the FP16 baseline.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use vq_llm::core::{ComputeOp, KernelPlanner};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::kernels::{fp16, vq_kernel, AccessProfile};
-use vq_llm::tensor::{metrics, synth};
-use vq_llm::vq::{VqAlgorithm, VqQuantizer};
+use vq_llm::kernels::fp16;
+use vq_llm::tensor::metrics;
+use vq_llm::tensor::synth;
+use vq_llm::{GpuSpec, OptLevel, Session, VqAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One session = device + algorithms + opt level + shared plan cache.
+    let session = Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .weight_algo(VqAlgorithm::QuipSharp4)
+        .kv_algo(VqAlgorithm::Cq2)
+        .opt(OptLevel::O4)
+        .build()?;
+
     // 1. Quantize a synthetic KV-cache stream with CQ-2 (VQ<4,8,1>).
-    let algo = VqAlgorithm::Cq2;
     let kv = synth::kv_stream(512, 128, 0.85, 42);
-    let quantized = VqQuantizer::new(algo.config()).quantize(&kv, 7)?;
+    let quantized = session.quantize_kv(&kv, 7)?;
     let restored = quantized.dequantize()?;
     println!(
         "quantized 512x128 KV tensor with {}: {} -> {} bytes ({}x), rel. error {:.3}",
-        algo,
+        session.kv_algo(),
         kv.storage_bytes(vq_llm::tensor::DType::F16),
         quantized.index_bytes(),
         kv.storage_bytes(vq_llm::tensor::DType::F16) / quantized.index_bytes(),
         metrics::rel_frobenius(kv.as_slice(), restored.as_slice()),
     );
 
-    // 2. Generate an optimized fused attention kernel for an RTX 4090.
-    let gpu = GpuSpec::rtx4090();
-    let op = ComputeOp::attention_decode(32, 128, 1024, 1);
-    let planner = KernelPlanner::new(gpu.clone());
-    let plan = planner.plan(&algo.config(), &op)?;
-    println!("\ngenerated plan:\n  {}", plan.describe());
+    // 2. Generate an optimized fused attention kernel (memoized: a second
+    //    request for the same op is a cache hit).
+    let op = session.attention_op(1024, 1);
+    let (best, out) = session.best_kv_plan(&op)?;
+    println!("\ngenerated plan:\n  {}", best.describe());
 
     // 3. Estimate its latency against the FP16 FlashDecoding baseline.
-    let profile = AccessProfile::default_for(&algo.config());
-    let (best, out) = vq_kernel::best_plan(&gpu, &algo.config(), &op, &profile)?;
-    let baseline = fp16::attention(&gpu, fp16::AttnBaseline::FlashDecoding, 1, 32, 128, 1024);
+    let baseline = fp16::attention(
+        session.gpu(),
+        fp16::AttnBaseline::FlashDecoding,
+        1,
+        32,
+        128,
+        1024,
+    );
     println!(
         "\nlatency: FP16 {:.1} us vs VQ-LLM {:.1} us ({:.2}x) at level {}",
         baseline.us(),
@@ -47,6 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Emit the CUDA-like kernel a GPU backend would compile.
     println!("\n--- generated kernel source ---");
-    println!("{}", vq_llm::core::codegen::emit(&best));
+    println!("{}", session.emit(&best));
+
+    let stats = session.cache_stats();
+    println!(
+        "plan cache: {} plans, {} hits / {} misses",
+        session.plan_cache().len(),
+        stats.hits,
+        stats.misses
+    );
     Ok(())
 }

@@ -1,38 +1,53 @@
 //! Weight-only compression pipeline: quantize a linear layer with each of
 //! the paper's three weight algorithms (QuiP#-4, AQLM-3, GPTVQ-2), check
 //! the fused GeMV output against the reference, and compare decode-phase
-//! latencies on the performance model.
+//! latencies — one `Session` per algorithm, all sharing one plan cache.
 //!
 //! ```sh
 //! cargo run --release --example weight_compression
 //! ```
 
-use vq_llm::core::{ComputeOp, KernelPlanner};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::kernels::{elementwise, fp16, vq_kernel, AccessProfile};
+use std::sync::Arc;
+use vq_llm::kernels::{elementwise, fp16};
 use vq_llm::tensor::{linalg, metrics, synth};
-use vq_llm::vq::{VqAlgorithm, VqQuantizer};
+use vq_llm::{ComputeOp, GpuSpec, PlanCache, Session, VqAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu = GpuSpec::rtx4090();
-    let planner = KernelPlanner::new(gpu.clone());
+    let shared_cache = Arc::new(PlanCache::new());
 
     // A small correlated "weight" so the functional path runs quickly; the
     // latency model is evaluated at the real Llama-7B MLP shape.
     let w = synth::correlated_channels(128, 256, 8, 0.9, 3);
     let x: Vec<f32> = (0..128).map(|i| (i as f32 * 0.13).sin()).collect();
 
-    println!("{:10} {:>12} {:>12} {:>12} {:>12}", "algorithm", "rel. error", "VQ-LLM", "vs FP16", "vs AWQ-4");
-    let shape = ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 };
+    println!(
+        "{:10} {:>12} {:>12} {:>12} {:>12}",
+        "algorithm", "rel. error", "VQ-LLM", "vs FP16", "vs AWQ-4"
+    );
+    let shape = ComputeOp::Gemv {
+        n: 11008,
+        k: 4096,
+        batch: 1,
+    };
     let fp = fp16::gemv(&gpu, 11008, 4096, 1);
     let awq = elementwise::awq_gemv(&gpu, 11008, 4096, 1);
 
     for algo in VqAlgorithm::WEIGHT {
-        let cfg = algo.config();
+        let session = Session::builder()
+            .gpu(gpu.clone())
+            .weight_algo(algo)
+            .plan_cache(Arc::clone(&shared_cache))
+            .build()?;
+
         // Functional correctness on the small layer.
-        let wq = VqQuantizer::new(cfg).quantize(&w, 11)?;
-        let plan = planner.plan(&cfg, &ComputeOp::Gemv { n: 256, k: 128, batch: 1 })?;
-        let (y, _) = vq_kernel::run_gemv(&gpu, &plan, &x, &wq)?;
+        let wq = session.quantize_weights(&w, 11)?;
+        let plan = session.weight_plan(&ComputeOp::Gemv {
+            n: 256,
+            k: 128,
+            batch: 1,
+        })?;
+        let (y, _) = session.run_gemv(&plan, &x, &wq)?;
         let y_ref = linalg::gemv(&wq.dequantize()?.transposed(), &x)?;
         assert!(
             metrics::allclose(&y, &y_ref, 1e-4, 1e-4),
@@ -41,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let rel = metrics::rel_frobenius(w.as_slice(), wq.dequantize()?.as_slice());
 
         // Latency at the Llama-7B MLP shape.
-        let profile = AccessProfile::default_for(&cfg);
-        let (_, out) = vq_kernel::best_plan(&gpu, &cfg, &shape, &profile)?;
+        let (_, out) = session.best_weight_plan(&shape)?;
         println!(
             "{:10} {:>12.4} {:>10.1}us {:>11.2}x {:>11.2}x",
             algo.name(),
@@ -53,5 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\n(fused outputs verified against dequantize-then-compute references)");
+    println!(
+        "(shared plan cache across all three sessions: {} plans)",
+        shared_cache.len()
+    );
     Ok(())
 }

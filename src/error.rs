@@ -1,0 +1,153 @@
+//! The workspace-wide error type.
+//!
+//! Every crate in the workspace keeps its own narrow error enum
+//! (`CoreError`, `VqError`, `GpuError`, `KernelError`, `LlmError`,
+//! `TensorError`) so low-level callers pay for exactly what they use.
+//! [`VqLlmError`] is the facade's union of all of them plus the
+//! [`Session`](crate::Session) builder's own validation failures, with
+//! `From` impls so `?` flows every subsystem error into one type with its
+//! structured context intact.
+
+use vqllm_core::CoreError;
+use vqllm_gpu::GpuError;
+use vqllm_kernels::KernelError;
+use vqllm_llm::LlmError;
+use vqllm_tensor::TensorError;
+use vqllm_vq::VqError;
+
+/// Any failure the VQ-LLM stack can produce, with structured context.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqLlmError {
+    /// Kernel planning failed (no launchable configuration).
+    Planning(CoreError),
+    /// Quantization (training, encoding, or configuration) failed.
+    Quantization(VqError),
+    /// The GPU performance model rejected a configuration.
+    Gpu(GpuError),
+    /// A kernel rejected its inputs.
+    Kernel(KernelError),
+    /// The end-to-end pipeline rejected its configuration.
+    Pipeline(LlmError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The [`Session`](crate::Session) builder rejected its configuration.
+    InvalidSession {
+        /// Which builder field was wrong.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VqLlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VqLlmError::Planning(e) => write!(f, "planning: {e}"),
+            VqLlmError::Quantization(e) => write!(f, "quantization: {e}"),
+            VqLlmError::Gpu(e) => write!(f, "gpu model: {e}"),
+            VqLlmError::Kernel(e) => write!(f, "kernel: {e}"),
+            VqLlmError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            VqLlmError::Tensor(e) => write!(f, "tensor: {e}"),
+            VqLlmError::InvalidSession { what, detail } => {
+                write!(f, "invalid session config ({what}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VqLlmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VqLlmError::Planning(e) => Some(e),
+            VqLlmError::Quantization(e) => Some(e),
+            VqLlmError::Gpu(e) => Some(e),
+            VqLlmError::Kernel(e) => Some(e),
+            VqLlmError::Pipeline(e) => Some(e),
+            VqLlmError::Tensor(e) => Some(e),
+            VqLlmError::InvalidSession { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for VqLlmError {
+    fn from(e: CoreError) -> Self {
+        VqLlmError::Planning(e)
+    }
+}
+
+impl From<VqError> for VqLlmError {
+    fn from(e: VqError) -> Self {
+        VqLlmError::Quantization(e)
+    }
+}
+
+impl From<GpuError> for VqLlmError {
+    fn from(e: GpuError) -> Self {
+        VqLlmError::Gpu(e)
+    }
+}
+
+impl From<KernelError> for VqLlmError {
+    fn from(e: KernelError) -> Self {
+        VqLlmError::Kernel(e)
+    }
+}
+
+impl From<LlmError> for VqLlmError {
+    fn from(e: LlmError) -> Self {
+        VqLlmError::Pipeline(e)
+    }
+}
+
+impl From<TensorError> for VqLlmError {
+    fn from(e: TensorError) -> Self {
+        VqLlmError::Tensor(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, VqLlmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn from_impls_preserve_context() {
+        let core = CoreError::Unplannable(Box::new(vqllm_core::Unplannable {
+            what: "test",
+            op: vqllm_core::ComputeOp::Gemv {
+                n: 1,
+                k: 1,
+                batch: 1,
+            },
+            vq: vqllm_vq::VqAlgorithm::Cq2.config(),
+            opt_level: vqllm_core::OptLevel::O4,
+            gpu: "test-gpu".to_string(),
+            resources: vqllm_gpu::BlockResources::new(256, 255, 1 << 20),
+        }));
+        let e: VqLlmError = core.clone().into();
+        assert_eq!(e, VqLlmError::Planning(core));
+        assert!(e.to_string().contains("test-gpu"));
+        assert!(e.source().is_some());
+
+        let e: VqLlmError = VqError::InvalidConfig {
+            what: "x",
+            value: 0,
+        }
+        .into();
+        assert!(matches!(e, VqLlmError::Quantization(_)));
+        assert!(e.to_string().contains("quantization"));
+    }
+
+    #[test]
+    fn invalid_session_has_no_source() {
+        let e = VqLlmError::InvalidSession {
+            what: "weight_algo",
+            detail: "CQ-4 is a KV-cache algorithm".to_string(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("weight_algo"));
+    }
+}

@@ -1,0 +1,474 @@
+//! The `Session` facade: one ergonomic, cache-aware entry point.
+//!
+//! The paper's framework is a single coherent pipeline — profile →
+//! codebook-cache placement → dataflow → fusion → codegen → execute
+//! (Fig. 7) — and [`Session`] exposes it as one object instead of a
+//! hand-stitched tuple of `KernelPlanner` + `vq_kernel` + `Pipeline` +
+//! raw `GpuSpec`s:
+//!
+//! * a **builder** validates the device / algorithm / optimization-level
+//!   combination once, up front;
+//! * a pluggable [`Backend`](crate::Backend) supplies planning,
+//!   estimation, and functional execution (the performance model today; a
+//!   real-GPU backend later);
+//! * a shared, memoizing [`PlanCache`] makes repeated planning requests —
+//!   the serving hot path — a hash probe instead of re-running Alg. 2, and
+//!   is inherited by every [`Pipeline`] the session creates.
+//!
+//! ```
+//! use vq_llm::{OptLevel, Session, VqAlgorithm};
+//!
+//! # fn main() -> Result<(), vq_llm::VqLlmError> {
+//! let session = Session::builder()
+//!     .gpu(vq_llm::GpuSpec::rtx4090())
+//!     .weight_algo(VqAlgorithm::QuipSharp4)
+//!     .kv_algo(VqAlgorithm::Cq4)
+//!     .opt(OptLevel::O4)
+//!     .build()?;
+//! let op = session.attention_op(1024, 1);
+//! let (plan, out) = session.best_kv_plan(&op)?;
+//! println!("{} -> {:.1} us", plan.describe(), out.us());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::backend::{Backend, PerfModelBackend};
+use crate::error::{Result, VqLlmError};
+use std::sync::Arc;
+use vqllm_core::plan_cache::{self, CacheStats, PlanCache, PlanKey, PlanRequest};
+use vqllm_core::{codegen, ComputeOp, KernelPlan, OptLevel, ProfileSummary};
+use vqllm_gpu::GpuSpec;
+use vqllm_kernels::{AccessProfile, KernelOutput};
+use vqllm_llm::{E2eReport, LlamaConfig, Pipeline, QuantScheme};
+use vqllm_tensor::Tensor2D;
+use vqllm_vq::{QuantizedTensor, VqAlgorithm, VqConfig, VqQuantizer};
+
+/// Builder for [`Session`] (see [`Session::builder`]).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    gpu: GpuSpec,
+    weight_algo: VqAlgorithm,
+    kv_algo: VqAlgorithm,
+    opt: OptLevel,
+    model: LlamaConfig,
+    backend: Option<Arc<dyn Backend>>,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            gpu: GpuSpec::rtx4090(),
+            weight_algo: VqAlgorithm::QuipSharp4,
+            kv_algo: VqAlgorithm::Cq4,
+            opt: OptLevel::O4,
+            model: LlamaConfig::llama_7b(),
+            backend: None,
+            plan_cache: None,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Target device (default: RTX 4090, the paper's primary testbed).
+    pub fn gpu(mut self, gpu: GpuSpec) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    /// Weight quantization algorithm (default: QuiP#-4).
+    pub fn weight_algo(mut self, algo: VqAlgorithm) -> Self {
+        self.weight_algo = algo;
+        self
+    }
+
+    /// KV-cache quantization algorithm (default: CQ-4).
+    pub fn kv_algo(mut self, algo: VqAlgorithm) -> Self {
+        self.kv_algo = algo;
+        self
+    }
+
+    /// Optimization level for generated kernels (default: O4, the shipped
+    /// fully-adaptive configuration).
+    pub fn opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Model shape for end-to-end projections (default: Llama-7B).
+    pub fn model(mut self, model: LlamaConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Execution backend (default: [`PerfModelBackend`]).
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Shares an existing plan cache (default: a fresh empty cache). Lets
+    /// several sessions — e.g. one per tenant on the same device — reuse
+    /// each other's plans.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::InvalidSession`] when the weight algorithm is
+    /// not a weight quantizer, the KV algorithm is not a KV-cache
+    /// quantizer, or the device description is degenerate.
+    pub fn build(self) -> Result<Session> {
+        if !self.weight_algo.is_weight_algorithm() {
+            return Err(VqLlmError::InvalidSession {
+                what: "weight_algo",
+                detail: format!(
+                    "{} is a KV-cache algorithm; expected one of {:?}",
+                    self.weight_algo.name(),
+                    VqAlgorithm::WEIGHT.map(|a| a.name()),
+                ),
+            });
+        }
+        if self.kv_algo.is_weight_algorithm() {
+            return Err(VqLlmError::InvalidSession {
+                what: "kv_algo",
+                detail: format!(
+                    "{} is a weight algorithm; expected one of {:?}",
+                    self.kv_algo.name(),
+                    VqAlgorithm::KV_CACHE.map(|a| a.name()),
+                ),
+            });
+        }
+        if self.gpu.num_sms == 0 || self.gpu.dram_bw_gbps <= 0.0 {
+            return Err(VqLlmError::InvalidSession {
+                what: "gpu",
+                detail: format!("degenerate device description: {}", self.gpu),
+            });
+        }
+        Ok(Session {
+            gpu_identity: plan_cache::gpu_identity(&self.gpu),
+            gpu: self.gpu,
+            weight_algo: self.weight_algo,
+            kv_algo: self.kv_algo,
+            opt: self.opt,
+            model: self.model,
+            backend: self.backend.unwrap_or_else(|| Arc::new(PerfModelBackend)),
+            plan_cache: self.plan_cache.unwrap_or_default(),
+        })
+    }
+}
+
+/// A configured VQ-LLM instance: device + algorithms + optimization level
+/// + backend + shared plan cache.
+///
+/// Cloning is cheap (the backend and plan cache are shared), so a server
+/// can hand one clone to every worker thread.
+#[derive(Debug, Clone)]
+pub struct Session {
+    gpu: GpuSpec,
+    /// Precomputed full-spec cache identity ([`plan_cache::gpu_identity`])
+    /// so cache lookups don't re-render the spec.
+    gpu_identity: Arc<str>,
+    weight_algo: VqAlgorithm,
+    kv_algo: VqAlgorithm,
+    opt: OptLevel,
+    model: LlamaConfig,
+    backend: Arc<dyn Backend>,
+    plan_cache: Arc<PlanCache>,
+}
+
+impl Session {
+    /// Starts a builder with the paper's shipped defaults (RTX 4090,
+    /// QuiP#-4 weights, CQ-4 KV, O4).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    // --- accessors ---
+
+    /// The target device.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The configured weight algorithm.
+    pub fn weight_algo(&self) -> VqAlgorithm {
+        self.weight_algo
+    }
+
+    /// The configured KV-cache algorithm.
+    pub fn kv_algo(&self) -> VqAlgorithm {
+        self.kv_algo
+    }
+
+    /// The configured optimization level.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// The configured model shape.
+    pub fn model(&self) -> LlamaConfig {
+        self.model
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// The shared plan cache.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// Hit/miss counters of the shared plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// The quantization scheme this session's pipeline runs under.
+    pub fn scheme(&self) -> QuantScheme {
+        QuantScheme::VqLlm {
+            weight: self.weight_algo,
+            kv: self.kv_algo,
+            opt: self.opt,
+        }
+    }
+
+    /// Attention-decode op at this session's model shape.
+    pub fn attention_op(&self, seq: usize, batch: usize) -> ComputeOp {
+        ComputeOp::attention_decode(self.model.heads, self.model.head_dim, seq, batch)
+    }
+
+    // --- planning (memoized) ---
+
+    /// Plans `op` under `vq` at the session's optimization level. Repeated
+    /// calls with the same key return the same `Arc` from the cache.
+    ///
+    /// `O4` — the shipped fully-adaptive configuration — resolves to the
+    /// adaptive best plan across the whole ladder, exactly as the
+    /// end-to-end [`Pipeline`] does, so `plan`/`generate` agree on which
+    /// kernel runs (and share one cache entry). Use [`Session::plan_at`]
+    /// to pin the literal O4 rung instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Planning`] when no launchable configuration
+    /// exists.
+    pub fn plan(&self, vq: &VqConfig, op: &ComputeOp) -> Result<Arc<KernelPlan>> {
+        if self.opt == OptLevel::O4 {
+            // Plan only — skip best_plan()'s per-call latency estimate.
+            self.cached_best_plan(vq, op, &AccessProfile::default_for(vq))
+        } else {
+            self.plan_at(vq, op, self.opt)
+        }
+    }
+
+    /// Plans at an explicit rung of the optimization ladder (memoized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Planning`] when no launchable configuration
+    /// exists at that rung.
+    pub fn plan_at(
+        &self,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        level: OptLevel,
+    ) -> Result<Arc<KernelPlan>> {
+        let summary = ProfileSummary::default_for(vq);
+        let key = PlanKey::with_identity(
+            Arc::clone(&self.gpu_identity),
+            vq,
+            op,
+            PlanRequest::At(level),
+            &summary,
+        );
+        self.plan_cache.get_or_try_insert_with(key, || {
+            self.backend.plan_at(&self.gpu, vq, op, level, &summary)
+        })
+    }
+
+    /// Adaptive best plan across the ladder plus its latency estimate
+    /// (memoized; the estimate is recomputed from the cached plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError`] when no rung yields a launchable plan.
+    pub fn best_plan(
+        &self,
+        vq: &VqConfig,
+        op: &ComputeOp,
+    ) -> Result<(Arc<KernelPlan>, KernelOutput)> {
+        let profile = AccessProfile::default_for(vq);
+        let plan = self.cached_best_plan(vq, op, &profile)?;
+        let out = self.backend.estimate(&self.gpu, &plan, &profile);
+        Ok((plan, out))
+    }
+
+    /// Memoized adaptive-best plan lookup under `profile` (the profile's
+    /// fingerprint is part of the key: different distributions must not
+    /// alias to one cached rung decision).
+    fn cached_best_plan(
+        &self,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        profile: &AccessProfile,
+    ) -> Result<Arc<KernelPlan>> {
+        let key = PlanKey::best(
+            Arc::clone(&self.gpu_identity),
+            vq,
+            op,
+            profile.fingerprint(),
+        );
+        self.plan_cache.get_or_try_insert_with(key, || {
+            self.backend
+                .best_plan(&self.gpu, vq, op, profile)
+                .map(|(plan, _)| plan)
+        })
+    }
+
+    /// [`Session::plan`] for the configured weight algorithm.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::plan`].
+    pub fn weight_plan(&self, op: &ComputeOp) -> Result<Arc<KernelPlan>> {
+        self.plan(&self.weight_algo.config(), op)
+    }
+
+    /// [`Session::plan`] for the configured KV-cache algorithm.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::plan`].
+    pub fn kv_plan(&self, op: &ComputeOp) -> Result<Arc<KernelPlan>> {
+        self.plan(&self.kv_algo.config(), op)
+    }
+
+    /// [`Session::best_plan`] for the configured weight algorithm.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::best_plan`].
+    pub fn best_weight_plan(&self, op: &ComputeOp) -> Result<(Arc<KernelPlan>, KernelOutput)> {
+        self.best_plan(&self.weight_algo.config(), op)
+    }
+
+    /// [`Session::best_plan`] for the configured KV-cache algorithm.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::best_plan`].
+    pub fn best_kv_plan(&self, op: &ComputeOp) -> Result<(Arc<KernelPlan>, KernelOutput)> {
+        self.best_plan(&self.kv_algo.config(), op)
+    }
+
+    // --- estimation & codegen ---
+
+    /// Latency/counter estimate for a plan under a default access profile.
+    pub fn estimate(&self, plan: &KernelPlan) -> KernelOutput {
+        let profile = AccessProfile::default_for(&plan.vq);
+        self.backend.estimate(&self.gpu, plan, &profile)
+    }
+
+    /// Latency/counter estimate under an explicit access profile.
+    pub fn estimate_with(&self, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput {
+        self.backend.estimate(&self.gpu, plan, profile)
+    }
+
+    /// Emits the CUDA-like source a GPU backend would compile for `plan`.
+    pub fn emit(&self, plan: &KernelPlan) -> String {
+        codegen::emit(plan)
+    }
+
+    // --- quantization ---
+
+    /// Quantizes a weight tensor with the session's weight algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Quantization`] on shape/config mismatches.
+    pub fn quantize_weights(&self, w: &Tensor2D, seed: u64) -> Result<QuantizedTensor> {
+        Ok(VqQuantizer::new(self.weight_algo.config()).quantize(w, seed)?)
+    }
+
+    /// Quantizes a K or V cache tensor with the session's KV algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Quantization`] on shape/config mismatches.
+    pub fn quantize_kv(&self, kv: &Tensor2D, seed: u64) -> Result<QuantizedTensor> {
+        Ok(VqQuantizer::new(self.kv_algo.config()).quantize(kv, seed)?)
+    }
+
+    // --- functional execution ---
+
+    /// Functionally executes a fused GeMM through the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Kernel`] on shape mismatches.
+    pub fn run_gemm(
+        &self,
+        plan: &KernelPlan,
+        a: &Tensor2D,
+        wq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        self.backend.run_gemm(&self.gpu, plan, a, wq)
+    }
+
+    /// Functionally executes a fused GeMV through the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Kernel`] on shape mismatches.
+    pub fn run_gemv(
+        &self,
+        plan: &KernelPlan,
+        x: &[f32],
+        wq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)> {
+        self.backend.run_gemv(&self.gpu, plan, x, wq)
+    }
+
+    /// Functionally executes one fused attention-decode head through the
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Kernel`] on shape mismatches.
+    pub fn run_attention_head(
+        &self,
+        plan: &KernelPlan,
+        q: &[f32],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)> {
+        self.backend.run_attention_head(&self.gpu, plan, q, kq, vq)
+    }
+
+    // --- end-to-end ---
+
+    /// An end-to-end pipeline under an explicit scheme (FP16 / qServe /
+    /// VQ-LLM), sharing this session's device, model, and plan cache.
+    pub fn pipeline(&self, scheme: QuantScheme) -> Pipeline {
+        Pipeline::with_cache(
+            self.gpu.clone(),
+            self.model,
+            scheme,
+            Arc::clone(&self.plan_cache),
+        )
+    }
+
+    /// Full generation run (prefill + decode) under this session's VQ-LLM
+    /// scheme.
+    pub fn generate(&self, prompt: usize, gen_tokens: usize, batch: usize) -> E2eReport {
+        self.pipeline(self.scheme())
+            .generate(prompt, gen_tokens, batch)
+    }
+}

@@ -1,59 +1,86 @@
 //! Integration: generated kernel sources contain exactly the constructs
-//! each plan's decisions imply (golden structural checks).
+//! each plan's decisions imply (golden structural checks), with plans and
+//! emission flowing through the `Session` facade.
 
-use vq_llm::core::{codegen, ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::vq::VqAlgorithm;
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 
-fn emit(algo: VqAlgorithm, op: ComputeOp, level: OptLevel) -> String {
-    let vq = algo.config();
-    let plan = KernelPlanner::new(GpuSpec::rtx4090())
-        .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
-        .unwrap();
-    codegen::emit(&plan)
+fn session() -> Session {
+    Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session")
+}
+
+fn emit(s: &Session, algo: VqAlgorithm, op: ComputeOp, level: OptLevel) -> String {
+    let plan = s.plan_at(&algo.config(), &op, level).unwrap();
+    s.emit(&plan)
 }
 
 #[test]
 fn ladder_changes_the_generated_code_monotonically() {
+    let s = session();
     let op = ComputeOp::attention_decode(32, 128, 1024, 1);
-    let gc = emit(VqAlgorithm::Cq2, op, OptLevel::Gc);
-    let o1 = emit(VqAlgorithm::Cq2, op, OptLevel::O1);
-    let o2 = emit(VqAlgorithm::Cq2, op, OptLevel::O2);
-    let o3 = emit(VqAlgorithm::Cq2, op, OptLevel::O3);
-    let o4 = emit(VqAlgorithm::Cq2, op, OptLevel::O4);
+    let gc = emit(&s, VqAlgorithm::Cq2, op, OptLevel::Gc);
+    let o1 = emit(&s, VqAlgorithm::Cq2, op, OptLevel::O1);
+    let o2 = emit(&s, VqAlgorithm::Cq2, op, OptLevel::O2);
+    let o3 = emit(&s, VqAlgorithm::Cq2, op, OptLevel::O3);
+    let o4 = emit(&s, VqAlgorithm::Cq2, op, OptLevel::O4);
 
     assert!(gc.contains("all entries in global") && !gc.contains("smem_entries"));
     assert!(o1.contains("smem_entries") && !o1.contains("reg_entries"));
     assert!(o2.contains("reg_entries") || o2.contains("smem_entries"));
     assert!(o3.contains("Parallel_For") && o3.contains("global_reduce"));
-    assert!(o4.contains("__shfl_xor_sync"), "CQ-2 attention fuses in registers (3 shuffles)");
+    assert!(
+        o4.contains("__shfl_xor_sync"),
+        "CQ-2 attention fuses in registers (3 shuffles)"
+    );
 }
 
 #[test]
 fn every_preset_generates_compilable_looking_source() {
+    let s = session();
     for algo in VqAlgorithm::ALL {
         let op = if algo.is_weight_algorithm() {
-            ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 }
+            ComputeOp::Gemm {
+                m: 2048,
+                n: 11008,
+                k: 4096,
+            }
         } else {
             ComputeOp::attention_decode(32, 128, 1024, 1)
         };
-        let src = emit(algo, op, OptLevel::O4);
-        assert!(src.contains("__global__ void"), "{algo}: missing kernel signature");
-        assert!(src.contains("#define VECTOR_SIZE"), "{algo}: missing config");
+        let src = emit(&s, algo, op, OptLevel::O4);
+        assert!(
+            src.contains("__global__ void"),
+            "{algo}: missing kernel signature"
+        );
+        assert!(
+            src.contains("#define VECTOR_SIZE"),
+            "{algo}: missing config"
+        );
         assert_eq!(
             src.matches('{').count(),
             src.matches('}').count(),
             "{algo}: unbalanced braces"
         );
-        assert!(src.contains(&algo.config().descriptor()), "{algo}: missing descriptor");
+        assert!(
+            src.contains(&algo.config().descriptor()),
+            "{algo}: missing descriptor"
+        );
     }
 }
 
 #[test]
 fn aqlm_source_documents_unaligned_decode() {
+    let s = session();
     let src = emit(
+        &s,
         VqAlgorithm::Aqlm3,
-        ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 },
+        ComputeOp::Gemv {
+            n: 11008,
+            k: 4096,
+            batch: 1,
+        },
         OptLevel::O4,
     );
     assert!(src.contains("12-bit"));
@@ -65,12 +92,29 @@ fn aqlm_source_documents_unaligned_decode() {
 
 #[test]
 fn quip_source_contains_lattice_decode_and_three_shuffles() {
+    let s = session();
     let src = emit(
+        &s,
         VqAlgorithm::QuipSharp4,
-        ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 },
+        ComputeOp::Gemm {
+            m: 2048,
+            n: 11008,
+            k: 4096,
+        },
         OptLevel::O4,
     );
     assert!(src.contains("apply_signs"));
     assert_eq!(src.matches("__shfl_xor_sync").count(), 3);
     assert!(src.contains("mma_sync_accumulate"));
+}
+
+#[test]
+fn emission_is_deterministic_across_cache_hits() {
+    // The memoized plan must emit byte-identical source on every lookup.
+    let s = session();
+    let op = ComputeOp::attention_decode(32, 128, 1024, 1);
+    let first = emit(&s, VqAlgorithm::Cq2, op, OptLevel::O4);
+    let second = emit(&s, VqAlgorithm::Cq2, op, OptLevel::O4);
+    assert_eq!(first, second);
+    assert!(s.cache_stats().hits >= 1);
 }

@@ -1,11 +1,17 @@
 //! Integration: end-to-end pipeline sanity across devices and schemes
-//! (paper Fig. 17), plus the accuracy-proxy ordering.
+//! (paper Fig. 17), plus the accuracy-proxy ordering — all through the
+//! `Session` facade.
 
-use vq_llm::gpu::GpuSpec;
-use vq_llm::llm::{AccuracyProxy, LlamaConfig, Pipeline, QuantScheme};
+use vq_llm::llm::AccuracyProxy;
+use vq_llm::{GpuSpec, QuantScheme, Session};
 
-fn run(gpu: GpuSpec, scheme: QuantScheme) -> vq_llm::llm::E2eReport {
-    Pipeline::new(gpu, LlamaConfig::llama_7b(), scheme).generate(1024, 256, 16)
+fn run(gpu: GpuSpec, scheme: QuantScheme) -> vq_llm::E2eReport {
+    Session::builder()
+        .gpu(gpu)
+        .build()
+        .expect("valid session")
+        .pipeline(scheme)
+        .generate(1024, 256, 16)
 }
 
 #[test]
@@ -51,7 +57,10 @@ fn accuracy_proxy_reproduces_figure_17_right() {
     let vq4 = proxy.evaluate(&QuantScheme::vq_llm_4bit()).accuracy;
     let qserve = proxy.evaluate(&QuantScheme::QServe4).accuracy;
 
-    assert!(vq4 > qserve, "VQ-LLM-4 ({vq4}) must beat qServe-4 ({qserve})");
+    assert!(
+        vq4 > qserve,
+        "VQ-LLM-4 ({vq4}) must beat qServe-4 ({qserve})"
+    );
     assert!(fp16 >= vq4, "FP16 is the ceiling");
     // The paper's gap is ~2.5% relative; ours must be positive and small.
     let rel_gap = (vq4 - qserve) / qserve;
@@ -66,4 +75,26 @@ fn both_devices_give_substantial_speedup() {
         let s = fp16.total_ms() / vq4.total_ms();
         assert!(s > 1.7, "speedup {s}");
     }
+}
+
+#[test]
+fn one_session_serves_all_schemes_with_one_cache() {
+    // The facade's promise for serving: planning happens once per unique
+    // (vq, op) key, no matter how many schemes/pipelines run.
+    let session = Session::builder().build().unwrap();
+    for scheme in [
+        QuantScheme::Fp16,
+        QuantScheme::QServe4,
+        QuantScheme::vq_llm_4bit(),
+        QuantScheme::vq_llm_2bit(),
+    ] {
+        session.pipeline(scheme).generate(1024, 256, 16);
+    }
+    let first_pass = session.cache_stats();
+    for scheme in [QuantScheme::vq_llm_4bit(), QuantScheme::vq_llm_2bit()] {
+        session.pipeline(scheme).generate(1024, 256, 16);
+    }
+    let second_pass = session.cache_stats();
+    assert_eq!(second_pass.misses, first_pass.misses, "no re-planning");
+    assert!(second_pass.hits > first_pass.hits);
 }

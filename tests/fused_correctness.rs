@@ -1,15 +1,17 @@
 //! Integration: fused VQ kernels must produce exactly the same output as
 //! dequantize-then-reference-compute, for every algorithm preset and every
-//! computation, at every optimization level.
+//! computation, at every optimization level — executed through the
+//! `Session` facade's backend.
 
-use vq_llm::core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::kernels::vq_kernel;
 use vq_llm::tensor::{linalg, metrics, synth};
-use vq_llm::vq::{CodebookScope, VqAlgorithm, VqConfig, VqQuantizer};
+use vq_llm::vq::{CodebookScope, VqConfig, VqQuantizer};
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 
-fn planner() -> KernelPlanner {
-    KernelPlanner::new(GpuSpec::rtx4090())
+fn session() -> Session {
+    Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session")
 }
 
 /// Every weight algorithm: fused GeMM == A × dequant(W), across the whole
@@ -17,6 +19,7 @@ fn planner() -> KernelPlanner {
 /// transparent).
 #[test]
 fn gemm_matches_reference_for_all_weight_algorithms_and_levels() {
+    let s = session();
     // Small shapes so AQLM's 4096-entry codebook still trains: use a
     // reduced-entry stand-in per algorithm with the same structure.
     let cases: Vec<(&str, VqConfig)> = vec![
@@ -40,10 +43,8 @@ fn gemm_matches_reference_for_all_weight_algorithms_and_levels() {
         let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
         let op = ComputeOp::Gemm { m: 8, n: 64, k: 64 };
         for level in OptLevel::ALL {
-            let plan = planner()
-                .plan_at(&cfg, &op, level, &ProfileSummary::default_for(&cfg))
-                .expect(name);
-            let (fused, out) = vq_kernel::run_gemm(&GpuSpec::rtx4090(), &plan, &a, &wq).expect(name);
+            let plan = s.plan_at(&cfg, &op, level).expect(name);
+            let (fused, out) = s.run_gemm(&plan, &a, &wq).expect(name);
             assert!(
                 metrics::allclose(fused.as_slice(), reference.as_slice(), 1e-4, 1e-4),
                 "{name} at {level}: fused GeMM diverged"
@@ -57,17 +58,20 @@ fn gemm_matches_reference_for_all_weight_algorithms_and_levels() {
 /// configuration.
 #[test]
 fn gemv_matches_reference_with_channel_group_books() {
+    let s = session();
     let cfg = VqConfig::new(4, 32, 1, CodebookScope::PerChannelGroup { channels: 8 }).unwrap();
     let w = synth::correlated_channels(96, 64, 4, 0.9, 9);
     let wq = VqQuantizer::new(cfg).quantize(&w, 2).unwrap();
     let x: Vec<f32> = (0..96).map(|i| (i as f32 * 0.21).sin()).collect();
     let reference = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
-    let op = ComputeOp::Gemv { n: 64, k: 96, batch: 1 };
+    let op = ComputeOp::Gemv {
+        n: 64,
+        k: 96,
+        batch: 1,
+    };
     for level in [OptLevel::Gc, OptLevel::O2, OptLevel::O4] {
-        let plan = planner()
-            .plan_at(&cfg, &op, level, &ProfileSummary::default_for(&cfg))
-            .unwrap();
-        let (fused, _) = vq_kernel::run_gemv(&GpuSpec::rtx4090(), &plan, &x, &wq).unwrap();
+        let plan = s.plan_at(&cfg, &op, level).unwrap();
+        let (fused, _) = s.run_gemv(&plan, &x, &wq).unwrap();
         assert!(
             metrics::allclose(&fused, &reference, 1e-4, 1e-4),
             "GeMV diverged at {level}"
@@ -80,11 +84,11 @@ fn gemv_matches_reference_with_channel_group_books() {
 #[test]
 fn attention_matches_reference_for_cq_presets() {
     for algo in VqAlgorithm::KV_CACHE {
-        let cfg = algo.config();
+        let s = Session::builder().kv_algo(algo).build().unwrap();
         let k = synth::kv_stream(256, 64, 0.85, 3);
         let v = synth::kv_stream(256, 64, 0.85, 4);
-        let kq = VqQuantizer::new(cfg).quantize(&k, 5).unwrap();
-        let vq = VqQuantizer::new(cfg).quantize(&v, 6).unwrap();
+        let kq = s.quantize_kv(&k, 5).unwrap();
+        let vq = s.quantize_kv(&v, 6).unwrap();
         let q: Vec<f32> = (0..64).map(|i| (i as f32 * 0.11).cos()).collect();
         let reference = linalg::attention_decode_ref(
             &q,
@@ -93,10 +97,10 @@ fn attention_matches_reference_for_cq_presets() {
             1.0 / 8.0,
         )
         .unwrap();
-        let op = ComputeOp::attention_decode(1, 64, 256, 1);
-        let plan = planner().plan(&cfg, &op).unwrap();
-        let (fused, _) =
-            vq_kernel::run_attention_head(&GpuSpec::rtx4090(), &plan, &q, &kq, &vq).unwrap();
+        let plan = s
+            .kv_plan(&ComputeOp::attention_decode(1, 64, 256, 1))
+            .unwrap();
+        let (fused, _) = s.run_attention_head(&plan, &q, &kq, &vq).unwrap();
         assert!(
             metrics::allclose(&fused, &reference, 1e-4, 1e-4),
             "{algo}: fused attention diverged"
@@ -108,11 +112,11 @@ fn attention_matches_reference_for_cq_presets() {
 /// outputs stay close to the FP16 outputs (the algorithmic premise).
 #[test]
 fn quantized_attention_approximates_fp16_attention() {
-    let cfg = VqAlgorithm::Cq4.config();
+    let s = session();
     let k = synth::kv_stream(512, 64, 0.9, 13);
     let v = synth::kv_stream(512, 64, 0.9, 14);
-    let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
-    let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+    let kq = s.quantize_kv(&k, 1).unwrap();
+    let vq = s.quantize_kv(&v, 2).unwrap();
     let q: Vec<f32> = (0..64).map(|i| (i as f32 * 0.17).sin()).collect();
 
     let fp16 = linalg::attention_decode_ref(&q, &k, &v, 1.0 / 8.0).unwrap();

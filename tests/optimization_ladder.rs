@@ -1,23 +1,24 @@
 //! Integration: the optimization ladder reproduces the paper's qualitative
-//! breakdown claims (Figs. 13-15) on the performance model.
+//! breakdown claims (Figs. 13-15) on the performance model, driven through
+//! the `Session` facade.
 
-use vq_llm::core::{ComputeOp, KernelPlanner, OptLevel, ProfileSummary};
-use vq_llm::gpu::GpuSpec;
-use vq_llm::kernels::{fp16, vq_kernel, AccessProfile};
-use vq_llm::vq::VqAlgorithm;
+use vq_llm::kernels::fp16;
+use vq_llm::{ComputeOp, GpuSpec, OptLevel, Session, VqAlgorithm};
 
-fn ladder(algo: VqAlgorithm, op: ComputeOp) -> Vec<(OptLevel, f64)> {
-    let gpu = GpuSpec::rtx4090();
+fn session() -> Session {
+    Session::builder()
+        .gpu(GpuSpec::rtx4090())
+        .build()
+        .expect("valid session")
+}
+
+fn ladder(s: &Session, algo: VqAlgorithm, op: ComputeOp) -> Vec<(OptLevel, f64)> {
     let vq = algo.config();
-    let profile = AccessProfile::default_for(&vq);
-    let planner = KernelPlanner::new(gpu.clone());
     OptLevel::ALL
         .iter()
         .map(|&level| {
-            let plan = planner
-                .plan_at(&vq, &op, level, &ProfileSummary::default_for(&vq))
-                .unwrap();
-            (level, vq_kernel::estimate(&gpu, &plan, &profile).us())
+            let plan = s.plan_at(&vq, &op, level).unwrap();
+            (level, s.estimate(&plan).us())
         })
         .collect()
 }
@@ -28,19 +29,45 @@ fn at(lad: &[(OptLevel, f64)], l: OptLevel) -> f64 {
 
 #[test]
 fn best_beats_gc_everywhere() {
-    let gpu = GpuSpec::rtx4090();
+    let s = session();
     let cases = [
-        (VqAlgorithm::QuipSharp4, ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 }),
-        (VqAlgorithm::Aqlm3, ComputeOp::Gemv { n: 11008, k: 4096, batch: 1 }),
-        (VqAlgorithm::Gptvq2, ComputeOp::Gemv { n: 11008, k: 4096, batch: 16 }),
-        (VqAlgorithm::Cq2, ComputeOp::attention_decode(32, 128, 1024, 1)),
-        (VqAlgorithm::Cq4, ComputeOp::attention_decode(32, 128, 4096, 8)),
+        (
+            VqAlgorithm::QuipSharp4,
+            ComputeOp::Gemm {
+                m: 2048,
+                n: 11008,
+                k: 4096,
+            },
+        ),
+        (
+            VqAlgorithm::Aqlm3,
+            ComputeOp::Gemv {
+                n: 11008,
+                k: 4096,
+                batch: 1,
+            },
+        ),
+        (
+            VqAlgorithm::Gptvq2,
+            ComputeOp::Gemv {
+                n: 11008,
+                k: 4096,
+                batch: 16,
+            },
+        ),
+        (
+            VqAlgorithm::Cq2,
+            ComputeOp::attention_decode(32, 128, 1024, 1),
+        ),
+        (
+            VqAlgorithm::Cq4,
+            ComputeOp::attention_decode(32, 128, 4096, 8),
+        ),
     ];
     for (algo, op) in cases {
-        let lad = ladder(algo, op);
+        let lad = ladder(&s, algo, op);
         let gc = at(&lad, OptLevel::Gc);
-        let vq = algo.config();
-        let (_, best) = vq_kernel::best_plan(&gpu, &vq, &op, &AccessProfile::default_for(&vq)).unwrap();
+        let (_, best) = s.best_plan(&algo.config(), &op).unwrap();
         let reduction = 1.0 - best.us() / gc;
         assert!(
             reduction > 0.30,
@@ -56,28 +83,54 @@ fn best_beats_gc_everywhere() {
 fn attention_ladder_matches_paper_shape() {
     // Paper Fig. 15: SC < GC, O1 the cache win, O3 the dataflow win, O4 a
     // minor final gain.
-    let lad = ladder(VqAlgorithm::Cq2, ComputeOp::attention_decode(32, 128, 4096, 8));
+    let s = session();
+    let lad = ladder(
+        &s,
+        VqAlgorithm::Cq2,
+        ComputeOp::attention_decode(32, 128, 4096, 8),
+    );
     assert!(at(&lad, OptLevel::Sc) < at(&lad, OptLevel::Gc), "SC < GC");
-    assert!(at(&lad, OptLevel::O1) < at(&lad, OptLevel::Sc), "O1 < SC at scale");
-    assert!(at(&lad, OptLevel::O3) < at(&lad, OptLevel::O2) * 0.8, "O3 major win");
-    assert!(at(&lad, OptLevel::O4) <= at(&lad, OptLevel::O3) * 1.02, "O4 no regression");
+    assert!(
+        at(&lad, OptLevel::O1) < at(&lad, OptLevel::Sc),
+        "O1 < SC at scale"
+    );
+    assert!(
+        at(&lad, OptLevel::O3) < at(&lad, OptLevel::O2) * 0.8,
+        "O3 major win"
+    );
+    assert!(
+        at(&lad, OptLevel::O4) <= at(&lad, OptLevel::O3) * 1.02,
+        "O4 no regression"
+    );
 }
 
 #[test]
 fn quip_gemm_o3_regression_and_o4_recovery() {
     // Paper §VII-C: for QuiP# GeMM the residual split causes redundant
     // computation (O3 regression); register fusion recovers (O4).
-    let lad = ladder(VqAlgorithm::QuipSharp4, ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 });
-    assert!(at(&lad, OptLevel::O3) > at(&lad, OptLevel::O2), "O3 must regress GeMM");
+    let s = session();
+    let op = ComputeOp::Gemm {
+        m: 2048,
+        n: 11008,
+        k: 4096,
+    };
+    let lad = ladder(&s, VqAlgorithm::QuipSharp4, op);
+    assert!(
+        at(&lad, OptLevel::O3) > at(&lad, OptLevel::O2),
+        "O3 must regress GeMM"
+    );
     // O4's register fusion never hurts; when the redundant mma dominates it
     // may only tie O3 (the savings hide under the compute bound).
-    assert!(at(&lad, OptLevel::O4) <= at(&lad, OptLevel::O3) * 1.001, "O4 must not regress");
+    assert!(
+        at(&lad, OptLevel::O4) <= at(&lad, OptLevel::O3) * 1.001,
+        "O4 must not regress"
+    );
     // The adaptive best level avoids the O3 trap entirely.
-    let gpu = GpuSpec::rtx4090();
-    let quip = VqAlgorithm::QuipSharp4.config();
-    let op = ComputeOp::Gemm { m: 2048, n: 11008, k: 4096 };
-    let (best, out) = vq_kernel::best_plan(&gpu, &quip, &op, &AccessProfile::default_for(&quip)).unwrap();
-    assert!(best.opt_level < OptLevel::O3, "best GeMM plan skips the residual split");
+    let (best, out) = s.best_plan(&VqAlgorithm::QuipSharp4.config(), &op).unwrap();
+    assert!(
+        best.opt_level < OptLevel::O3,
+        "best GeMM plan skips the residual split"
+    );
     assert!(out.us() <= at(&lad, OptLevel::O2) * 1.001);
 }
 
@@ -85,33 +138,40 @@ fn quip_gemm_o3_regression_and_o4_recovery() {
 fn vq_llm_is_competitive_with_element_wise_at_4bit() {
     // Paper Fig. 16: at matched bit-width the VQ kernels land close to
     // AWQ/QoQ.
-    let gpu = GpuSpec::rtx4090();
-    let gemv = ComputeOp::Gemv { n: 11008, k: 4096, batch: 16 };
-    let quip = VqAlgorithm::QuipSharp4.config();
-    let (_, vq_out) = vq_kernel::best_plan(&gpu, &quip, &gemv, &AccessProfile::default_for(&quip)).unwrap();
-    let awq = vq_llm::kernels::elementwise::awq_gemv(&gpu, 11008, 4096, 16);
+    let s = session();
+    let gemv = ComputeOp::Gemv {
+        n: 11008,
+        k: 4096,
+        batch: 16,
+    };
+    let (_, vq_out) = s
+        .best_plan(&VqAlgorithm::QuipSharp4.config(), &gemv)
+        .unwrap();
+    let awq = vq_llm::kernels::elementwise::awq_gemv(s.gpu(), 11008, 4096, 16);
     let ratio = vq_out.us() / awq.us();
     assert!((0.6..1.4).contains(&ratio), "VQ/AWQ GeMV ratio {ratio}");
 
     let attn = ComputeOp::attention_decode(32, 128, 1024, 1);
-    let cq4 = VqAlgorithm::Cq4.config();
-    let (_, vq_attn) = vq_kernel::best_plan(&gpu, &cq4, &attn, &AccessProfile::default_for(&cq4)).unwrap();
-    let qoq = vq_llm::kernels::elementwise::qoq_attention(&gpu, 1, 32, 128, 1024);
+    let (_, vq_attn) = s.best_plan(&VqAlgorithm::Cq4.config(), &attn).unwrap();
+    let qoq = vq_llm::kernels::elementwise::qoq_attention(s.gpu(), 1, 32, 128, 1024);
     let ratio = vq_attn.us() / qoq.us();
-    assert!((0.6..1.4).contains(&ratio), "VQ/QoQ attention ratio {ratio}");
+    assert!(
+        (0.6..1.4).contains(&ratio),
+        "VQ/QoQ attention ratio {ratio}"
+    );
 }
 
 #[test]
 fn vq_llm_beats_every_fp16_attention_baseline() {
     // Paper Fig. 18.
-    let gpu = GpuSpec::rtx4090();
+    let s = session();
     let cq4 = VqAlgorithm::Cq4.config();
     for seq in [1024usize, 2048, 4096] {
         for batch in [1usize, 8] {
             let op = ComputeOp::attention_decode(32, 128, seq, batch);
-            let (_, ours) = vq_kernel::best_plan(&gpu, &cq4, &op, &AccessProfile::default_for(&cq4)).unwrap();
+            let (_, ours) = s.best_plan(&cq4, &op).unwrap();
             for baseline in fp16::AttnBaseline::ALL {
-                let out = fp16::attention(&gpu, baseline, batch, 32, 128, seq);
+                let out = fp16::attention(s.gpu(), baseline, batch, 32, 128, seq);
                 assert!(
                     ours.us() < out.us(),
                     "CQ-4 ({:.1}us) must beat {} ({:.1}us) at seq {seq} bs{batch}",
@@ -128,31 +188,32 @@ fn vq_llm_beats_every_fp16_attention_baseline() {
 fn speedup_grows_with_batch_for_attention_not_gemv() {
     // Paper §VII-B: attention speedups grow with batch (distinct KV per
     // sample); GeMV speedups are batch-insensitive (shared weights).
-    let gpu = GpuSpec::rtx4090();
+    let s = session();
     let cq2 = VqAlgorithm::Cq2.config();
-    let profile = AccessProfile::default_for(&cq2);
     let red = |batch: usize| {
         let op = ComputeOp::attention_decode(32, 128, 1024, batch);
-        let plan = KernelPlanner::new(gpu.clone())
-            .plan_at(&cq2, &op, OptLevel::Gc, &ProfileSummary::default_for(&cq2))
-            .unwrap();
-        let gc = vq_kernel::estimate(&gpu, &plan, &profile).us();
-        let (_, best) = vq_kernel::best_plan(&gpu, &cq2, &op, &profile).unwrap();
+        let gc_plan = s.plan_at(&cq2, &op, OptLevel::Gc).unwrap();
+        let gc = s.estimate(&gc_plan).us();
+        let (_, best) = s.best_plan(&cq2, &op).unwrap();
         1.0 - best.us() / gc
     };
     assert!(red(8) > red(1), "attention reduction must grow with batch");
 
     let quip = VqAlgorithm::QuipSharp4.config();
-    let gprofile = AccessProfile::default_for(&quip);
     let gred = |batch: usize| {
-        let op = ComputeOp::Gemv { n: 11008, k: 4096, batch };
-        let plan = KernelPlanner::new(gpu.clone())
-            .plan_at(&quip, &op, OptLevel::Gc, &ProfileSummary::default_for(&quip))
-            .unwrap();
-        let gc = vq_kernel::estimate(&gpu, &plan, &gprofile).us();
-        let (_, best) = vq_kernel::best_plan(&gpu, &quip, &op, &gprofile).unwrap();
+        let op = ComputeOp::Gemv {
+            n: 11008,
+            k: 4096,
+            batch,
+        };
+        let gc_plan = s.plan_at(&quip, &op, OptLevel::Gc).unwrap();
+        let gc = s.estimate(&gc_plan).us();
+        let (_, best) = s.best_plan(&quip, &op).unwrap();
         1.0 - best.us() / gc
     };
     let (r1, r16) = (gred(1), gred(16));
-    assert!((r1 - r16).abs() < 0.1, "GeMV reductions batch-insensitive: {r1} vs {r16}");
+    assert!(
+        (r1 - r16).abs() < 0.1,
+        "GeMV reductions batch-insensitive: {r1} vs {r16}"
+    );
 }

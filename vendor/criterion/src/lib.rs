@@ -1,0 +1,216 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], and [`Bencher::iter`]. Timing is a simple
+//! warmup-then-measure wall-clock mean — no statistics, plots, or saved
+//! baselines — which is enough to compare hot paths in the fully offline
+//! build environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(100);
+
+/// Hard cap on measured iterations (keeps very fast closures bounded).
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (scales measurement effort).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Runs one benchmark closure against an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times a closure (stand-in for `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            measured: None,
+        }
+    }
+
+    /// Measures `f`: a short warmup, then enough iterations to fill the
+    /// target measurement time (scaled by the group's sample size).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = TARGET.mul_f64((self.sample_size as f64 / 100.0).clamp(0.05, 1.0));
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match self.measured {
+            Some((total, iters)) => {
+                let per = total.as_secs_f64() / iters as f64;
+                println!(
+                    "{group}/{id:<40} {:>12}/iter ({iters} iters)",
+                    format_time(per)
+                );
+            }
+            None => println!("{group}/{id:<40} (no measurement)"),
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        let mut ran = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+
+    #[test]
+    fn time_units() {
+        assert!(format_time(2.0).contains(" s"));
+        assert!(format_time(2e-3).contains("ms"));
+        assert!(format_time(2e-6).contains("us"));
+        assert!(format_time(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,428 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API the workspace's property tests
+//! consume: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, and the range / [`sample::select`] /
+//! [`collection::vec`] / [`any`] strategies. Each test runs
+//! `PROPTEST_CASES` (default 64) deterministic cases seeded from the test
+//! name, so failures are reproducible. There is **no shrinking**: a
+//! failure reports the case index and seed instead of a minimized input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-test deterministic source of randomness.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds from the test name and case index so every case is
+    /// reproducible and independent.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 32)))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; try another case.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// Result alias used by the generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value.
+    fn prop_flat_map<R: Strategy, F: Fn(Self::Value) -> R>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, R: Strategy, F: Fn(S::Value) -> R> Strategy for FlatMap<S, F> {
+    type Value = R::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi == <$t>::MAX {
+                    let span = (hi - lo) as u64; // inclusive count minus one
+                    if span == u64::MAX {
+                        // Full-width range: raw bits already cover it.
+                        lo + rng.rng().next_u64() as $t
+                    } else {
+                        lo + (rng.rng().next_u64() % (span + 1)) as $t
+                    }
+                } else {
+                    rng.rng().gen_range(lo..hi + 1)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy (stand-in for
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list (see [`select`]).
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng().gen_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+
+    /// Chooses uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// `Range<usize>` (stand-in for `proptest::collection::SizeRange`).
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    /// `Vec` strategy (see [`vec`]).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values drawn from `element`, with `len` entries (fixed
+    /// or drawn from a range).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` macro and its callers need.
+
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Strategy,
+        TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+pub mod prop {
+    //! `prop::sample::select(...)`-style path alias, as re-exported by the
+    //! real proptest prelude.
+
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let total = $crate::cases();
+                let mut rejected = 0u32;
+                let mut case = 0u32;
+                while case < total {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), case + rejected);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => case += 1,
+                        Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 16 * total,
+                                "{}: too many prop_assume! rejections",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "{} failed at case {} (seed = name ^ case): {}",
+                                stringify!($name), case + rejected, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` ({:?} != {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 3usize..17, f in -1.0f64..1.0, b in 1u8..=3) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((1..=3).contains(&b));
+        }
+
+        #[test]
+        fn full_width_inclusive_ranges_do_not_panic(
+            x in 0usize..=usize::MAX,
+            y in 250u8..=u8::MAX,
+        ) {
+            let _ = x; // whole domain is valid
+            prop_assert!(y >= 250);
+        }
+
+        #[test]
+        fn select_and_vec_work(
+            w in prop::sample::select(vec![4usize, 8, 16]),
+            v in proptest::collection::vec(0usize..10, 32),
+        ) {
+            prop_assert!([4, 8, 16].contains(&w));
+            prop_assert_eq!(v.len(), 32);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_bool_varies(v in proptest::collection::vec(any::<bool>(), 64)) {
+            prop_assert!(v.iter().any(|&b| b) && v.iter().any(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn cases_env_default() {
+        assert!(crate::cases() >= 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Vendored stand-in for `rand` 0.8.
+//!
+//! Provides the slice of the rand API the workspace consumes:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::gen_range` over integer and float ranges. The generator is a
+//! splitmix64 core — deterministic for a given seed, statistically fine
+//! for k-means++ seeding and synthetic-data generation, and with zero
+//! dependencies so the fully offline build works.
+
+use std::ops::Range;
+
+/// Seedable random generators (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling from a range (stand-in for `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `bits` of entropy per call.
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                // Widen to i128 so signed ranges wider than the type's
+                // positive half (e.g. -100i8..100) neither overflow the
+                // subtraction nor wrap the offset add.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (bits() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (bits() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (bits() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Random-value convenience methods (stand-in for `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let mut bits = || self.next_u64();
+        range.sample_from(&mut bits)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Avoid the all-zero fixed point and decorrelate tiny seeds.
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1234_5678_9ABC_DEF0,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g = rng.gen_range(0.25f32..4.0);
+            assert!((0.25..4.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_half_the_type() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&v), "{v}");
+            let w = rng.gen_range(i64::MIN / 2..i64::MAX / 2);
+            assert!((i64::MIN / 2..i64::MAX / 2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn values_spread_over_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

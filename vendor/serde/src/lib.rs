@@ -1,0 +1,16 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its plain-data types
+//! so they are serde-ready, but never serializes during build or test. The
+//! traits here are empty markers and the derives (re-exported from the
+//! vendored `serde_derive`) are no-ops. Swapping in the real `serde` crate
+//! requires no source changes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

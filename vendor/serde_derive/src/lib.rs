@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only ever *derives* the serde traits (to keep its types
+//! serde-ready for downstream users); nothing serializes at build or test
+//! time. These derives therefore expand to nothing, which keeps the fully
+//! offline build free of the real `serde_derive` dependency tree.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepted for API compatibility with serde_derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepted for API compatibility with serde_derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
