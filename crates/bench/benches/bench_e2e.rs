@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use vq_llm::{GpuSpec, Pipeline, QuantScheme, Session};
+use vq_llm::{BackendKind, GpuSpec, Pipeline, QuantScheme, Session};
 
 fn bench_e2e(c: &mut Criterion) {
     let session = Session::builder()
@@ -73,5 +73,58 @@ fn bench_e2e(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_e2e);
+/// The same workload through both shipped backends. The modelled E2E
+/// projection is backend-independent by design (both plan/estimate with
+/// the device model — asserted below); what *differs* is functional
+/// execution, so that is what gets benched: `Session::run_gemv` walks the
+/// modelled codebook cache on the perf-model backend vs the fused
+/// LUT/aggregation kernels on `CpuBackend`.
+fn bench_e2e_backends(c: &mut Criterion) {
+    use vq_llm::tensor::synth;
+    use vq_llm::ComputeOp;
+
+    let mut g = c.benchmark_group("e2e-backends");
+    g.sample_size(10);
+    let w = synth::correlated_channels(1024, 256, 4, 0.9, 3);
+    let op = ComputeOp::Gemv {
+        n: 256,
+        k: 1024,
+        batch: 1,
+    };
+    let x: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.13).sin()).collect();
+    let mut reports = Vec::new();
+    for (name, kind) in [
+        ("perf-model", BackendKind::PerfModel),
+        ("cpu", BackendKind::Cpu { threads: 0 }),
+    ] {
+        let session = Session::builder()
+            .gpu(GpuSpec::rtx4090())
+            .weight_algo(vq_llm::VqAlgorithm::Gptvq2)
+            .backend_kind(kind)
+            .build()
+            .expect("valid session");
+        assert_eq!(session.backend().name(), name);
+        let wq = session.quantize_weights(&w, 7).expect("quantize");
+        let plan = session.weight_plan(&op).expect("plan");
+        g.bench_with_input(
+            BenchmarkId::new("run-gemv-1024x256", name),
+            &session,
+            |b, s| {
+                b.iter(|| black_box(s.run_gemv(&plan, &x, &wq).expect("run_gemv")));
+            },
+        );
+        reports.push(
+            session
+                .pipeline(QuantScheme::vq_llm_4bit())
+                .generate(1024, 256, 16),
+        );
+    }
+    g.finish();
+    assert_eq!(
+        reports[0], reports[1],
+        "modelled E2E projections must be backend-independent"
+    );
+}
+
+criterion_group!(benches, bench_e2e, bench_e2e_backends);
 criterion_main!(benches);

@@ -1,0 +1,364 @@
+//! Pluggable execution backends.
+//!
+//! A [`Backend`] is everything a `Session` (and an `llm::Pipeline`) needs
+//! from an execution substrate: planning a fused kernel, estimating a
+//! plan's latency, and functionally executing a plan against real data.
+//! Two implementations ship:
+//!
+//! * [`PerfModelBackend`] — the GPU performance model (the workspace's
+//!   documented hardware substitution): plans with the paper's heuristics,
+//!   estimates with the roofline timing model, executes functionally
+//!   through the modelled codebook cache.
+//! * [`CpuBackend`] — real host execution: the same planner decisions,
+//!   but `run_*` dispatches to the fused [`host_exec`](crate::host_exec)
+//!   kernels, which compute directly on packed codes with cache-resident
+//!   codebook LUTs and an optional `std::thread::scope` row-parallel path.
+//!
+//! The trait lives in `vqllm-kernels` (below `vqllm-llm`) so the decode
+//! pipeline and the facade share one seam; a real-GPU (CUDA/HIP) backend
+//! plugs in here later without touching any consumer.
+
+use crate::host_exec::{self, HostBlocking};
+use crate::{vq_kernel, AccessProfile, KernelOutput, Result};
+use vqllm_core::{ComputeOp, KernelPlan, KernelPlanner, OptLevel, ProfileSummary};
+use vqllm_gpu::GpuSpec;
+use vqllm_tensor::Tensor2D;
+use vqllm_vq::{QuantizedTensor, VqConfig};
+
+/// An execution substrate for fused VQ kernels.
+///
+/// Implementations must be thread-safe: one backend instance is shared by
+/// every clone of a `Session` and by the plan cache's racing planners.
+pub trait Backend: std::fmt::Debug + Send + Sync {
+    /// Short backend name for reports and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Plans `op` under `vq` at one rung of the optimization ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Unplannable`](crate::KernelError::Unplannable)
+    /// when no launchable configuration exists.
+    fn plan_at(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        level: OptLevel,
+        profile: &ProfileSummary,
+    ) -> Result<KernelPlan>;
+
+    /// Plans at every rung and returns the fastest plan (the paper's
+    /// adaptive "best perform version").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no rung yields a launchable configuration.
+    fn best_plan(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        profile: &AccessProfile,
+    ) -> Result<(KernelPlan, KernelOutput)>;
+
+    /// Latency/counter estimate for an existing plan.
+    fn estimate(&self, gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput;
+
+    /// Functionally executes a fused GeMM: `A × dequant(Wq)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    fn run_gemm(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        a: &Tensor2D,
+        wq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)>;
+
+    /// Functionally executes a fused GeMV: `xᵀ × dequant(Wq)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    fn run_gemv(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        x: &[f32],
+        wq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)>;
+
+    /// Functionally executes one head of fused attention decode over
+    /// quantized K/V caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches.
+    fn run_attention_head(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        q: &[f32],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)>;
+}
+
+/// The GPU performance-model backend (the workspace's documented hardware
+/// substitution): plans with [`KernelPlanner`], estimates with the
+/// roofline timing model, and executes functionally on the host while
+/// tallying modelled memory behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfModelBackend;
+
+impl PerfModelBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        PerfModelBackend
+    }
+}
+
+impl Backend for PerfModelBackend {
+    fn name(&self) -> &'static str {
+        "perf-model"
+    }
+
+    fn plan_at(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        level: OptLevel,
+        profile: &ProfileSummary,
+    ) -> Result<KernelPlan> {
+        Ok(KernelPlanner::new(gpu.clone()).plan_at(vq, op, level, profile)?)
+    }
+
+    fn best_plan(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        profile: &AccessProfile,
+    ) -> Result<(KernelPlan, KernelOutput)> {
+        vq_kernel::best_plan(gpu, vq, op, profile)
+    }
+
+    fn estimate(&self, gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput {
+        vq_kernel::estimate(gpu, plan, profile)
+    }
+
+    fn run_gemm(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        a: &Tensor2D,
+        wq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        vq_kernel::run_gemm(gpu, plan, a, wq)
+    }
+
+    fn run_gemv(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        x: &[f32],
+        wq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)> {
+        vq_kernel::run_gemv(gpu, plan, x, wq)
+    }
+
+    fn run_attention_head(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        q: &[f32],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)> {
+        vq_kernel::run_attention_head(gpu, plan, q, kq, vq)
+    }
+}
+
+/// Real host execution: plans exactly like [`PerfModelBackend`] (the
+/// plan's tiling/placement decisions also seed the host cache blocking),
+/// but `run_*` executes the fused [`host_exec`] kernels directly on packed
+/// codes — no dequantized weight matrix, codebooks and LUT slabs sized to
+/// stay cache-resident, optional row-parallelism via `std::thread::scope`.
+///
+/// The [`KernelOutput`] returned alongside real results still carries the
+/// *modelled* GPU counters for the plan (so perf-model and CPU runs stay
+/// comparable in reports); wall-clock measurement is the bench harness's
+/// job (`host_speedup`).
+#[derive(Debug, Clone, Copy)]
+pub struct CpuBackend {
+    threads: usize,
+}
+
+impl Default for CpuBackend {
+    fn default() -> Self {
+        CpuBackend::new()
+    }
+}
+
+impl CpuBackend {
+    /// Single-threaded backend (deterministic, bench-friendly).
+    pub fn new() -> Self {
+        CpuBackend { threads: 1 }
+    }
+
+    /// Backend with an explicit worker-thread count for the row-parallel
+    /// path (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        CpuBackend {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Backend sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        CpuBackend::with_threads(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Worker threads the row-parallel path uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Host blocking derived from a plan plus this backend's threading.
+    fn blocking(&self, plan: &KernelPlan) -> HostBlocking {
+        HostBlocking::for_plan(plan).with_threads(self.threads)
+    }
+
+    /// Modelled counters for the executed plan under the algorithm's
+    /// default access distribution. Deliberately *not* profiled from the
+    /// tensor: a per-call `AccessHistogram::profile` would re-decode every
+    /// packed index (O(rows × groups)) on the serving hot path, rivalling
+    /// the fused kernel itself; real execution is the product here and the
+    /// counters are a constant-per-plan report.
+    fn output_for(&self, gpu: &GpuSpec, plan: &KernelPlan, q: &QuantizedTensor) -> KernelOutput {
+        let profile = AccessProfile::default_for(q.config());
+        vq_kernel::estimate(gpu, plan, &profile)
+    }
+}
+
+impl Backend for CpuBackend {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn plan_at(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        level: OptLevel,
+        profile: &ProfileSummary,
+    ) -> Result<KernelPlan> {
+        PerfModelBackend.plan_at(gpu, vq, op, level, profile)
+    }
+
+    fn best_plan(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        profile: &AccessProfile,
+    ) -> Result<(KernelPlan, KernelOutput)> {
+        PerfModelBackend.best_plan(gpu, vq, op, profile)
+    }
+
+    fn estimate(&self, gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput {
+        PerfModelBackend.estimate(gpu, plan, profile)
+    }
+
+    fn run_gemm(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        a: &Tensor2D,
+        wq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        let c = host_exec::gemm_fused(a, wq, &self.blocking(plan))?;
+        Ok((c, self.output_for(gpu, plan, wq)))
+    }
+
+    fn run_gemv(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        x: &[f32],
+        wq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)> {
+        let y = host_exec::gemv_xw(x, wq, &self.blocking(plan))?;
+        Ok((y, self.output_for(gpu, plan, wq)))
+    }
+
+    fn run_attention_head(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        q: &[f32],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Vec<f32>, KernelOutput)> {
+        let out = host_exec::attention_decode_fused(q, kq, vq, &self.blocking(plan))?;
+        Ok((out, self.output_for(gpu, plan, kq)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqllm_tensor::{linalg, metrics, synth};
+    use vqllm_vq::{VqAlgorithm, VqQuantizer};
+
+    fn plan_for(vq: &VqConfig, op: &ComputeOp) -> KernelPlan {
+        KernelPlanner::new(GpuSpec::rtx4090())
+            .plan_at(vq, op, OptLevel::O4, &ProfileSummary::default_for(vq))
+            .unwrap()
+    }
+
+    #[test]
+    fn cpu_backend_gemv_matches_perf_model_backend() {
+        let vq = VqAlgorithm::Gptvq2.config();
+        let w = synth::correlated_channels(256, 64, 4, 0.9, 3);
+        let wq = VqQuantizer::new(vq).quantize(&w, 1).unwrap();
+        let x: Vec<f32> = (0..256).map(|i| (i as f32 * 0.17).cos()).collect();
+        let op = ComputeOp::Gemv {
+            n: 64,
+            k: 256,
+            batch: 1,
+        };
+        let plan = plan_for(&vq, &op);
+        let gpu = GpuSpec::rtx4090();
+        let (cpu, _) = CpuBackend::auto().run_gemv(&gpu, &plan, &x, &wq).unwrap();
+        let (model, _) = PerfModelBackend.run_gemv(&gpu, &plan, &x, &wq).unwrap();
+        assert!(metrics::allclose(&cpu, &model, 1e-4, 1e-4));
+        let oracle = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
+        assert!(metrics::allclose(&cpu, &oracle, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn cpu_backend_plans_like_the_model() {
+        let vq = VqAlgorithm::Cq2.config();
+        let op = ComputeOp::attention_decode(8, 64, 256, 1);
+        let gpu = GpuSpec::rtx4090();
+        let summary = ProfileSummary::default_for(&vq);
+        let a = CpuBackend::new()
+            .plan_at(&gpu, &vq, &op, OptLevel::O4, &summary)
+            .unwrap();
+        let b = PerfModelBackend
+            .plan_at(&gpu, &vq, &op, OptLevel::O4, &summary)
+            .unwrap();
+        assert_eq!(a, b, "planning is backend-independent");
+        assert_eq!(CpuBackend::with_threads(0).threads(), 1);
+    }
+}

@@ -1,0 +1,586 @@
+//! Fused host execution of VQ kernels — real computation on packed codes.
+//!
+//! This module is the paper's core insight (§IV: keep codebooks
+//! cache-resident and fuse dequantization into the consuming op) mapped
+//! onto the host memory hierarchy. No kernel here ever materializes the
+//! dequantized weight matrix; every inner loop reads **packed codes**
+//! (via [`PackedIndices::unpack_block`]) and small cache-resident tables:
+//!
+//! * [`gemv_lut`] — `y = dequant(Wq) · x`: per-(scope, residual) lookup
+//!   tables of `x`-sub-vector · centroid partial dots (the decode-centric
+//!   LUT GeMV of EVA/VPTQ), so the inner loop is `acc[row] += lut[code]` —
+//!   one gather and one add per packed code.
+//! * [`gemv_xw`] — `y = xᵀ · dequant(Wq)` (the [`Backend`] GeMV contract,
+//!   where sub-vectors run along the *output* axis): the dual trick —
+//!   scatter-aggregate `wsum[code] += x[row]` into a cache-resident slab,
+//!   then expand each code's aggregated weight through its centroid once.
+//! * [`gemm_fused`] — `C = A × dequant(Wq)`: streams one decoded weight
+//!   row at a time (a 1-row panel, never the full matrix) into blocked
+//!   AXPY updates.
+//! * [`attention_decode_fused`] — one decode head over quantized K/V:
+//!   the K-side score pass *is* [`gemv_lut`] (q-sub-vector LUTs), the
+//!   V-side weighted sum *is* [`gemv_xw`] over the softmaxed scores.
+//!
+//! Blocking ([`HostBlocking`]) reuses the [`KernelPlan`]'s shared-memory
+//! budget decisions: the bytes the planner would stage into an SM's shared
+//! memory are the natural L1/L2-resident slab size on the host, and the
+//! plan's tiling feeds the `std::thread::scope`-based row-parallel path.
+//!
+//! [`Backend`]: crate::backend::Backend
+//! [`PackedIndices::unpack_block`]: vqllm_vq::PackedIndices::unpack_block
+
+use crate::{KernelError, Result};
+use vqllm_core::KernelPlan;
+use vqllm_tensor::{linalg, Tensor2D};
+use vqllm_vq::config::CodebookScope;
+use vqllm_vq::QuantizedTensor;
+
+/// Cache-blocking and threading decisions for the host kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostBlocking {
+    /// Byte budget for the cache-resident slab (LUT or aggregation table)
+    /// a kernel keeps hot — the host analogue of the plan's shared-memory
+    /// footprint.
+    pub slab_bytes: usize,
+    /// Worker threads for the row-parallel path (1 = sequential).
+    pub threads: usize,
+}
+
+/// Default slab budget when no plan is supplied: a typical L1 data cache.
+const DEFAULT_SLAB_BYTES: usize = 32 << 10;
+
+impl Default for HostBlocking {
+    fn default() -> Self {
+        HostBlocking {
+            slab_bytes: DEFAULT_SLAB_BYTES,
+            threads: 1,
+        }
+    }
+}
+
+impl HostBlocking {
+    /// Derives blocking from a kernel plan: the bytes the planner decided
+    /// to stage into shared memory (codebook slice + data tiles) become
+    /// the host's cache-resident slab budget, clamped to a sane L1..L2
+    /// range.
+    pub fn for_plan(plan: &KernelPlan) -> Self {
+        let staged = plan.smem_codebook_bytes + plan.tiling.smem_data_bytes;
+        HostBlocking {
+            slab_bytes: staged.clamp(16 << 10, 256 << 10),
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for the row-parallel path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Column groups per slab so `group_block × stored_entries` f32 slots
+    /// fit the budget.
+    fn group_block(&self, stored: usize, groups: usize) -> usize {
+        (self.slab_bytes / (stored * 4).max(1)).clamp(1, groups.max(1))
+    }
+}
+
+/// Plain dot product (kept trivially inlinable).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dot product against a lattice entry with per-element sign bits applied.
+#[inline]
+fn signed_dot(entry: &[f32], xs: &[f32], signs: u32) -> f32 {
+    let mut acc = 0.0;
+    for (j, (&e, &x)) in entry.iter().zip(xs).enumerate() {
+        acc += if signs & (1 << j) != 0 { -e * x } else { e * x };
+    }
+    acc
+}
+
+/// Height of a row band within which every column group's codebook scope
+/// is row-invariant (whole tensor except for per-tile books).
+fn band_height(scope: CodebookScope, rows: usize) -> usize {
+    match scope {
+        CodebookScope::PerTile {
+            rows: tile_rows, ..
+        } => tile_rows.clamp(1, rows),
+        _ => rows,
+    }
+}
+
+/// Splits `data` (`rows × row_width` elements, row-major) into row-aligned
+/// chunks and runs `f(first_row, chunk)` on each — on `std::thread::scope`
+/// workers when `threads > 1`, sequentially otherwise. Chunks are disjoint
+/// `&mut` slices, so workers never race.
+fn parallel_row_chunks<F>(data: &mut [f32], row_width: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let rows = data.len() / row_width.max(1);
+    let workers = threads.max(1).min(rows.max(1));
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (ci, chunk) in data.chunks_mut(chunk_rows * row_width).enumerate() {
+            let f = &f;
+            s.spawn(move || f(ci * chunk_rows, chunk));
+        }
+    });
+}
+
+/// Fused LUT GeMV: `y = dequant(Wq) · x` with `x.len() == cols`,
+/// `y.len() == rows` — the decode-orientation GeMV where quantized
+/// sub-vectors run along the reduction axis.
+///
+/// For each (residual, row band) a `groups × stored_entries` table of
+/// `x`-sub-vector · centroid partial dots is precomputed; the per-row
+/// inner loop is then `acc += lut[code]` over block-decoded packed codes,
+/// visited in [`HostBlocking`]-sized group blocks so the active LUT slab
+/// stays L1-resident. Lattice codebooks (sign-extended logical entries)
+/// take a fused sign-aware path instead — a per-base-entry LUT cannot
+/// absorb element-wise sign masks.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if `x.len() != cols`.
+pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Result<Vec<f32>> {
+    let (rows, cols) = wq.shape();
+    if x.len() != cols {
+        return Err(KernelError::ShapeMismatch {
+            what: "x length must equal quantized cols",
+        });
+    }
+    let vq = *wq.config();
+    let vs = vq.vector_size;
+    let groups = wq.col_groups();
+    let stored = vq.stored_entries();
+    let books = wq.codebooks();
+    let band = band_height(vq.scope, rows);
+    let mut y = vec![0.0f32; rows];
+
+    let mut band_start = 0;
+    while band_start < rows {
+        let band_len = band.min(rows - band_start);
+        for r in 0..vq.residuals {
+            let stream = wq.index_stream(r);
+            if vq.lattice {
+                // Sign-extended entries: fuse the sign application into the
+                // dot instead of tabulating 2^vs variants per base entry.
+                parallel_row_chunks(
+                    &mut y[band_start..band_start + band_len],
+                    1,
+                    blocking.threads,
+                    |first, chunk| {
+                        let mut codes = vec![0u32; groups];
+                        for (local, out) in chunk.iter_mut().enumerate() {
+                            let row = band_start + first + local;
+                            stream.unpack_block(row * groups, &mut codes);
+                            let mut acc = 0.0f32;
+                            for (g, &code) in codes.iter().enumerate() {
+                                let book = books.book(r, books.scope_index(row, g * vs));
+                                let base = book.stored_id_of(code) as usize;
+                                let signs = code >> book.sign_shift();
+                                acc += signed_dot(
+                                    &book.entries_flat()[base * vs..(base + 1) * vs],
+                                    &x[g * vs..(g + 1) * vs],
+                                    signs,
+                                );
+                            }
+                            *out += acc;
+                        }
+                    },
+                );
+            } else {
+                // The LUT: partial dot of every centroid against the x
+                // sub-vector of every column group of this band's books.
+                let mut lut = vec![0.0f32; groups * stored];
+                for (g, slab) in lut.chunks_mut(stored).enumerate() {
+                    let flat = books
+                        .book(r, books.scope_index(band_start, g * vs))
+                        .entries_flat();
+                    let xs = &x[g * vs..(g + 1) * vs];
+                    for (c, slot) in slab.iter_mut().enumerate() {
+                        *slot = dot(&flat[c * vs..(c + 1) * vs], xs);
+                    }
+                }
+                let gb = blocking.group_block(stored, groups);
+                parallel_row_chunks(
+                    &mut y[band_start..band_start + band_len],
+                    1,
+                    blocking.threads,
+                    |first, chunk| {
+                        let mut codes = vec![0u32; gb];
+                        for g0 in (0..groups).step_by(gb) {
+                            let gl = gb.min(groups - g0);
+                            let slab = &lut[g0 * stored..(g0 + gl) * stored];
+                            for (local, out) in chunk.iter_mut().enumerate() {
+                                let row = band_start + first + local;
+                                stream.unpack_block(row * groups + g0, &mut codes[..gl]);
+                                let mut acc = 0.0f32;
+                                for (gi, &code) in codes[..gl].iter().enumerate() {
+                                    acc += slab[gi * stored + code as usize];
+                                }
+                                *out += acc;
+                            }
+                        }
+                    },
+                );
+            }
+        }
+        band_start += band_len;
+    }
+    Ok(y)
+}
+
+/// Fused transposed GeMV: `y = xᵀ · dequant(Wq)` with `x.len() == rows`,
+/// `y.len() == cols` — the [`Backend`](crate::backend::Backend) GeMV
+/// contract, where quantized sub-vectors run along the *output* axis.
+///
+/// Dual of [`gemv_lut`]: since each packed code scales a whole centroid by
+/// the scalar `x[row]`, the kernel scatter-aggregates `wsum[code] +=
+/// x[row]` into a slab-resident table per column-group block, then expands
+/// each code's aggregated weight through its centroid exactly once —
+/// `rows` adds plus `stored × vs` FMAs per group instead of `rows × vs`
+/// FMAs. Lattice books fall back to fused sign-aware AXPY.
+///
+/// The row-parallel path partitions the *output* (column groups) across
+/// workers, so no two threads ever touch the same accumulator.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if `x.len() != rows`.
+pub fn gemv_xw(x: &[f32], wq: &QuantizedTensor, blocking: &HostBlocking) -> Result<Vec<f32>> {
+    let (rows, cols) = wq.shape();
+    if x.len() != rows {
+        return Err(KernelError::ShapeMismatch {
+            what: "x length must equal quantized weight rows",
+        });
+    }
+    let vq = *wq.config();
+    let vs = vq.vector_size;
+    let groups = wq.col_groups();
+    let stored = vq.stored_entries();
+    let books = wq.codebooks();
+    let band = band_height(vq.scope, rows);
+    let mut y = vec![0.0f32; cols];
+
+    // Workers own disjoint, contiguous column-group spans of y.
+    parallel_row_chunks(&mut y, vs, blocking.threads, |first_group, ychunk| {
+        let span = ychunk.len() / vs;
+        let gb = blocking.group_block(stored, span);
+        let mut codes = vec![0u32; gb];
+        let mut wsum = vec![0.0f32; gb * stored];
+        for r in 0..vq.residuals {
+            let stream = wq.index_stream(r);
+            let mut band_start = 0;
+            while band_start < rows {
+                let band_len = band.min(rows - band_start);
+                for b0 in (0..span).step_by(gb) {
+                    let gl = gb.min(span - b0);
+                    let g0 = first_group + b0;
+                    if vq.lattice {
+                        for (off, &xv) in x[band_start..band_start + band_len].iter().enumerate() {
+                            let row = band_start + off;
+                            stream.unpack_block(row * groups + g0, &mut codes[..gl]);
+                            for (gi, &code) in codes[..gl].iter().enumerate() {
+                                let book = books.book(r, books.scope_index(row, (g0 + gi) * vs));
+                                let base = book.stored_id_of(code) as usize;
+                                let signs = code >> book.sign_shift();
+                                let entry = &book.entries_flat()[base * vs..(base + 1) * vs];
+                                let out = &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs];
+                                for (j, (o, &e)) in out.iter_mut().zip(entry).enumerate() {
+                                    let v = if signs & (1 << j) != 0 { -e } else { e };
+                                    *o += xv * v;
+                                }
+                            }
+                        }
+                    } else {
+                        wsum[..gl * stored].fill(0.0);
+                        // Scatter: aggregate x over equal codes.
+                        for (off, &xv) in x[band_start..band_start + band_len].iter().enumerate() {
+                            stream.unpack_block((band_start + off) * groups + g0, &mut codes[..gl]);
+                            for (gi, &code) in codes[..gl].iter().enumerate() {
+                                wsum[gi * stored + code as usize] += xv;
+                            }
+                        }
+                        // Expand: one centroid FMA per touched code.
+                        for gi in 0..gl {
+                            let flat = books
+                                .book(r, books.scope_index(band_start, (g0 + gi) * vs))
+                                .entries_flat();
+                            let out = &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs];
+                            for (c, &w) in wsum[gi * stored..(gi + 1) * stored].iter().enumerate() {
+                                if w != 0.0 {
+                                    for (o, &e) in out.iter_mut().zip(&flat[c * vs..(c + 1) * vs]) {
+                                        *o += w * e;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                band_start += band_len;
+            }
+        }
+    });
+    Ok(y)
+}
+
+/// Fused GeMM: `C = A (m×k) × dequant(Wq) (k×n)`.
+///
+/// Streams the quantized weight one decoded row at a time — a single-row
+/// panel (`n` floats, L1/L2-resident) assembled directly from packed codes
+/// across all residual rounds — and folds it into every row of `C` with an
+/// AXPY. The full dequantized matrix never exists. Row-parallel over `C`
+/// (each worker owns a contiguous strip of output rows).
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if `a.cols() != wq.rows`.
+pub fn gemm_fused(a: &Tensor2D, wq: &QuantizedTensor, blocking: &HostBlocking) -> Result<Tensor2D> {
+    if a.cols() != wq.shape().0 {
+        return Err(KernelError::ShapeMismatch {
+            what: "A.cols must equal quantized weight rows",
+        });
+    }
+    let (k, n) = wq.shape();
+    let m = a.rows();
+    let vq = *wq.config();
+    let vs = vq.vector_size;
+    let groups = wq.col_groups();
+    let books = wq.codebooks();
+    let mut c = Tensor2D::zeros(m, n);
+
+    // Each worker re-decodes the packed stream for its strip (decoding is
+    // read-only and sharing it would need a per-row barrier), so cap the
+    // worker count at m/4: every worker then amortizes its decode over at
+    // least ~4 AXPY rows and wall-clock never regresses vs sequential.
+    let workers = blocking.threads.min(m.div_ceil(4)).max(1);
+    parallel_row_chunks(c.as_mut_slice(), n, workers, |first_row, chunk| {
+        let mrows = chunk.len() / n;
+        let mut codes = vec![0u32; groups];
+        let mut wrow = vec![0.0f32; n];
+        for i in 0..k {
+            // Decode weight row i (all residual rounds) from packed codes.
+            wrow.fill(0.0);
+            for r in 0..vq.residuals {
+                wq.index_stream(r).unpack_block(i * groups, &mut codes);
+                for (g, &code) in codes.iter().enumerate() {
+                    books
+                        .book(r, books.scope_index(i, g * vs))
+                        .accumulate(code, &mut wrow[g * vs..(g + 1) * vs]);
+                }
+            }
+            // C[p] += A[p][i] * wrow for this worker's strip.
+            for p in 0..mrows {
+                let apv = a.row(first_row + p)[i];
+                if apv != 0.0 {
+                    for (o, &w) in chunk[p * n..(p + 1) * n].iter_mut().zip(&wrow) {
+                        *o += apv * w;
+                    }
+                }
+            }
+        }
+    });
+    Ok(c)
+}
+
+/// One head of fused attention decode over quantized K/V caches
+/// (`seq × head_dim` each): `softmax(q · dequant(Kq)ᵀ / √d) · dequant(Vq)`.
+///
+/// The score pass is exactly [`gemv_lut`] (q-sub-vector · centroid LUTs,
+/// `score[t] += lut[code]` over K's packed codes); the output pass is
+/// exactly [`gemv_xw`] with the softmaxed scores as `x`. Neither K nor V
+/// is ever materialized.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] on inconsistent shapes.
+pub fn attention_decode_fused(
+    q: &[f32],
+    kq: &QuantizedTensor,
+    vq: &QuantizedTensor,
+    blocking: &HostBlocking,
+) -> Result<Vec<f32>> {
+    if kq.shape() != vq.shape() || q.len() != kq.shape().1 {
+        return Err(KernelError::ShapeMismatch {
+            what: "q/K/V shapes disagree",
+        });
+    }
+    let mut scores = gemv_lut(kq, q, blocking)?;
+    let scale = 1.0 / (q.len() as f32).sqrt();
+    for s in scores.iter_mut() {
+        *s *= scale;
+    }
+    linalg::softmax_inplace(&mut scores);
+    gemv_xw(&scores, vq, blocking)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqllm_tensor::{metrics, synth};
+    use vqllm_vq::{VqAlgorithm, VqConfig, VqQuantizer};
+
+    fn quantized(cfg: VqConfig, rows: usize, cols: usize, seed: u64) -> QuantizedTensor {
+        let w = synth::correlated_channels(rows, cols, cfg.vector_size, 0.9, seed);
+        VqQuantizer::new(cfg).quantize(&w, seed).unwrap()
+    }
+
+    fn xs(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * phase).sin()).collect()
+    }
+
+    /// Every preset the repo ships, at a size each scope supports.
+    fn preset_cases() -> Vec<(VqConfig, usize, usize)> {
+        vec![
+            (
+                VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap(),
+                48,
+                64,
+            ),
+            (
+                VqConfig::new(4, 64, 2, CodebookScope::PerTensor).unwrap(),
+                48,
+                64,
+            ),
+            (VqAlgorithm::Cq4.config(), 256, 32),
+            (VqAlgorithm::Cq2.config(), 256, 32),
+            (
+                VqConfig::new(4, 32, 1, CodebookScope::PerTile { rows: 16, cols: 16 }).unwrap(),
+                32,
+                32,
+            ),
+            (
+                VqConfig::new_lattice(4, 256, 16, 1, CodebookScope::PerTensor).unwrap(),
+                32,
+                32,
+            ),
+        ]
+    }
+
+    #[test]
+    fn gemv_lut_matches_dequantized_gemv() {
+        for (cfg, rows, cols) in preset_cases() {
+            let wq = quantized(cfg, rows, cols, 7);
+            let x = xs(cols, 0.37);
+            let fused = gemv_lut(&wq, &x, &HostBlocking::default()).unwrap();
+            let reference = linalg::gemv(&wq.dequantize().unwrap(), &x).unwrap();
+            assert!(
+                metrics::allclose(&fused, &reference, 1e-4, 1e-4),
+                "{cfg} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_xw_matches_transposed_gemv() {
+        for (cfg, rows, cols) in preset_cases() {
+            let wq = quantized(cfg, rows, cols, 11);
+            let x = xs(rows, 0.23);
+            let fused = gemv_xw(&x, &wq, &HostBlocking::default()).unwrap();
+            let reference = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
+            assert!(
+                metrics::allclose(&fused, &reference, 1e-4, 1e-4),
+                "{cfg} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_fused_matches_dequantized_matmul() {
+        for (cfg, rows, cols) in preset_cases() {
+            let wq = quantized(cfg, rows, cols, 3);
+            let a = synth::gaussian(5, rows, 1.0, 9);
+            let fused = gemm_fused(&a, &wq, &HostBlocking::default()).unwrap();
+            let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
+            assert!(
+                metrics::allclose(fused.as_slice(), reference.as_slice(), 1e-4, 1e-4),
+                "{cfg} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_matches_reference() {
+        let cfg = VqAlgorithm::Cq2.config();
+        let k = synth::kv_stream(320, 64, 0.8, 4);
+        let v = synth::kv_stream(320, 64, 0.8, 5);
+        let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
+        let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+        let q = xs(64, 0.31);
+        let fused = attention_decode_fused(&q, &kq, &vq, &HostBlocking::default()).unwrap();
+        let reference = linalg::attention_decode_ref(
+            &q,
+            &kq.dequantize().unwrap(),
+            &vq.dequantize().unwrap(),
+            1.0 / 8.0,
+        )
+        .unwrap();
+        assert!(metrics::allclose(&fused, &reference, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn threaded_path_matches_sequential() {
+        for (cfg, rows, cols) in preset_cases() {
+            let wq = quantized(cfg, rows, cols, 17);
+            let xc = xs(cols, 0.41);
+            let xr = xs(rows, 0.19);
+            let seq = HostBlocking::default();
+            let par = HostBlocking::default().with_threads(4);
+            assert_eq!(
+                gemv_lut(&wq, &xc, &seq).unwrap(),
+                gemv_lut(&wq, &xc, &par).unwrap(),
+                "{cfg} lut"
+            );
+            assert_eq!(
+                gemv_xw(&xr, &wq, &seq).unwrap(),
+                gemv_xw(&xr, &wq, &par).unwrap(),
+                "{cfg} xw"
+            );
+            let a = synth::gaussian(6, rows, 1.0, 21);
+            assert_eq!(
+                gemm_fused(&a, &wq, &seq).unwrap(),
+                gemm_fused(&a, &wq, &par).unwrap(),
+                "{cfg} gemm"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_slab_blocking_still_correct() {
+        // Force many group blocks (slab smaller than one group's table).
+        let cfg = VqConfig::new(4, 64, 1, CodebookScope::PerTensor).unwrap();
+        let wq = quantized(cfg, 48, 64, 2);
+        let x = xs(64, 0.53);
+        let tiny = HostBlocking {
+            slab_bytes: 1,
+            threads: 1,
+        };
+        let fused = gemv_lut(&wq, &x, &tiny).unwrap();
+        let reference = linalg::gemv(&wq.dequantize().unwrap(), &x).unwrap();
+        assert!(metrics::allclose(&fused, &reference, 1e-4, 1e-4));
+        let xr = xs(48, 0.29);
+        let fused = gemv_xw(&xr, &wq, &tiny).unwrap();
+        let reference = linalg::gemv(&wq.dequantize().unwrap().transposed(), &xr).unwrap();
+        assert!(metrics::allclose(&fused, &reference, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let cfg = VqConfig::new(4, 32, 1, CodebookScope::PerTensor).unwrap();
+        let wq = quantized(cfg, 64, 32, 1);
+        let b = HostBlocking::default();
+        assert!(gemv_lut(&wq, &[0.0; 3], &b).is_err());
+        assert!(gemv_xw(&[0.0; 3], &wq, &b).is_err());
+        assert!(gemm_fused(&Tensor2D::zeros(2, 3), &wq, &b).is_err());
+        let other = quantized(cfg, 32, 32, 2);
+        assert!(attention_decode_fused(&[0.0; 32], &wq, &other, &b).is_err());
+    }
+}

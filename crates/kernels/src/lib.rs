@@ -13,15 +13,24 @@
 //!   their paged variants).
 //! * [`vq_kernel`] — the plan-driven fused VQ kernels: executes any
 //!   [`vqllm_core::KernelPlan`] from the GC baseline to fully-optimized O4.
+//! * [`host_exec`] — real host execution: fused kernels that compute
+//!   directly on packed codes with cache-resident codebooks/LUTs (the
+//!   paper's insight translated to the CPU memory hierarchy).
+//! * [`backend`] — the pluggable [`Backend`] seam ([`PerfModelBackend`]
+//!   and the executing [`CpuBackend`]) shared by `Session` and `Pipeline`.
 //! * [`elementwise`] — the element-wise quantization comparators: AWQ-4
 //!   weight kernels and QoQ-4 KV-cache attention (Fig. 16/17).
 //! * [`traffic`] — the codebook-access cost model shared by the VQ kernels.
 
+pub mod backend;
 pub mod elementwise;
 pub mod fp16;
+pub mod host_exec;
 pub mod traffic;
 pub mod vq_kernel;
 
+pub use backend::{Backend, CpuBackend, PerfModelBackend};
+pub use host_exec::HostBlocking;
 pub use traffic::{l1_hit_rate, AccessProfile, CodebookAccessCost};
 
 use vqllm_gpu::{LatencyBreakdown, LaunchConfig, PerfCounters};
@@ -57,6 +66,10 @@ pub enum KernelError {
         /// Description of the problem.
         what: &'static str,
     },
+    /// Planning failed before anything could execute (the [`Backend`]
+    /// planning entry points flow `CoreError` through here with its full
+    /// structured context).
+    Unplannable(vqllm_core::CoreError),
 }
 
 impl std::fmt::Display for KernelError {
@@ -64,11 +77,25 @@ impl std::fmt::Display for KernelError {
         match self {
             KernelError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
             KernelError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            KernelError::Unplannable(e) => write!(f, "planning: {e}"),
         }
     }
 }
 
-impl std::error::Error for KernelError {}
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Unplannable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vqllm_core::CoreError> for KernelError {
+    fn from(e: vqllm_core::CoreError) -> Self {
+        KernelError::Unplannable(e)
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, KernelError>;

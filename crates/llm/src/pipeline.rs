@@ -10,10 +10,11 @@ use crate::model::LlamaConfig;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vqllm_core::plan_cache::{self, PlanCache, PlanKey, PlanRequest};
-use vqllm_core::{ComputeOp, KernelPlan, KernelPlanner, OptLevel, ProfileSummary};
+use vqllm_core::{ComputeOp, KernelPlan, OptLevel, ProfileSummary};
 use vqllm_gpu::GpuSpec;
+use vqllm_kernels::backend::{Backend, PerfModelBackend};
 use vqllm_kernels::fp16::AttnBaseline;
-use vqllm_kernels::{elementwise, fp16, vq_kernel, AccessProfile};
+use vqllm_kernels::{elementwise, fp16, AccessProfile};
 use vqllm_vq::VqAlgorithm;
 
 /// Which quantization scheme the pipeline runs under.
@@ -146,6 +147,10 @@ pub struct Pipeline {
     model: LlamaConfig,
     scheme: QuantScheme,
     cache: Arc<PlanCache>,
+    /// Execution backend supplying planning and estimation (the `Session`
+    /// facade passes its own, so one workload runs identically on the
+    /// performance model or a real substrate).
+    backend: Arc<dyn Backend>,
 }
 
 impl Pipeline {
@@ -168,12 +173,24 @@ impl Pipeline {
             model,
             scheme,
             cache,
+            backend: Arc::new(PerfModelBackend),
         }
+    }
+
+    /// Replaces the execution backend (default: [`PerfModelBackend`]).
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The configured scheme.
     pub fn scheme(&self) -> &QuantScheme {
         &self.scheme
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
     }
 
     /// The plan cache memoizing this pipeline's kernel plans.
@@ -330,7 +347,7 @@ impl Pipeline {
     fn vq_latency_us(&self, vq: &vqllm_vq::VqConfig, op: &ComputeOp, opt: OptLevel) -> Option<f64> {
         let profile = AccessProfile::default_for(vq);
         let plan = self.vq_plan(vq, op, opt, &profile)?;
-        Some(vq_kernel::estimate(&self.gpu, &plan, &profile).us())
+        Some(self.backend.estimate(&self.gpu, &plan, &profile).us())
     }
 
     /// Memoized plan lookup: `O4` resolves to the adaptive best plan
@@ -370,11 +387,14 @@ impl Pipeline {
         self.cache
             .get_or_try_insert_with(key, || -> Result<KernelPlan, ()> {
                 match request {
-                    PlanRequest::Best => vq_kernel::best_plan(&self.gpu, vq, op, profile)
+                    PlanRequest::Best => self
+                        .backend
+                        .best_plan(&self.gpu, vq, op, profile)
                         .map(|(plan, _)| plan)
                         .map_err(|_| ()),
-                    PlanRequest::At(level) => KernelPlanner::new(self.gpu.clone())
-                        .plan_at(vq, op, level, &summary)
+                    PlanRequest::At(level) => self
+                        .backend
+                        .plan_at(&self.gpu, vq, op, level, &summary)
                         .map_err(|_| ()),
                 }
             })

@@ -58,13 +58,35 @@ impl Codebook {
     }
 
     /// Elements per entry.
+    #[inline]
     pub fn vector_size(&self) -> usize {
         self.vector_size
     }
 
     /// Entries physically stored (and looked up by kernels).
+    #[inline]
     pub fn stored_entries(&self) -> usize {
         self.entries.len() / self.vector_size
+    }
+
+    /// Flat borrow of the whole centroid storage
+    /// (`stored_entries × vector_size`, row-major): host kernels index
+    /// `&flat[id * vs..]` directly instead of paying a bounds-computed
+    /// slice per lookup.
+    #[inline]
+    pub fn entries_flat(&self) -> &[f32] {
+        &self.entries
+    }
+
+    /// For lattice books: how far the sign mask is shifted above the base
+    /// entry id (`log2 stored_entries`). Zero for plain books.
+    #[inline]
+    pub fn sign_shift(&self) -> u32 {
+        if self.lattice {
+            self.stored_entries().trailing_zeros()
+        } else {
+            0
+        }
     }
 
     /// Logical entries addressable by an index (`stored × 2^vector_size`
@@ -78,6 +100,7 @@ impl Codebook {
     }
 
     /// Whether this is a lattice (sign-extended) codebook.
+    #[inline]
     pub fn is_lattice(&self) -> bool {
         self.lattice
     }
@@ -87,6 +110,7 @@ impl Codebook {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    #[inline]
     pub fn stored_entry(&self, id: usize) -> &[f32] {
         &self.entries[id * self.vector_size..(id + 1) * self.vector_size]
     }
@@ -94,6 +118,7 @@ impl Codebook {
     /// Stored-entry id that logical index `id` dereferences (identity for
     /// plain books, low bits for lattice books). This is the id whose
     /// *access frequency* matters for cache placement.
+    #[inline]
     pub fn stored_id_of(&self, id: u32) -> u32 {
         if self.lattice {
             id & (self.stored_entries() as u32 - 1)
@@ -106,10 +131,12 @@ impl Codebook {
     ///
     /// For lattice books the high bits of `id` are a sign mask applied
     /// element-wise — the "bit operations" of Tbl. II's footnote.
+    /// Allocation-free: writes into the caller's buffer.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != vector_size` or `id` is out of range.
+    #[inline]
     pub fn lookup(&self, id: u32, out: &mut [f32]) {
         assert_eq!(out.len(), self.vector_size, "output buffer size");
         assert!(
@@ -125,6 +152,33 @@ impl Codebook {
             }
         } else {
             out.copy_from_slice(entry);
+        }
+    }
+
+    /// Accumulates logical entry `id` into `out` (`out[j] += entry[j]`,
+    /// sign-applied for lattice books) — the residual-accumulation step of
+    /// every fused dequantization loop, without a scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != vector_size` or `id` is out of range.
+    #[inline]
+    pub fn accumulate(&self, id: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.vector_size, "output buffer size");
+        assert!(
+            (id as usize) < self.logical_entries(),
+            "entry id out of range"
+        );
+        let entry = self.stored_entry(self.stored_id_of(id) as usize);
+        if self.lattice {
+            let signs = id >> self.sign_shift();
+            for (j, (o, &e)) in out.iter_mut().zip(entry).enumerate() {
+                *o += if signs & (1 << j) != 0 { -e } else { e };
+            }
+        } else {
+            for (o, &e) in out.iter_mut().zip(entry) {
+                *o += e;
+            }
         }
     }
 
@@ -314,6 +368,35 @@ mod tests {
         assert_eq!(out, [-1.0, 2.0]);
         // Stored id only reflects the base entry.
         assert_eq!(cb.stored_id_of(id), 0);
+    }
+
+    #[test]
+    fn entries_flat_and_accumulate_match_lookup() {
+        let plain = plain_book();
+        assert_eq!(plain.entries_flat().len(), 8);
+        assert_eq!(plain.sign_shift(), 0);
+        let lattice = Codebook::new(vec![1.0, 2.0, 3.0, 4.0], 2, true).unwrap();
+        assert_eq!(lattice.sign_shift(), 1);
+        for book in [plain, lattice] {
+            for id in 0..book.logical_entries() as u32 {
+                let mut via_lookup = vec![0.5f32; book.vector_size()];
+                let mut via_acc = vec![0.5f32; book.vector_size()];
+                let mut entry = vec![0.0f32; book.vector_size()];
+                book.lookup(id, &mut entry);
+                for (o, &e) in via_lookup.iter_mut().zip(&entry) {
+                    *o += e;
+                }
+                book.accumulate(id, &mut via_acc);
+                assert_eq!(via_acc, via_lookup, "id {id}");
+                // Flat storage indexes the same centroids.
+                let base = book.stored_id_of(id) as usize;
+                let vs = book.vector_size();
+                assert_eq!(
+                    &book.entries_flat()[base * vs..(base + 1) * vs],
+                    book.stored_entry(base)
+                );
+            }
+        }
     }
 
     #[test]

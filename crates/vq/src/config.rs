@@ -105,6 +105,17 @@ impl VqConfig {
                 value: lattice_base,
             });
         }
+        // The logical entry space must exactly equal the index space:
+        // every index is `log2 num_entries` bits wide and decodes as
+        // (sign mask << log2 lattice_base) | base id, so
+        // num_entries = lattice_base × 2^vector_size or some packed
+        // indices would dereference out of range (or be unreachable).
+        if num_entries != lattice_base << vector_size {
+            return Err(VqError::InvalidConfig {
+                what: "lattice num_entries (must be lattice_base << vector_size)",
+                value: num_entries,
+            });
+        }
         Ok(cfg)
     }
 
@@ -253,6 +264,9 @@ mod tests {
         assert!(VqConfig::new(4, 256, 1, CodebookScope::PerChannelGroup { channels: 6 }).is_err());
         assert!(VqConfig::new(4, 256, 1, CodebookScope::PerTile { rows: 0, cols: 256 }).is_err());
         assert!(VqConfig::new_lattice(8, 65536, 300, 2, CodebookScope::PerTensor).is_err());
+        // Index space must equal the logical entry space: 16 << 2 = 64
+        // logical entries but 8-bit (256-value) indices.
+        assert!(VqConfig::new_lattice(2, 256, 16, 1, CodebookScope::PerTensor).is_err());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod stats;
 pub use algorithms::VqAlgorithm;
 pub use codebook::{Codebook, CodebookSet};
 pub use config::{CodebookScope, VqConfig};
+pub use packing::PackedIndices;
 pub use quantizer::{QuantizedTensor, VqQuantizer};
 
 /// Error type for quantization operations.

@@ -64,12 +64,97 @@ impl PackedIndices {
         })
     }
 
+    /// Value mask for a `bits`-wide index.
+    #[inline]
+    fn mask_of(bits: u8) -> u64 {
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+
+    /// Little-endian 64-bit word starting at byte offset `byte`, zero-padded
+    /// past the end of the stream. One unaligned load replaces the per-byte
+    /// shift/OR loop on the hot path.
+    #[inline]
+    fn word_at(&self, byte: usize) -> u64 {
+        let d = &self.data;
+        if byte + 8 <= d.len() {
+            u64::from_le_bytes(d[byte..byte + 8].try_into().expect("8-byte slice"))
+        } else {
+            let mut buf = [0u8; 8];
+            if byte < d.len() {
+                buf[..d.len() - byte].copy_from_slice(&d[byte..]);
+            }
+            u64::from_le_bytes(buf)
+        }
+    }
+
     /// Index at position `i`.
+    ///
+    /// Decodes with a single word load + shift + mask (any index of width
+    /// ≤ 32 spans at most 5 bytes, so the containing 8-byte word always
+    /// holds it), instead of recomputing a byte-span loop per call.
     ///
     /// # Panics
     ///
     /// Panics if `i >= len`.
+    #[inline]
     pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index out of bounds");
+        let bit_pos = i * self.bits as usize;
+        (self.word_at(bit_pos >> 3) >> (bit_pos & 7) & Self::mask_of(self.bits)) as u32
+    }
+
+    /// Batched decode of `out.len()` consecutive indices starting at
+    /// `start` — the kernel-facing fast path: the shift amount and mask are
+    /// computed once and each index is one word load, so hot loops decode a
+    /// whole row (or row-block) of codes at a time instead of re-running
+    /// [`PackedIndices::get`]'s bit arithmetic per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + out.len() > len`.
+    #[inline]
+    pub fn unpack_block(&self, start: usize, out: &mut [u32]) {
+        assert!(
+            start + out.len() <= self.len,
+            "block [{start}, {}) out of bounds (len {})",
+            start + out.len(),
+            self.len
+        );
+        let bits = self.bits as usize;
+        let mask = Self::mask_of(self.bits);
+        let mut bit_pos = start * bits;
+        for o in out.iter_mut() {
+            *o = (self.word_at(bit_pos >> 3) >> (bit_pos & 7) & mask) as u32;
+            bit_pos += bits;
+        }
+    }
+
+    /// Iterator over `count` indices starting at `start` — a lazy wrapper
+    /// over [`PackedIndices::get`]'s word-at-a-time decode for callers
+    /// that don't want a scratch buffer ([`PackedIndices::unpack_block`]
+    /// is the bulk fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > len`.
+    pub fn iter_range(&self, start: usize, count: usize) -> impl Iterator<Item = u32> + '_ {
+        assert!(start + count <= self.len, "range out of bounds");
+        (start..start + count).map(move |i| self.get(i))
+    }
+
+    /// Unpacks the whole stream. Kept as the straightforward slow-path
+    /// oracle that [`PackedIndices::unpack_block`] is tested against.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get_slow(i)).collect()
+    }
+
+    /// Original per-byte decode: the reference implementation `get` and
+    /// `unpack_block` must agree with at every width.
+    fn get_slow(&self, i: usize) -> u32 {
         assert!(i < self.len, "index out of bounds");
         let bits = self.bits as usize;
         let bit_pos = i * bits;
@@ -84,17 +169,7 @@ impl PackedIndices {
             acc |= u64::from(b) << (8 * j);
         }
         acc >>= bit_pos % 8;
-        let mask = if bits == 32 {
-            u64::MAX
-        } else {
-            (1u64 << bits) - 1
-        };
-        (acc & mask) as u32
-    }
-
-    /// Unpacks the whole stream.
-    pub fn unpack(&self) -> Vec<u32> {
-        (0..self.len).map(|i| self.get(i)).collect()
+        (acc & Self::mask_of(self.bits)) as u32
     }
 
     /// Number of stored indices.
@@ -179,6 +254,60 @@ mod tests {
         assert!(PackedIndices::pack(&[256], 8).is_err());
         assert!(PackedIndices::pack(&[4096], 12).is_err());
         assert!(PackedIndices::pack(&[0], 0).is_err());
+    }
+
+    /// Deterministic pseudo-random indices that fit in `bits`.
+    fn mixed_indices(n: usize, bits: u8) -> Vec<u32> {
+        let max = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).rotate_left(7) & max)
+            .collect()
+    }
+
+    #[test]
+    fn block_decode_matches_oracle_at_all_widths() {
+        // Every width the kernels can see, including every non-byte-aligned
+        // one in 1..=16 (the AQLM-12 class) plus a few wide outliers.
+        for bits in (1u8..=16).chain([17, 24, 31, 32]) {
+            let idx = mixed_indices(203, bits);
+            let p = PackedIndices::pack(&idx, bits).unwrap();
+            // Whole-stream block decode vs the slow-path oracle.
+            let mut block = vec![0u32; idx.len()];
+            p.unpack_block(0, &mut block);
+            assert_eq!(block, p.unpack(), "width {bits}");
+            assert_eq!(block, idx, "width {bits}");
+            // Unaligned interior blocks.
+            for (start, count) in [(0, 1), (1, 7), (13, 64), (190, 13), (203, 0)] {
+                let mut out = vec![0u32; count];
+                p.unpack_block(start, &mut out);
+                assert_eq!(out, &idx[start..start + count], "width {bits} @ {start}");
+            }
+            // get() (word-load fast path) agrees everywhere too.
+            for (i, &v) in idx.iter().enumerate() {
+                assert_eq!(p.get(i), v, "width {bits} get({i})");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_range_matches_block_decode() {
+        let idx = mixed_indices(151, 11);
+        let p = PackedIndices::pack(&idx, 11).unwrap();
+        let via_iter: Vec<u32> = p.iter_range(9, 100).collect();
+        assert_eq!(via_iter, &idx[9..109]);
+        assert_eq!(p.iter_range(0, 0).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_decode_rejects_overrun() {
+        let p = PackedIndices::pack(&[1, 2, 3], 8).unwrap();
+        let mut out = [0u32; 2];
+        p.unpack_block(2, &mut out);
     }
 
     #[test]

@@ -154,6 +154,81 @@ pub struct QuantizedTensor {
 }
 
 impl QuantizedTensor {
+    /// Assembles a quantized tensor from pre-trained parts — the path a
+    /// serving process takes when loading a quantized checkpoint (or a
+    /// bench builds a large synthetic operand) instead of re-running
+    /// k-means via [`VqQuantizer::quantize`].
+    ///
+    /// Index validity is implied by the bit width: every packed value is
+    /// `< 2^index_bits = num_entries`, which equals each book's logical
+    /// entry count (checked below, and enforced for lattice configs by
+    /// [`VqConfig::new_lattice`]), so no O(elements) range scan is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqError::IncompatibleShape`] if the shape is not a
+    /// positive multiple of the vector size or disagrees with the codebook
+    /// set, and [`VqError::InvalidConfig`] if the stream count, stream
+    /// lengths, bit widths, or per-book entry counts don't match `config`.
+    pub fn from_parts(
+        codebooks: CodebookSet,
+        indices: Vec<PackedIndices>,
+    ) -> Result<QuantizedTensor> {
+        let config = *codebooks.config();
+        let shape = codebooks.shape();
+        let (rows, cols) = shape;
+        if rows == 0 || cols == 0 || cols % config.vector_size != 0 {
+            return Err(VqError::IncompatibleShape {
+                what: "from_parts (cols must be a positive multiple of vector_size)",
+                shape,
+            });
+        }
+        if indices.len() != config.residuals {
+            return Err(VqError::InvalidConfig {
+                what: "from_parts stream count (must equal residuals)",
+                value: indices.len(),
+            });
+        }
+        // Every book must expose exactly the index space the packed codes
+        // address, or decodes would panic (or silently alias) later.
+        for r in 0..config.residuals {
+            for s in 0..codebooks.scopes() {
+                let book = codebooks.book(r, s);
+                if book.vector_size() != config.vector_size
+                    || book.is_lattice() != config.lattice
+                    || book.logical_entries() != config.num_entries
+                {
+                    return Err(VqError::InvalidConfig {
+                        what: "from_parts codebook (entry count / vector size / lattice \
+                               flag must match the config)",
+                        value: book.logical_entries(),
+                    });
+                }
+            }
+        }
+        let vectors = rows * (cols / config.vector_size);
+        for stream in &indices {
+            if stream.len() != vectors {
+                return Err(VqError::InvalidConfig {
+                    what: "from_parts stream length (must equal sub-vector count)",
+                    value: stream.len(),
+                });
+            }
+            if u32::from(stream.bits()) != config.index_bits() {
+                return Err(VqError::InvalidConfig {
+                    what: "from_parts stream bit width (must equal index_bits)",
+                    value: stream.bits() as usize,
+                });
+            }
+        }
+        Ok(QuantizedTensor {
+            config,
+            shape,
+            codebooks,
+            indices,
+        })
+    }
+
     /// The configuration this tensor was quantized under.
     pub fn config(&self) -> &VqConfig {
         &self.config
@@ -204,18 +279,18 @@ impl QuantizedTensor {
         let vs = self.config.vector_size;
         assert_eq!(out.len(), vs, "output buffer size");
         out.fill(0.0);
-        let mut entry = vec![0.0f32; vs];
         for r in 0..self.config.residuals {
             let s = self.codebooks.scope_index(row, group * vs);
             let book = self.codebooks.book(r, s);
-            book.lookup(self.index_at(r, row, group), &mut entry);
-            for (o, &e) in out.iter_mut().zip(&entry) {
-                *o += e;
-            }
+            book.accumulate(self.index_at(r, row, group), out);
         }
     }
 
     /// Full dequantization.
+    ///
+    /// Row-at-a-time: each residual stream is block-decoded per row
+    /// ([`PackedIndices::unpack_block`]) and accumulated in place — no
+    /// per-sub-vector allocation or random-access bit fiddling.
     ///
     /// # Errors
     ///
@@ -226,12 +301,17 @@ impl QuantizedTensor {
         let vs = self.config.vector_size;
         let groups = self.col_groups();
         let mut t = Tensor2D::zeros(rows, cols);
-        let mut sv = vec![0.0f32; vs];
+        let mut codes = vec![0u32; groups];
         for row in 0..rows {
-            for g in 0..groups {
-                self.dequantize_subvector(row, g, &mut sv);
-                let dst = t.row_mut(row);
-                dst[g * vs..(g + 1) * vs].copy_from_slice(&sv);
+            let dst = t.row_mut(row);
+            for (r, stream) in self.indices.iter().enumerate() {
+                stream.unpack_block(row * groups, &mut codes);
+                for (g, &code) in codes.iter().enumerate() {
+                    let s = self.codebooks.scope_index(row, g * vs);
+                    self.codebooks
+                        .book(r, s)
+                        .accumulate(code, &mut dst[g * vs..(g + 1) * vs]);
+                }
             }
         }
         Ok(t)
@@ -348,6 +428,50 @@ mod tests {
             VqQuantizer::new(cfg).quantize(&w, 0),
             Err(VqError::InsufficientData { .. })
         ));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_quantized_tensor() {
+        let cfg = VqConfig::new(4, 64, 2, CodebookScope::PerTensor).unwrap();
+        let w = synth::correlated_channels(32, 32, 4, 0.9, 13);
+        let q = VqQuantizer::new(cfg).quantize(&w, 5).unwrap();
+        let streams: Vec<_> = (0..cfg.residuals)
+            .map(|r| q.index_stream(r).clone())
+            .collect();
+        let rebuilt = QuantizedTensor::from_parts(q.codebooks().clone(), streams).unwrap();
+        assert_eq!(rebuilt, q);
+        assert_eq!(rebuilt.dequantize().unwrap(), q.dequantize().unwrap());
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_parts() {
+        let cfg = VqConfig::new(4, 64, 2, CodebookScope::PerTensor).unwrap();
+        let w = synth::correlated_channels(32, 32, 4, 0.9, 13);
+        let q = VqQuantizer::new(cfg).quantize(&w, 5).unwrap();
+        // Too few streams for residuals = 2.
+        let one = vec![q.index_stream(0).clone()];
+        assert!(QuantizedTensor::from_parts(q.codebooks().clone(), one).is_err());
+        // Wrong stream length.
+        let short = PackedIndices::pack(&[0, 1, 2], cfg.index_bits() as u8).unwrap();
+        assert!(
+            QuantizedTensor::from_parts(q.codebooks().clone(), vec![short.clone(), short]).is_err()
+        );
+        // Wrong bit width.
+        let vectors = 32 * 32 / 4;
+        let wide = PackedIndices::pack(&vec![0u32; vectors], 8).unwrap();
+        assert!(
+            QuantizedTensor::from_parts(q.codebooks().clone(), vec![wide.clone(), wide]).is_err()
+        );
+        // Codebooks whose entry count disagrees with the config's index
+        // space must be rejected, not panic at decode time.
+        let small_books = vec![vec![plain_book_16()]; 2];
+        let set = CodebookSet::new(cfg, (32, 32), small_books).unwrap();
+        let streams: Vec<_> = (0..2).map(|r| q.index_stream(r).clone()).collect();
+        assert!(QuantizedTensor::from_parts(set, streams).is_err());
+    }
+
+    fn plain_book_16() -> Codebook {
+        Codebook::new((0..16 * 4).map(|i| i as f32).collect(), 4, false).unwrap()
     }
 
     #[test]

@@ -1,173 +1,47 @@
-//! Pluggable execution backends.
+//! Pluggable execution backends (re-exported from `vqllm-kernels`).
 //!
-//! A [`Backend`] is everything a [`Session`](crate::Session) needs from an
-//! execution substrate: planning a fused kernel, estimating a plan's
-//! latency, and functionally executing a plan against real data. The
-//! shipped implementation, [`PerfModelBackend`], runs on the workspace's
-//! GPU performance model (the documented hardware substitution). The trait
-//! is the seam where a real-GPU (CUDA/HIP) or host-SIMD backend plugs in
-//! later without touching any `Session` consumer.
+//! The [`Backend`] trait lives in [`vqllm_kernels::backend`] so both this
+//! facade *and* the end-to-end [`Pipeline`](crate::Pipeline) can execute
+//! through it; this module re-exports it together with the shipped
+//! implementations and adds [`BackendKind`], the ergonomic selector for
+//! [`SessionBuilder`](crate::SessionBuilder):
+//!
+//! * [`PerfModelBackend`] — the GPU performance model (the workspace's
+//!   documented hardware substitution).
+//! * [`CpuBackend`] — real host execution of the fused kernels
+//!   ([`vqllm_kernels::host_exec`]): LUT GeMV, aggregation GeMV, streamed
+//!   fused GeMM and attention decode, all directly on packed codes.
 
-use crate::error::Result;
-use vqllm_core::{ComputeOp, KernelPlan, KernelPlanner, OptLevel, ProfileSummary};
-use vqllm_gpu::GpuSpec;
-use vqllm_kernels::{vq_kernel, AccessProfile, KernelOutput};
-use vqllm_tensor::Tensor2D;
-use vqllm_vq::{QuantizedTensor, VqConfig};
+use std::sync::Arc;
 
-/// An execution substrate for fused VQ kernels.
+pub use vqllm_kernels::backend::{Backend, CpuBackend, PerfModelBackend};
+
+/// Which shipped backend a [`SessionBuilder`](crate::SessionBuilder)
+/// should instantiate (use [`SessionBuilder::backend`] to supply a custom
+/// implementation instead).
 ///
-/// Implementations must be thread-safe: one backend instance is shared by
-/// every clone of a `Session` and by the plan cache's racing planners.
-pub trait Backend: std::fmt::Debug + Send + Sync {
-    /// Short backend name for reports and debugging.
-    fn name(&self) -> &'static str;
-
-    /// Plans `op` under `vq` at one rung of the optimization ladder.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when no launchable configuration exists.
-    fn plan_at(
-        &self,
-        gpu: &GpuSpec,
-        vq: &VqConfig,
-        op: &ComputeOp,
-        level: OptLevel,
-        profile: &ProfileSummary,
-    ) -> Result<KernelPlan>;
-
-    /// Plans at every rung and returns the fastest plan (the paper's
-    /// adaptive "best perform version").
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when no rung yields a launchable configuration.
-    fn best_plan(
-        &self,
-        gpu: &GpuSpec,
-        vq: &VqConfig,
-        op: &ComputeOp,
-        profile: &AccessProfile,
-    ) -> Result<(KernelPlan, KernelOutput)>;
-
-    /// Latency/counter estimate for an existing plan.
-    fn estimate(&self, gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput;
-
-    /// Functionally executes a fused GeMM: `A × dequant(Wq)`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on shape mismatches.
-    fn run_gemm(
-        &self,
-        gpu: &GpuSpec,
-        plan: &KernelPlan,
-        a: &Tensor2D,
-        wq: &QuantizedTensor,
-    ) -> Result<(Tensor2D, KernelOutput)>;
-
-    /// Functionally executes a fused GeMV: `xᵀ × dequant(Wq)`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on shape mismatches.
-    fn run_gemv(
-        &self,
-        gpu: &GpuSpec,
-        plan: &KernelPlan,
-        x: &[f32],
-        wq: &QuantizedTensor,
-    ) -> Result<(Vec<f32>, KernelOutput)>;
-
-    /// Functionally executes one head of fused attention decode over
-    /// quantized K/V caches.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on shape mismatches.
-    fn run_attention_head(
-        &self,
-        gpu: &GpuSpec,
-        plan: &KernelPlan,
-        q: &[f32],
-        kq: &QuantizedTensor,
-        vq: &QuantizedTensor,
-    ) -> Result<(Vec<f32>, KernelOutput)>;
+/// [`SessionBuilder::backend`]: crate::SessionBuilder::backend
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The GPU performance model ([`PerfModelBackend`]) — plans and
+    /// estimates; functional execution flows through the modelled
+    /// codebook cache.
+    PerfModel,
+    /// Real host execution ([`CpuBackend`]) with `threads` workers on the
+    /// row-parallel path (`0` means auto-detect).
+    Cpu {
+        /// Worker threads (`0` = available parallelism).
+        threads: usize,
+    },
 }
 
-/// The GPU performance-model backend (the workspace's documented hardware
-/// substitution): plans with [`KernelPlanner`], estimates with the
-/// roofline timing model, and executes functionally on the host while
-/// tallying modelled memory behaviour.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PerfModelBackend;
-
-impl PerfModelBackend {
-    /// Creates the backend.
-    pub fn new() -> Self {
-        PerfModelBackend
-    }
-}
-
-impl Backend for PerfModelBackend {
-    fn name(&self) -> &'static str {
-        "perf-model"
-    }
-
-    fn plan_at(
-        &self,
-        gpu: &GpuSpec,
-        vq: &VqConfig,
-        op: &ComputeOp,
-        level: OptLevel,
-        profile: &ProfileSummary,
-    ) -> Result<KernelPlan> {
-        Ok(KernelPlanner::new(gpu.clone()).plan_at(vq, op, level, profile)?)
-    }
-
-    fn best_plan(
-        &self,
-        gpu: &GpuSpec,
-        vq: &VqConfig,
-        op: &ComputeOp,
-        profile: &AccessProfile,
-    ) -> Result<(KernelPlan, KernelOutput)> {
-        Ok(vq_kernel::best_plan(gpu, vq, op, profile)?)
-    }
-
-    fn estimate(&self, gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput {
-        vq_kernel::estimate(gpu, plan, profile)
-    }
-
-    fn run_gemm(
-        &self,
-        gpu: &GpuSpec,
-        plan: &KernelPlan,
-        a: &Tensor2D,
-        wq: &QuantizedTensor,
-    ) -> Result<(Tensor2D, KernelOutput)> {
-        Ok(vq_kernel::run_gemm(gpu, plan, a, wq)?)
-    }
-
-    fn run_gemv(
-        &self,
-        gpu: &GpuSpec,
-        plan: &KernelPlan,
-        x: &[f32],
-        wq: &QuantizedTensor,
-    ) -> Result<(Vec<f32>, KernelOutput)> {
-        Ok(vq_kernel::run_gemv(gpu, plan, x, wq)?)
-    }
-
-    fn run_attention_head(
-        &self,
-        gpu: &GpuSpec,
-        plan: &KernelPlan,
-        q: &[f32],
-        kq: &QuantizedTensor,
-        vq: &QuantizedTensor,
-    ) -> Result<(Vec<f32>, KernelOutput)> {
-        Ok(vq_kernel::run_attention_head(gpu, plan, q, kq, vq)?)
+impl BackendKind {
+    /// Instantiates the selected backend.
+    pub fn instantiate(self) -> Arc<dyn Backend> {
+        match self {
+            BackendKind::PerfModel => Arc::new(PerfModelBackend),
+            BackendKind::Cpu { threads: 0 } => Arc::new(CpuBackend::auto()),
+            BackendKind::Cpu { threads } => Arc::new(CpuBackend::with_threads(threads)),
+        }
     }
 }

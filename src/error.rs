@@ -89,7 +89,13 @@ impl From<GpuError> for VqLlmError {
 
 impl From<KernelError> for VqLlmError {
     fn from(e: KernelError) -> Self {
-        VqLlmError::Kernel(e)
+        match e {
+            // Backend planning failures carry a full CoreError; surface
+            // them as Planning so callers see the same structured context
+            // regardless of which seam the planner ran behind.
+            KernelError::Unplannable(core) => VqLlmError::Planning(core),
+            other => VqLlmError::Kernel(other),
+        }
     }
 }
 

@@ -51,7 +51,8 @@
 //!   code generator, and the memoizing plan cache.
 //! * [`kernels`] — fused VQ kernels plus every baseline the paper compares
 //!   against (FP16 flash-decoding/attention, paged variants, VQ-GC/SC,
-//!   AWQ-4, QoQ-4).
+//!   AWQ-4, QoQ-4), the [`Backend`] seam, and the real host-execution
+//!   kernels (`kernels::host_exec`) behind [`CpuBackend`].
 //! * [`llm`] — Llama-shaped inference substrate for end-to-end evaluation.
 
 pub mod backend;
@@ -65,7 +66,7 @@ pub use vqllm_llm as llm;
 pub use vqllm_tensor as tensor;
 pub use vqllm_vq as vq;
 
-pub use backend::{Backend, PerfModelBackend};
+pub use backend::{Backend, BackendKind, CpuBackend, PerfModelBackend};
 pub use error::{Result, VqLlmError};
 pub use session::{Session, SessionBuilder};
 

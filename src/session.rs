@@ -32,7 +32,7 @@
 //! # }
 //! ```
 
-use crate::backend::{Backend, PerfModelBackend};
+use crate::backend::{Backend, BackendKind, PerfModelBackend};
 use crate::error::{Result, VqLlmError};
 use std::sync::Arc;
 use vqllm_core::plan_cache::{self, CacheStats, PlanCache, PlanKey, PlanRequest};
@@ -105,6 +105,13 @@ impl SessionBuilder {
     pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
         self.backend = Some(backend);
         self
+    }
+
+    /// Selects one of the shipped backends by kind — e.g.
+    /// `BackendKind::Cpu { threads: 0 }` for real host execution sized to
+    /// the machine.
+    pub fn backend_kind(self, kind: BackendKind) -> Self {
+        self.backend(kind.instantiate())
     }
 
     /// Shares an existing plan cache (default: a fresh empty cache). Lets
@@ -289,7 +296,9 @@ impl Session {
             &summary,
         );
         self.plan_cache.get_or_try_insert_with(key, || {
-            self.backend.plan_at(&self.gpu, vq, op, level, &summary)
+            self.backend
+                .plan_at(&self.gpu, vq, op, level, &summary)
+                .map_err(VqLlmError::from)
         })
     }
 
@@ -329,6 +338,7 @@ impl Session {
             self.backend
                 .best_plan(&self.gpu, vq, op, profile)
                 .map(|(plan, _)| plan)
+                .map_err(VqLlmError::from)
         })
     }
 
@@ -419,7 +429,7 @@ impl Session {
         a: &Tensor2D,
         wq: &QuantizedTensor,
     ) -> Result<(Tensor2D, KernelOutput)> {
-        self.backend.run_gemm(&self.gpu, plan, a, wq)
+        Ok(self.backend.run_gemm(&self.gpu, plan, a, wq)?)
     }
 
     /// Functionally executes a fused GeMV through the backend.
@@ -433,7 +443,7 @@ impl Session {
         x: &[f32],
         wq: &QuantizedTensor,
     ) -> Result<(Vec<f32>, KernelOutput)> {
-        self.backend.run_gemv(&self.gpu, plan, x, wq)
+        Ok(self.backend.run_gemv(&self.gpu, plan, x, wq)?)
     }
 
     /// Functionally executes one fused attention-decode head through the
@@ -449,13 +459,19 @@ impl Session {
         kq: &QuantizedTensor,
         vq: &QuantizedTensor,
     ) -> Result<(Vec<f32>, KernelOutput)> {
-        self.backend.run_attention_head(&self.gpu, plan, q, kq, vq)
+        Ok(self
+            .backend
+            .run_attention_head(&self.gpu, plan, q, kq, vq)?)
     }
 
     // --- end-to-end ---
 
     /// An end-to-end pipeline under an explicit scheme (FP16 / qServe /
-    /// VQ-LLM), sharing this session's device, model, and plan cache.
+    /// VQ-LLM), sharing this session's device, model, plan cache, **and
+    /// backend**. The pipeline's latency projection itself is modelled
+    /// (both shipped backends plan and estimate with the device model, so
+    /// `generate` reports identical numbers); the backend matters for the
+    /// functional `run_*` execution paths.
     pub fn pipeline(&self, scheme: QuantScheme) -> Pipeline {
         Pipeline::with_cache(
             self.gpu.clone(),
@@ -463,6 +479,7 @@ impl Session {
             scheme,
             Arc::clone(&self.plan_cache),
         )
+        .with_backend(Arc::clone(&self.backend))
     }
 
     /// Full generation run (prefill + decode) under this session's VQ-LLM

@@ -1,0 +1,193 @@
+//! Property-based parity suite for the real host-execution backend.
+//!
+//! Every `CpuBackend` kernel (and the decode-orientation LUT GeMV it is
+//! built from) is pinned to the `vqllm-tensor::linalg` oracles across
+//! randomized VQ configurations — residual rounds, all three codebook
+//! scopes, lattice on/off — and randomized shapes/seeds. The fused host
+//! kernels compute directly on packed codes, so these tests are the
+//! evidence that "no materialized weight matrix" loses no precision
+//! beyond f32 summation-order noise (1e-4 relative tolerance).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vq_llm::kernels::host_exec::{self, HostBlocking};
+use vq_llm::tensor::{linalg, metrics, synth};
+use vq_llm::vq::config::CodebookScope;
+use vq_llm::vq::VqQuantizer;
+use vq_llm::{Backend, BackendKind, ComputeOp, CpuBackend, GpuSpec, KernelPlan, Session, VqConfig};
+
+/// The randomized configuration space: residuals × scopes × lattice.
+fn config(case: usize) -> VqConfig {
+    match case % 8 {
+        0 => VqConfig::new(2, 16, 1, CodebookScope::PerTensor).unwrap(),
+        1 => VqConfig::new(4, 16, 2, CodebookScope::PerTensor).unwrap(),
+        2 => VqConfig::new(4, 32, 1, CodebookScope::PerChannelGroup { channels: 4 }).unwrap(),
+        3 => VqConfig::new(2, 16, 2, CodebookScope::PerChannelGroup { channels: 2 }).unwrap(),
+        4 => VqConfig::new(4, 16, 1, CodebookScope::PerTile { rows: 16, cols: 16 }).unwrap(),
+        5 => VqConfig::new_lattice(4, 256, 16, 1, CodebookScope::PerTensor).unwrap(),
+        6 => VqConfig::new_lattice(4, 256, 16, 2, CodebookScope::PerTensor).unwrap(),
+        _ => VqConfig::new(8, 16, 1, CodebookScope::PerTensor).unwrap(),
+    }
+}
+
+fn dims(rows_i: usize, cols_i: usize) -> (usize, usize) {
+    ([32, 48, 64][rows_i % 3], [16, 32][cols_i % 2])
+}
+
+fn quantize(cfg: VqConfig, rows: usize, cols: usize, seed: u64) -> vq_llm::vq::QuantizedTensor {
+    let w = synth::correlated_channels(rows, cols, cfg.vector_size, 0.9, seed);
+    VqQuantizer::new(cfg).quantize(&w, seed).expect("quantize")
+}
+
+/// Any launchable plan for the op (the host kernels only read blocking
+/// hints from it, so the rung doesn't matter for correctness).
+fn plan_for(cfg: &VqConfig, op: &ComputeOp) -> Option<KernelPlan> {
+    let backend = CpuBackend::new();
+    let profile = vq_llm::kernels::AccessProfile::default_for(cfg);
+    backend
+        .best_plan(&GpuSpec::rtx4090(), cfg, op, &profile)
+        .map(|(plan, _)| plan)
+        .ok()
+}
+
+proptest! {
+    /// `CpuBackend::run_gemv` (`y = xᵀ · dequant(Wq)`) vs the dequantize
+    /// oracle.
+    #[test]
+    fn cpu_gemv_matches_oracle(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        cols_i in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (rows, cols) = dims(rows_i, cols_i);
+        let wq = quantize(cfg, rows, cols, seed);
+        let x: Vec<f32> = (0..rows).map(|i| ((i as f32) * 0.37 + seed as f32).sin()).collect();
+        let op = ComputeOp::Gemv { n: cols, k: rows, batch: 1 };
+        let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
+        let threads = 1 + (seed as usize) % 3;
+        let (y, out) = CpuBackend::with_threads(threads)
+            .run_gemv(&GpuSpec::rtx4090(), &plan, &x, &wq)
+            .expect("run_gemv");
+        let oracle = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
+        prop_assert!(metrics::allclose(&y, &oracle, 1e-4, 1e-4), "{cfg} {rows}x{cols}");
+        prop_assert!(out.us() > 0.0);
+    }
+
+    /// The decode-orientation LUT GeMV (`y = dequant(Wq) · x`) vs the
+    /// dequantize oracle.
+    #[test]
+    fn lut_gemv_matches_oracle(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        cols_i in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (rows, cols) = dims(rows_i, cols_i);
+        let wq = quantize(cfg, rows, cols, seed);
+        let x: Vec<f32> = (0..cols).map(|i| ((i as f32) * 0.23 + seed as f32).cos()).collect();
+        let blocking = HostBlocking {
+            // Exercise many slab splits, including degenerate ones.
+            slab_bytes: [1usize, 1 << 10, 32 << 10][(seed as usize) % 3],
+            threads: 1 + (seed as usize) % 3,
+        };
+        let y = host_exec::gemv_lut(&wq, &x, &blocking).expect("gemv_lut");
+        let oracle = linalg::gemv(&wq.dequantize().unwrap(), &x).unwrap();
+        prop_assert!(metrics::allclose(&y, &oracle, 1e-4, 1e-4), "{cfg} {rows}x{cols}");
+    }
+
+    /// `CpuBackend::run_gemm` (`C = A × dequant(Wq)`) vs the dequantize
+    /// oracle.
+    #[test]
+    fn cpu_gemm_matches_oracle(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        m in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (rows, cols) = dims(rows_i, 1);
+        let wq = quantize(cfg, rows, cols, seed);
+        let a = synth::gaussian(m, rows, 1.0, seed ^ 0xa5);
+        let op = ComputeOp::Gemm { m, n: cols, k: rows };
+        let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
+        let (c, _) = CpuBackend::with_threads(1 + (seed as usize) % 4)
+            .run_gemm(&GpuSpec::rtx4090(), &plan, &a, &wq)
+            .expect("run_gemm");
+        let oracle = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
+        prop_assert!(
+            metrics::allclose(c.as_slice(), oracle.as_slice(), 1e-4, 1e-4),
+            "{cfg} {rows}x{cols} m={m}"
+        );
+    }
+
+    /// `CpuBackend::run_attention_head` vs the reference decode attention.
+    #[test]
+    fn cpu_attention_matches_oracle(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        cols_i in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (seq, head_dim) = dims(rows_i, cols_i);
+        let kq = quantize(cfg, seq, head_dim, seed);
+        let vq = quantize(cfg, seq, head_dim, seed ^ 0x7777);
+        let q: Vec<f32> = (0..head_dim).map(|i| ((i as f32) * 0.31 + seed as f32).sin()).collect();
+        let op = ComputeOp::attention_decode(1, head_dim, seq, 1);
+        let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
+        let (out, _) = CpuBackend::with_threads(1 + (seed as usize) % 3)
+            .run_attention_head(&GpuSpec::rtx4090(), &plan, &q, &kq, &vq)
+            .expect("run_attention_head");
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let oracle = linalg::attention_decode_ref(
+            &q,
+            &kq.dequantize().unwrap(),
+            &vq.dequantize().unwrap(),
+            scale,
+        )
+        .unwrap();
+        prop_assert!(metrics::allclose(&out, &oracle, 1e-4, 1e-4), "{cfg} {seq}x{head_dim}");
+    }
+}
+
+/// The whole stack through the facade: a CPU-backend session executes the
+/// same fused kernels and matches the oracle end to end.
+#[test]
+fn cpu_session_runs_fused_kernels() {
+    let session = Session::builder()
+        .backend_kind(BackendKind::Cpu { threads: 2 })
+        .weight_algo(vq_llm::VqAlgorithm::Gptvq2)
+        .build()
+        .expect("valid session");
+    assert_eq!(session.backend().name(), "cpu");
+
+    let w = synth::correlated_channels(256, 64, 4, 0.9, 3);
+    let wq = session.quantize_weights(&w, 11).unwrap();
+    let x: Vec<f32> = (0..256).map(|i| (i as f32 * 0.13).sin()).collect();
+    let plan = session
+        .weight_plan(&ComputeOp::Gemv {
+            n: 64,
+            k: 256,
+            batch: 1,
+        })
+        .unwrap();
+    let (y, out) = session.run_gemv(&plan, &x, &wq).unwrap();
+    let oracle = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
+    assert!(metrics::allclose(&y, &oracle, 1e-4, 1e-4));
+    assert!(out.us() > 0.0);
+
+    // The session's pipelines inherit the backend.
+    let pipeline = session.pipeline(session.scheme());
+    assert_eq!(pipeline.backend().name(), "cpu");
+    assert!(pipeline.generate(512, 64, 4).total_ms() > 0.0);
+
+    // An explicit Arc-ed backend works the same way.
+    let session2 = Session::builder()
+        .backend(Arc::new(CpuBackend::auto()))
+        .build()
+        .expect("valid session");
+    assert_eq!(session2.backend().name(), "cpu");
+}
