@@ -53,8 +53,58 @@ fn bench_host(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("gemm-fused", 8), &wq, |b, wq| {
         b.iter(|| black_box(host_exec::gemm_fused(&a, wq, &blocking).expect("gemm_fused")));
     });
+
+    // Batched decode: shared code decode + batch-interleaved LUT vs
+    // calling the single-activation kernel per batch lane.
+    let batch = 8usize;
+    let acts =
+        vq_llm::tensor::Tensor2D::from_fn(batch, cols, |bi, c| ((bi * 31 + c) as f32 * 0.19).sin());
+    g.bench_with_input(BenchmarkId::new("gemv-lut-looped", batch), &wq, |b, wq| {
+        b.iter(|| {
+            for bi in 0..batch {
+                black_box(host_exec::gemv_lut(wq, acts.row(bi), &blocking).expect("gemv_lut"));
+            }
+        });
+    });
+    g.bench_with_input(BenchmarkId::new("gemv-lut-batch", batch), &wq, |b, wq| {
+        b.iter(|| black_box(host_exec::gemv_lut_batch(wq, &acts, &blocking).expect("batch")));
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_host);
+/// Packed-index decode throughput: per-element `get()` (one word load +
+/// shift/mask each, bit arithmetic recomputed per call) vs the bulk
+/// `unpack_block()` fast path the kernels use — at a byte-aligned width
+/// and at the unaligned AQLM-12 class width.
+fn bench_unpack(c: &mut Criterion) {
+    use vq_llm::vq::PackedIndices;
+    let n = 64 * 1024;
+    let mut g = c.benchmark_group("unpack");
+    for bits in [8u8, 12] {
+        let max = (1u32 << bits) - 1;
+        let idx: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761) & max)
+            .collect();
+        let p = PackedIndices::pack(&idx, bits).expect("pack");
+        g.bench_with_input(BenchmarkId::new("get", bits), &p, |b, p| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..n {
+                    acc = acc.wrapping_add(u64::from(black_box(p.get(i))));
+                }
+                black_box(acc)
+            });
+        });
+        let mut out = vec![0u32; n];
+        g.bench_with_input(BenchmarkId::new("unpack_block", bits), &p, |b, p| {
+            b.iter(|| {
+                p.unpack_block(0, &mut out);
+                black_box(out[n - 1])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_host, bench_unpack);
 criterion_main!(benches);

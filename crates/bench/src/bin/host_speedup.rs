@@ -7,14 +7,19 @@
 //! workspace root so future PRs have a perf trajectory to regress
 //! against.
 //!
-//! `--smoke` runs a single-rep variant and **asserts** the headline
-//! claim: the fused LUT GeMV beats naive dequantize-then-GeMV by ≥ 3×
-//! single-threaded on a 4096×4096 quantized weight (exit code 1
-//! otherwise) — CI runs this on every push.
+//! `--smoke` runs a reduced-size variant and **asserts** the gates CI
+//! relies on (exit code 1 otherwise):
+//!
+//! * fused LUT GeMV ≥ 3× over naive dequantize-then-GeMV (4096², 1 thread)
+//! * panel-blocked fused GeMM ≥ 2.5× over naive dequantize-then-matmul
+//! * fused attention decode ≥ 3× over the dequantized reference
+//! * pool-parallel GeMV no slower than serial at any core count, and
+//!   ≥ 1.8× over single-threaded when ≥ 4 cores are available
+//! * batched LUT GeMV ≥ 1.5× over looping the single-activation kernel
 
 use std::hint::black_box;
 use std::time::Instant;
-use vq_llm::kernels::host_exec::{self, HostBlocking};
+use vq_llm::kernels::host_exec::{self, pool::WorkerPool, simd, HostBlocking};
 use vq_llm::tensor::{linalg, metrics, Tensor2D};
 use vq_llm::vq::config::CodebookScope;
 use vq_llm::vq::{Codebook, CodebookSet, PackedIndices, QuantizedTensor, VqConfig};
@@ -66,7 +71,8 @@ fn wave(n: usize, phase: f32) -> Vec<f32> {
     (0..n).map(|i| (i as f32 * phase).sin()).collect()
 }
 
-/// Best-of-`reps` wall-clock seconds for `f`.
+/// Best-of-`reps` wall-clock seconds for `f` (best-of suppresses the
+/// scheduling noise of shared CI/VM cores that a mean would absorb).
 fn time_s<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
@@ -88,13 +94,32 @@ impl Measured {
     }
 }
 
+/// A CI gate: record, report, and fail the process at exit if violated.
+struct Gates {
+    failures: Vec<String>,
+}
+
+impl Gates {
+    fn check(&mut self, what: &str, value: f64, min: f64) {
+        if value < min {
+            self.failures
+                .push(format!("{what}: {value:.2} < required {min:.2}"));
+        } else {
+            println!("OK: {what} {value:.2} (>= {min:.2} required)");
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let reps = if smoke { 1 } else { 3 };
+    let reps = 3;
     let mut report = Report::new(
         "host_speedup",
         "Fused host execution vs naive dequantize-then-linalg",
     );
+    let mut gates = Gates {
+        failures: Vec::new(),
+    };
 
     // --- Headline: LUT GeMV on a 4096×4096 quantized weight ---
     let (rows, cols) = (4096, 4096);
@@ -126,7 +151,8 @@ fn main() {
     let fused_gbps = fp16_bytes / gemv.fused_s / 1e9;
     let naive_gbps = fp16_bytes / gemv.naive_s / 1e9;
     report.section(&format!(
-        "LUT GeMV  y = dequant(Wq)·x   ({rows}×{cols}, {cfg})"
+        "LUT GeMV  y = dequant(Wq)·x   ({rows}×{cols}, {cfg}, simd tier {})",
+        simd::tier()
     ));
     report.line(format!(
         "  naive  (dequantize + linalg::gemv): {}  ({naive_gbps:6.2} GB/s fp16-equivalent)",
@@ -141,16 +167,72 @@ fn main() {
         gemv.speedup()
     ));
 
-    // Row-parallel scaling on top of the fused kernel.
+    // --- Pool-parallel scaling on top of the fused kernel ---
+    // Threads come from the machine, and the *real* count is recorded: the
+    // partitions run on the shared persistent WorkerPool (spawned once),
+    // so parallel dispatch costs queue pushes, not thread spawns.
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    WorkerPool::shared(); // warm outside the timed region
     let par = HostBlocking::default().with_threads(threads);
     let fused_par_s = time_s(reps, || {
         host_exec::gemv_lut(&wq, &x, &par).expect("gemv_lut")
     });
+    let par_speedup = gemv.fused_s / fused_par_s;
     report.line(format!(
-        "  fused @ {threads} threads: {}  ({:.2}x vs 1 thread)",
-        fmt_us(fused_par_s * 1e6),
-        gemv.fused_s / fused_par_s
+        "  fused @ {threads} threads (persistent pool): {}  ({par_speedup:.2}x vs 1 thread)",
+        fmt_us(fused_par_s * 1e6)
+    ));
+    // At any core count the pool must not lose to serial (PR 2's scoped
+    // spawns did); beyond that, scaling is only gated where the hardware
+    // can express it.
+    let par4_speedup = if threads >= 4 {
+        let par4 = HostBlocking::default().with_threads(4);
+        let s = time_s(reps, || {
+            host_exec::gemv_lut(&wq, &x, &par4).expect("gemv_lut")
+        });
+        report.line(format!(
+            "  fused @ 4 threads: {}  ({:.2}x vs 1 thread)",
+            fmt_us(s * 1e6),
+            gemv.fused_s / s
+        ));
+        gemv.fused_s / s
+    } else {
+        report.line(format!(
+            "  ({threads} core(s) available: 4-thread scaling gate skipped)"
+        ));
+        par_speedup
+    };
+
+    // --- Batched LUT GeMV (the serving-layer multi-token decode shape) ---
+    let batch = 8usize;
+    let acts = Tensor2D::from_fn(batch, cols, |b, c| ((b * 31 + c) as f32 * 0.19).sin());
+    let batched = host_exec::gemv_lut_batch(&wq, &acts, &single).expect("gemv_lut_batch");
+    for b in 0..batch {
+        let one = host_exec::gemv_lut(&wq, acts.row(b), &single).expect("gemv_lut");
+        let col: Vec<f32> = (0..rows).map(|r| batched.get(r, b)).collect();
+        assert!(
+            metrics::allclose(&col, &one, 1e-4, 1e-4),
+            "batched LUT GeMV diverged from per-activation fused (lane {b})"
+        );
+    }
+    let gemv_batch = Measured {
+        naive_s: time_s(reps, || {
+            for b in 0..batch {
+                black_box(host_exec::gemv_lut(&wq, acts.row(b), &single).expect("gemv_lut"));
+            }
+        }),
+        fused_s: time_s(reps, || {
+            host_exec::gemv_lut_batch(&wq, &acts, &single).expect("gemv_lut_batch")
+        }),
+    };
+    report.section(&format!(
+        "Batched LUT GeMV  (batch {batch}: shared code decode + B-wide LUT slabs)"
+    ));
+    report.line(format!(
+        "  {batch}× single {}   batched {}   speedup {:.2}x",
+        fmt_us(gemv_batch.naive_s * 1e6),
+        fmt_us(gemv_batch.fused_s * 1e6),
+        gemv_batch.speedup()
     ));
 
     // --- Trait orientation: y = xᵀ·dequant(Wq) (scatter-aggregate) ---
@@ -175,7 +257,7 @@ fn main() {
         gemv_xw.speedup()
     ));
 
-    // --- Fused GeMM (streamed single-row panels) ---
+    // --- Fused GeMM (panel-blocked + register-tiled micro-kernel) ---
     let (gk, gn, gm) = if smoke {
         (1024, 1024, 16)
     } else {
@@ -200,7 +282,11 @@ fn main() {
             host_exec::gemm_fused(&a, &wq_g, &single).expect("gemm_fused")
         }),
     };
-    report.section(&format!("Fused GeMM  C = A×dequant(Wq)   ({gm}×{gk}×{gn})"));
+    report.section(&format!(
+        "Fused GeMM  C = A×dequant(Wq)   ({gm}×{gk}×{gn}, K-panels + {}×{} tiles)",
+        host_exec::simd::GEMM_MR,
+        host_exec::simd::GEMM_NR
+    ));
     report.line(format!(
         "  naive {}   fused {}   speedup {:.2}x",
         fmt_us(gemm.naive_s * 1e6),
@@ -251,8 +337,11 @@ fn main() {
          \"gemv_naive_ms\": {:.3},\n  \"gemv_fused_ms\": {:.3},\n  \
          \"gemv_speedup\": {:.3},\n  \"gemv_fused_gbps\": {:.3},\n  \
          \"gemv_naive_gbps\": {:.3},\n  \"gemv_parallel_threads\": {threads},\n  \
-         \"gemv_parallel_ms\": {:.3},\n  \"gemv_xw_speedup\": {:.3},\n  \
-         \"gemm_speedup\": {:.3},\n  \"attention_speedup\": {:.3},\n  \
+         \"gemv_parallel_ms\": {:.3},\n  \"gemv_parallel_speedup\": {:.3},\n  \
+         \"gemv_parallel4_speedup\": {:.3},\n  \"gemv_batch\": {batch},\n  \
+         \"gemv_batch_speedup\": {:.3},\n  \"gemv_xw_speedup\": {:.3},\n  \
+         \"gemm_m\": {gm},\n  \"gemm_speedup\": {:.3},\n  \
+         \"attention_speedup\": {:.3},\n  \"simd_tier\": \"{}\",\n  \
          \"smoke\": {smoke}\n}}\n",
         gemv.naive_s * 1e3,
         gemv.fused_s * 1e3,
@@ -260,9 +349,13 @@ fn main() {
         fused_gbps,
         naive_gbps,
         fused_par_s * 1e3,
+        par_speedup,
+        par4_speedup,
+        gemv_batch.speedup(),
         gemv_xw.speedup(),
         gemm.speedup(),
         attn.speedup(),
+        simd::tier(),
     );
     let mut json_path = vqllm_bench::results_dir();
     json_path.pop();
@@ -272,16 +365,36 @@ fn main() {
     report.line(json.trim_end());
     report.finish();
 
-    // --- The acceptance gate ---
-    if gemv.speedup() < 3.0 {
-        eprintln!(
-            "FAIL: fused LUT GeMV speedup {:.2}x < 3x over naive dequantize-then-gemv",
-            gemv.speedup()
-        );
-        std::process::exit(1);
-    }
-    println!(
-        "OK: fused LUT GeMV {:.2}x over naive (>= 3x required)",
-        gemv.speedup()
+    // --- The acceptance gates (asserted in --smoke / CI) ---
+    gates.check("fused LUT GeMV speedup over naive", gemv.speedup(), 3.0);
+    gates.check("panel-blocked fused GeMM speedup", gemm.speedup(), 2.5);
+    gates.check("fused attention decode speedup", attn.speedup(), 3.0);
+    gates.check(
+        "batched LUT GeMV speedup over looped",
+        gemv_batch.speedup(),
+        1.5,
     );
+    // The pool must never lose to serial (15 % noise allowance on shared
+    // 1-core runners where both paths are the same code).
+    gates.check(
+        "pool-parallel GeMV vs serial (1.0 = parity)",
+        par_speedup,
+        0.85,
+    );
+    if threads >= 4 {
+        gates.check("pool-parallel GeMV scaling @ 4 threads", par4_speedup, 1.8);
+    }
+
+    if gates.failures.is_empty() {
+        println!("OK: all host-speedup gates passed");
+    } else if smoke {
+        for f in &gates.failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    } else {
+        for f in &gates.failures {
+            eprintln!("WARN (non-smoke, not fatal): {f}");
+        }
+    }
 }

@@ -12,7 +12,8 @@
 //! * [`CpuBackend`] — real host execution: the same planner decisions,
 //!   but `run_*` dispatches to the fused [`host_exec`](crate::host_exec)
 //!   kernels, which compute directly on packed codes with cache-resident
-//!   codebook LUTs and an optional `std::thread::scope` row-parallel path.
+//!   codebook LUTs, runtime-dispatched SIMD inner loops, and parallel
+//!   paths on the persistent [`host_exec::pool::WorkerPool`].
 //!
 //! The trait lives in `vqllm-kernels` (below `vqllm-llm`) so the decode
 //! pipeline and the facade share one seam; a real-GPU (CUDA/HIP) backend
@@ -105,6 +106,39 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
         kq: &QuantizedTensor,
         vq: &QuantizedTensor,
     ) -> Result<(Vec<f32>, KernelOutput)>;
+
+    /// Functionally executes one head of attention decode for a **batch**
+    /// of queries (`qs` is `batch × head_dim`, one row per sequence)
+    /// attending over shared quantized K/V caches — the serving-layer
+    /// multi-tenant decode shape. The default loops
+    /// [`Backend::run_attention_head`]; substrates with a real batched
+    /// kernel (see [`CpuBackend`]) override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches or an empty batch.
+    fn run_attention_batch(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        if qs.rows() == 0 {
+            return Err(crate::KernelError::InvalidInput {
+                what: "empty query batch",
+            });
+        }
+        let mut out = Tensor2D::zeros(qs.rows(), qs.cols());
+        let mut last = None;
+        for b in 0..qs.rows() {
+            let (row, o) = self.run_attention_head(gpu, plan, qs.row(b), kq, vq)?;
+            out.row_mut(b).copy_from_slice(&row);
+            last = Some(o);
+        }
+        Ok((out, last.expect("non-empty batch")))
+    }
 }
 
 /// The GPU performance-model backend (the workspace's documented hardware
@@ -187,7 +221,8 @@ impl Backend for PerfModelBackend {
 /// plan's tiling/placement decisions also seed the host cache blocking),
 /// but `run_*` executes the fused [`host_exec`] kernels directly on packed
 /// codes — no dequantized weight matrix, codebooks and LUT slabs sized to
-/// stay cache-resident, optional row-parallelism via `std::thread::scope`.
+/// stay cache-resident, SIMD-tiered inner loops, and optional
+/// row/column parallelism on the shared persistent worker pool.
 ///
 /// The [`KernelOutput`] returned alongside real results still carries the
 /// *modelled* GPU counters for the plan (so perf-model and CPU runs stay
@@ -210,12 +245,16 @@ impl CpuBackend {
         CpuBackend { threads: 1 }
     }
 
-    /// Backend with an explicit worker-thread count for the row-parallel
-    /// path (clamped to ≥ 1).
+    /// Backend with an explicit worker-partition count for the parallel
+    /// paths (clamped to ≥ 1). Partitions execute on the process-wide
+    /// [`host_exec::pool::WorkerPool`], which this constructor warms
+    /// (spawns once) so the first kernel call never pays thread spawns.
     pub fn with_threads(threads: usize) -> Self {
-        CpuBackend {
-            threads: threads.max(1),
+        let threads = threads.max(1);
+        if threads > 1 {
+            host_exec::pool::WorkerPool::shared();
         }
+        CpuBackend { threads }
     }
 
     /// Backend sized to the machine's available parallelism.
@@ -312,6 +351,26 @@ impl Backend for CpuBackend {
         let out = host_exec::attention_decode_fused(q, kq, vq, &self.blocking(plan))?;
         Ok((out, self.output_for(gpu, plan, kq)))
     }
+
+    fn run_attention_batch(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        if qs.rows() == 0 {
+            return Err(crate::KernelError::InvalidInput {
+                what: "empty query batch",
+            });
+        }
+        // The real batched kernel: K's packed codes are decoded once for
+        // the whole batch (gemv_lut_batch) and the value pass rides the
+        // panel-blocked GeMM.
+        let out = host_exec::attention_decode_batch(qs, kq, vq, &self.blocking(plan))?;
+        Ok((out, self.output_for(gpu, plan, kq)))
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +403,53 @@ mod tests {
         assert!(metrics::allclose(&cpu, &model, 1e-4, 1e-4));
         let oracle = linalg::gemv(&wq.dequantize().unwrap().transposed(), &x).unwrap();
         assert!(metrics::allclose(&cpu, &oracle, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn attention_batch_matches_looped_default() {
+        use vqllm_vq::VqAlgorithm;
+        let vq_cfg = VqAlgorithm::Cq4.config();
+        let k = synth::kv_stream(320, 32, 0.8, 8);
+        let v = synth::kv_stream(320, 32, 0.8, 9);
+        let kq = VqQuantizer::new(vq_cfg).quantize(&k, 1).unwrap();
+        let vq_t = VqQuantizer::new(vq_cfg).quantize(&v, 2).unwrap();
+        let op = ComputeOp::attention_decode(1, 32, 320, 4);
+        let plan = plan_for(&vq_cfg, &op);
+        let gpu = GpuSpec::rtx4090();
+        let qs = vqllm_tensor::Tensor2D::from_fn(4, 32, |b, d| ((b * 13 + d) as f32 * 0.23).sin());
+        let backend = CpuBackend::with_threads(2);
+        // The fused batch override vs the trait's looped default (which
+        // PerfModelBackend inherits) vs per-query fused.
+        let (fused, out) = backend
+            .run_attention_batch(&gpu, &plan, &qs, &kq, &vq_t)
+            .unwrap();
+        assert!(out.us() > 0.0);
+        let (looped, _) = PerfModelBackend
+            .run_attention_batch(&gpu, &plan, &qs, &kq, &vq_t)
+            .unwrap();
+        assert!(metrics::allclose(
+            fused.as_slice(),
+            looped.as_slice(),
+            1e-4,
+            1e-4
+        ));
+        for b in 0..qs.rows() {
+            let (single, _) = backend
+                .run_attention_head(&gpu, &plan, qs.row(b), &kq, &vq_t)
+                .unwrap();
+            assert!(
+                metrics::allclose(fused.row(b), &single, 1e-4, 1e-4),
+                "query {b}"
+            );
+        }
+        // Empty batches are rejected, not silently mis-shaped.
+        let empty = vqllm_tensor::Tensor2D::zeros(0, 32);
+        assert!(backend
+            .run_attention_batch(&gpu, &plan, &empty, &kq, &vq_t)
+            .is_err());
+        assert!(PerfModelBackend
+            .run_attention_batch(&gpu, &plan, &empty, &kq, &vq_t)
+            .is_err());
     }
 
     #[test]

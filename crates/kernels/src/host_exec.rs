@@ -9,25 +9,41 @@
 //! * [`gemv_lut`] — `y = dequant(Wq) · x`: per-(scope, residual) lookup
 //!   tables of `x`-sub-vector · centroid partial dots (the decode-centric
 //!   LUT GeMV of EVA/VPTQ), so the inner loop is `acc[row] += lut[code]` —
-//!   one gather and one add per packed code.
+//!   one gather and one add per packed code, 8 group lanes at a time
+//!   ([`simd::lut_row_sum`]).
+//! * [`gemv_lut_batch`] — the same LUT kernel over a **batch** of
+//!   activations (the serving-layer multi-token decode shape): one shared
+//!   code decode per weight row feeds batch-interleaved LUT slabs, so the
+//!   inner loop is one contiguous B-wide vector add per packed code.
 //! * [`gemv_xw`] — `y = xᵀ · dequant(Wq)` (the [`Backend`] GeMV contract,
 //!   where sub-vectors run along the *output* axis): the dual trick —
 //!   scatter-aggregate `wsum[code] += x[row]` into a cache-resident slab,
-//!   then expand each code's aggregated weight through its centroid once.
-//! * [`gemm_fused`] — `C = A × dequant(Wq)`: streams one decoded weight
-//!   row at a time (a 1-row panel, never the full matrix) into blocked
-//!   AXPY updates.
-//! * [`attention_decode_fused`] — one decode head over quantized K/V:
-//!   the K-side score pass *is* [`gemv_lut`] (q-sub-vector LUTs), the
-//!   V-side weighted sum *is* [`gemv_xw`] over the softmaxed scores.
+//!   then expand through the centroids once, as dense SIMD dots over the
+//!   interleaved codebook layout when the aggregation is saturated.
+//! * [`gemm_fused`] — `C = A × dequant(Wq)`: **panel-blocked**. Each
+//!   worker decodes a K-panel of its column strip once (all residual
+//!   rounds folded, never the full matrix) and reuses it across an M×N
+//!   register-blocked micro-kernel, instead of re-decoding per output row.
+//! * [`attention_decode_fused`] / [`attention_decode_batch`] — decode
+//!   heads over quantized K/V: the K-side score pass *is* the LUT GeMV
+//!   (batched for multi-query), the V-side weighted sum *is* the
+//!   aggregation GeMV (the batch variant rides the panel-blocked GeMM).
 //!
 //! Blocking ([`HostBlocking`]) reuses the [`KernelPlan`]'s shared-memory
 //! budget decisions: the bytes the planner would stage into an SM's shared
-//! memory are the natural L1/L2-resident slab size on the host, and the
-//! plan's tiling feeds the `std::thread::scope`-based row-parallel path.
+//! memory are the natural L1/L2-resident slab size on the host. Row
+//! partitioning derived from the blocking runs on the persistent
+//! [`pool::WorkerPool`] — workers are spawned once per process and fed
+//! through a channel, so a parallel kernel call costs two queue pushes,
+//! not N thread spawns. Inner loops dispatch through [`simd`]: AVX2 + FMA
+//! intrinsics when the CPU has them, 8-wide unrolled scalar lanes
+//! otherwise.
 //!
 //! [`Backend`]: crate::backend::Backend
 //! [`PackedIndices::unpack_block`]: vqllm_vq::PackedIndices::unpack_block
+
+pub mod pool;
+pub mod simd;
 
 use crate::{KernelError, Result};
 use vqllm_core::KernelPlan;
@@ -38,11 +54,14 @@ use vqllm_vq::QuantizedTensor;
 /// Cache-blocking and threading decisions for the host kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HostBlocking {
-    /// Byte budget for the cache-resident slab (LUT or aggregation table)
-    /// a kernel keeps hot — the host analogue of the plan's shared-memory
-    /// footprint.
+    /// Byte budget for the cache-resident slab (LUT, aggregation table, or
+    /// decoded weight panel) a kernel keeps hot — the host analogue of the
+    /// plan's shared-memory footprint.
     pub slab_bytes: usize,
-    /// Worker threads for the row-parallel path (1 = sequential).
+    /// Worker partitions for the parallel paths (1 = sequential). The
+    /// partitions execute on the shared [`pool::WorkerPool`]; this knob
+    /// decides how many chunks a call is split into, not how many OS
+    /// threads exist.
     pub threads: usize,
 }
 
@@ -71,23 +90,26 @@ impl HostBlocking {
         }
     }
 
-    /// Sets the worker-thread count for the row-parallel path.
+    /// Sets the worker count for the parallel paths.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
     }
 
-    /// Column groups per slab so `group_block × stored_entries` f32 slots
+    /// Column groups per slab so `group_block × slot_width` f32 slots
     /// fit the budget.
-    fn group_block(&self, stored: usize, groups: usize) -> usize {
-        (self.slab_bytes / (stored * 4).max(1)).clamp(1, groups.max(1))
+    fn group_block(&self, slot_width: usize, groups: usize) -> usize {
+        (self.slab_bytes / (slot_width * 4).max(1)).clamp(1, groups.max(1))
     }
-}
 
-/// Plain dot product (kept trivially inlinable).
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    /// Rows per decoded K-panel. Panels are sized to the next level of the
+    /// hierarchy above the LUT slab (8× the slab budget, the typical
+    /// L2:L1 ratio): the micro-kernel re-streams the panel `m / MR` times,
+    /// so the panel wants L2 residency, while deep panels amortize the
+    /// accumulator-tile setup. At least 8 rows, capped at `rows`.
+    fn panel_rows(&self, row_floats: usize, rows: usize) -> usize {
+        (self.slab_bytes * 8 / (row_floats * 4).max(1)).clamp(8.min(rows.max(1)), rows.max(1))
+    }
 }
 
 /// Dot product against a lattice entry with per-element sign bits applied.
@@ -112,9 +134,9 @@ fn band_height(scope: CodebookScope, rows: usize) -> usize {
 }
 
 /// Splits `data` (`rows × row_width` elements, row-major) into row-aligned
-/// chunks and runs `f(first_row, chunk)` on each — on `std::thread::scope`
-/// workers when `threads > 1`, sequentially otherwise. Chunks are disjoint
-/// `&mut` slices, so workers never race.
+/// chunks and runs `f(first_row, chunk)` on each — on the shared
+/// [`pool::WorkerPool`] when `threads > 1`, sequentially otherwise. Chunks
+/// are disjoint `&mut` slices, so workers never race.
 fn parallel_row_chunks<F>(data: &mut [f32], row_width: usize, threads: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
@@ -126,10 +148,10 @@ where
         return;
     }
     let chunk_rows = rows.div_ceil(workers);
-    std::thread::scope(|s| {
+    pool::WorkerPool::shared().scope(|scope| {
         for (ci, chunk) in data.chunks_mut(chunk_rows * row_width).enumerate() {
             let f = &f;
-            s.spawn(move || f(ci * chunk_rows, chunk));
+            scope.spawn(move || f(ci * chunk_rows, chunk));
         }
     });
 }
@@ -139,8 +161,9 @@ where
 /// sub-vectors run along the reduction axis.
 ///
 /// For each (residual, row band) a `groups × stored_entries` table of
-/// `x`-sub-vector · centroid partial dots is precomputed; the per-row
-/// inner loop is then `acc += lut[code]` over block-decoded packed codes,
+/// `x`-sub-vector · centroid partial dots is built with SIMD AXPYs over
+/// the interleaved codebook layout; the per-row inner loop is then one
+/// gather + add per block-decoded packed code ([`simd::lut_row_sum`]),
 /// visited in [`HostBlocking`]-sized group blocks so the active LUT slab
 /// stays L1-resident. Lattice codebooks (sign-extended logical entries)
 /// take a fused sign-aware path instead — a per-base-entry LUT cannot
@@ -198,15 +221,16 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
                 );
             } else {
                 // The LUT: partial dot of every centroid against the x
-                // sub-vector of every column group of this band's books.
+                // sub-vector of every column group of this band's books,
+                // built as `vs` dense AXPYs over the interleaved layout.
                 let mut lut = vec![0.0f32; groups * stored];
                 for (g, slab) in lut.chunks_mut(stored).enumerate() {
-                    let flat = books
+                    let inter = books
                         .book(r, books.scope_index(band_start, g * vs))
-                        .entries_flat();
+                        .entries_interleaved();
                     let xs = &x[g * vs..(g + 1) * vs];
-                    for (c, slot) in slab.iter_mut().enumerate() {
-                        *slot = dot(&flat[c * vs..(c + 1) * vs], xs);
+                    for (j, &xj) in xs.iter().enumerate() {
+                        simd::axpy(slab, xj, &inter[j * stored..(j + 1) * stored]);
                     }
                 }
                 let gb = blocking.group_block(stored, groups);
@@ -222,15 +246,117 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
                             for (local, out) in chunk.iter_mut().enumerate() {
                                 let row = band_start + first + local;
                                 stream.unpack_block(row * groups + g0, &mut codes[..gl]);
-                                let mut acc = 0.0f32;
-                                for (gi, &code) in codes[..gl].iter().enumerate() {
-                                    acc += slab[gi * stored + code as usize];
-                                }
-                                *out += acc;
+                                *out += simd::lut_row_sum(slab, stored, &codes[..gl]);
                             }
                         }
                     },
                 );
+            }
+        }
+        band_start += band_len;
+    }
+    Ok(y)
+}
+
+/// Batched fused LUT GeMV: `Y = dequant(Wq) · Xᵀ` for a batch of
+/// activation rows `xs` (`batch × cols`, row-major), returning `Y` as
+/// `rows × batch` (token-major: `Y[row][b] = (dequant(Wq) · xs[b])[row]`).
+///
+/// This is the serving-layer multi-token decode shape: the packed-code
+/// decode — the per-row cost [`gemv_lut`] pays once per activation — is
+/// shared across the whole batch, and the LUT slab is **batch-interleaved**
+/// (`lut[(g·stored + code)·B..][..B]`) so the inner loop per packed code is
+/// a single contiguous B-wide vector add ([`simd::add_assign`]) instead of
+/// B scattered gathers. Lattice books fall back to the fused sign-aware
+/// path per batch lane.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if `xs.cols() != cols`.
+pub fn gemv_lut_batch(
+    wq: &QuantizedTensor,
+    xs: &Tensor2D,
+    blocking: &HostBlocking,
+) -> Result<Tensor2D> {
+    let (rows, cols) = wq.shape();
+    if xs.cols() != cols {
+        return Err(KernelError::ShapeMismatch {
+            what: "batch activation cols must equal quantized cols",
+        });
+    }
+    let batch = xs.rows();
+    let mut y = Tensor2D::zeros(rows, batch);
+    if batch == 0 {
+        return Ok(y);
+    }
+    let vq = *wq.config();
+    let vs = vq.vector_size;
+    let groups = wq.col_groups();
+    let stored = vq.stored_entries();
+    let books = wq.codebooks();
+    let band = band_height(vq.scope, rows);
+
+    let mut band_start = 0;
+    while band_start < rows {
+        let band_len = band.min(rows - band_start);
+        let band_out = &mut y.as_mut_slice()[band_start * batch..(band_start + band_len) * batch];
+        for r in 0..vq.residuals {
+            let stream = wq.index_stream(r);
+            if vq.lattice {
+                parallel_row_chunks(band_out, batch, blocking.threads, |first, chunk| {
+                    let mut codes = vec![0u32; groups];
+                    for (local, yrow) in chunk.chunks_mut(batch).enumerate() {
+                        let row = band_start + first + local;
+                        stream.unpack_block(row * groups, &mut codes);
+                        for (g, &code) in codes.iter().enumerate() {
+                            let book = books.book(r, books.scope_index(row, g * vs));
+                            let base = book.stored_id_of(code) as usize;
+                            let signs = code >> book.sign_shift();
+                            let entry = &book.entries_flat()[base * vs..(base + 1) * vs];
+                            for (b, out) in yrow.iter_mut().enumerate() {
+                                *out += signed_dot(entry, &xs.row(b)[g * vs..(g + 1) * vs], signs);
+                            }
+                        }
+                    }
+                });
+            } else {
+                // Batch-interleaved LUT: B contiguous partial dots per
+                // (group, code) slot, built from the interleaved codebook
+                // layout with one broadcast-FMA per (code, element).
+                let mut lut = vec![0.0f32; groups * stored * batch];
+                let mut xt = vec![0.0f32; vs * batch];
+                for g in 0..groups {
+                    let inter = books
+                        .book(r, books.scope_index(band_start, g * vs))
+                        .entries_interleaved();
+                    for j in 0..vs {
+                        for b in 0..batch {
+                            xt[j * batch + b] = xs.row(b)[g * vs + j];
+                        }
+                    }
+                    let gslab = &mut lut[g * stored * batch..(g + 1) * stored * batch];
+                    for (c, dst) in gslab.chunks_mut(batch).enumerate() {
+                        for j in 0..vs {
+                            simd::axpy(dst, inter[j * stored + c], &xt[j * batch..(j + 1) * batch]);
+                        }
+                    }
+                }
+                let gb = blocking.group_block(stored * batch, groups);
+                parallel_row_chunks(band_out, batch, blocking.threads, |first, chunk| {
+                    let mut codes = vec![0u32; gb];
+                    for g0 in (0..groups).step_by(gb) {
+                        let gl = gb.min(groups - g0);
+                        let slab = &lut[g0 * stored * batch..(g0 + gl) * stored * batch];
+                        for (local, yrow) in chunk.chunks_mut(batch).enumerate() {
+                            let row = band_start + first + local;
+                            stream.unpack_block(row * groups + g0, &mut codes[..gl]);
+                            for (gi, &code) in codes[..gl].iter().enumerate() {
+                                let base = (gi * stored + code as usize) * batch;
+                                simd::add_assign(yrow, &slab[base..base + batch]);
+                            }
+                        }
+                    }
+                });
             }
         }
         band_start += band_len;
@@ -247,7 +373,11 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
 /// x[row]` into a slab-resident table per column-group block, then expands
 /// each code's aggregated weight through its centroid exactly once —
 /// `rows` adds plus `stored × vs` FMAs per group instead of `rows × vs`
-/// FMAs. Lattice books fall back to fused sign-aware AXPY.
+/// FMAs. When the aggregation is saturated (at least as many rows as
+/// stored entries, so most slots are hot), the expansion runs as `vs`
+/// dense SIMD dots over the interleaved codebook layout; otherwise it
+/// skips untouched codes. Lattice books fall back to fused sign-aware
+/// AXPY.
 ///
 /// The row-parallel path partitions the *output* (column groups) across
 /// workers, so no two threads ever touch the same accumulator.
@@ -289,15 +419,11 @@ pub fn gemv_xw(x: &[f32], wq: &QuantizedTensor, blocking: &HostBlocking) -> Resu
                             let row = band_start + off;
                             stream.unpack_block(row * groups + g0, &mut codes[..gl]);
                             for (gi, &code) in codes[..gl].iter().enumerate() {
-                                let book = books.book(r, books.scope_index(row, (g0 + gi) * vs));
-                                let base = book.stored_id_of(code) as usize;
-                                let signs = code >> book.sign_shift();
-                                let entry = &book.entries_flat()[base * vs..(base + 1) * vs];
-                                let out = &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs];
-                                for (j, (o, &e)) in out.iter_mut().zip(entry).enumerate() {
-                                    let v = if signs & (1 << j) != 0 { -e } else { e };
-                                    *o += xv * v;
-                                }
+                                books.book(r, books.scope_index(row, (g0 + gi) * vs)).axpy(
+                                    code,
+                                    xv,
+                                    &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs],
+                                );
                             }
                         }
                     } else {
@@ -309,16 +435,28 @@ pub fn gemv_xw(x: &[f32], wq: &QuantizedTensor, blocking: &HostBlocking) -> Resu
                                 wsum[gi * stored + code as usize] += xv;
                             }
                         }
-                        // Expand: one centroid FMA per touched code.
+                        // Expand: aggregated code weights through the
+                        // centroids — dense SIMD dots once the table is
+                        // saturated, zero-skipping otherwise.
+                        let dense = band_len >= stored;
                         for gi in 0..gl {
-                            let flat = books
-                                .book(r, books.scope_index(band_start, (g0 + gi) * vs))
-                                .entries_flat();
+                            let book = books.book(r, books.scope_index(band_start, (g0 + gi) * vs));
+                            let wsum_g = &wsum[gi * stored..(gi + 1) * stored];
                             let out = &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs];
-                            for (c, &w) in wsum[gi * stored..(gi + 1) * stored].iter().enumerate() {
-                                if w != 0.0 {
-                                    for (o, &e) in out.iter_mut().zip(&flat[c * vs..(c + 1) * vs]) {
-                                        *o += w * e;
+                            if dense {
+                                let inter = book.entries_interleaved();
+                                for (j, o) in out.iter_mut().enumerate() {
+                                    *o += simd::dot(wsum_g, &inter[j * stored..(j + 1) * stored]);
+                                }
+                            } else {
+                                let flat = book.entries_flat();
+                                for (c, &w) in wsum_g.iter().enumerate() {
+                                    if w != 0.0 {
+                                        for (o, &e) in
+                                            out.iter_mut().zip(&flat[c * vs..(c + 1) * vs])
+                                        {
+                                            *o += w * e;
+                                        }
                                     }
                                 }
                             }
@@ -332,13 +470,20 @@ pub fn gemv_xw(x: &[f32], wq: &QuantizedTensor, blocking: &HostBlocking) -> Resu
     Ok(y)
 }
 
-/// Fused GeMM: `C = A (m×k) × dequant(Wq) (k×n)`.
+use simd::{GEMM_MR, GEMM_NR};
+
+/// Fused GeMM: `C = A (m×k) × dequant(Wq) (k×n)` — panel-blocked.
 ///
-/// Streams the quantized weight one decoded row at a time — a single-row
-/// panel (`n` floats, L1/L2-resident) assembled directly from packed codes
-/// across all residual rounds — and folds it into every row of `C` with an
-/// AXPY. The full dequantized matrix never exists. Row-parallel over `C`
-/// (each worker owns a contiguous strip of output rows).
+/// The quantized weight is decoded one **K-panel at a time** (a
+/// slab-resident `panel_rows × strip` block assembled directly from packed
+/// codes, all residual rounds folded — the full dequantized matrix never
+/// exists), and each panel is reused across every row of `A` through an
+/// `MR × NR` register-blocked micro-kernel: `GEMM_NR`-wide accumulator
+/// tiles stay live across the whole panel depth, so the decoded panel is
+/// streamed from cache `m / MR` times instead of `m` times and each
+/// decoded weight feeds `MR` FMAs per load. Workers own disjoint
+/// column-group strips, so the packed stream is decoded exactly once per
+/// strip (PR 2 re-decoded it per worker).
 ///
 /// # Errors
 ///
@@ -349,46 +494,174 @@ pub fn gemm_fused(a: &Tensor2D, wq: &QuantizedTensor, blocking: &HostBlocking) -
             what: "A.cols must equal quantized weight rows",
         });
     }
-    let (k, n) = wq.shape();
+    let n = wq.shape().1;
+    let m = a.rows();
+    let vs = wq.config().vector_size;
+    let groups = wq.col_groups();
+    let mut c = Tensor2D::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
+
+    let workers = blocking.threads.max(1).min(groups);
+    if workers <= 1 {
+        gemm_strip(a, wq, blocking, 0, groups, c.as_mut_slice());
+        return Ok(c);
+    }
+
+    // Column-parallel: each worker owns a contiguous group strip and a
+    // private output buffer (C is row-major, so strips interleave in C and
+    // cannot be handed out as disjoint `&mut` chunks directly).
+    let gchunk = groups.div_ceil(workers);
+    let strips: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * gchunk, ((w + 1) * gchunk).min(groups)))
+        .filter(|(gs, ge)| gs < ge)
+        .collect();
+    let mut bufs: Vec<Vec<f32>> = strips
+        .iter()
+        .map(|(gs, ge)| vec![0.0f32; m * (ge - gs) * vs])
+        .collect();
+    pool::WorkerPool::shared().scope(|scope| {
+        for (&(gs, ge), buf) in strips.iter().zip(bufs.iter_mut()) {
+            scope.spawn(move || gemm_strip(a, wq, blocking, gs, ge, buf));
+        }
+    });
+    for (&(gs, ge), buf) in strips.iter().zip(&bufs) {
+        let strip_n = (ge - gs) * vs;
+        for p in 0..m {
+            c.row_mut(p)[gs * vs..ge * vs].copy_from_slice(&buf[p * strip_n..(p + 1) * strip_n]);
+        }
+    }
+    Ok(c)
+}
+
+/// One worker's share of [`gemm_fused`]: groups `[gs, ge)` of the weight,
+/// accumulated into `cs` (`m × (ge-gs)·vs`, row-major).
+fn gemm_strip(
+    a: &Tensor2D,
+    wq: &QuantizedTensor,
+    blocking: &HostBlocking,
+    gs: usize,
+    ge: usize,
+    cs: &mut [f32],
+) {
+    let (k, _) = wq.shape();
     let m = a.rows();
     let vq = *wq.config();
     let vs = vq.vector_size;
     let groups = wq.col_groups();
     let books = wq.codebooks();
-    let mut c = Tensor2D::zeros(m, n);
+    let sw = ge - gs;
+    let strip_n = sw * vs;
+    let band = band_height(vq.scope, k);
+    // Panel depth is derived from the FULL row width, not the strip, so
+    // the K-split — and therefore the f32 summation order — is identical
+    // at every thread count.
+    let panel_rows = blocking.panel_rows(groups * vs, k);
+    // The panel is padded to a whole number of micro-kernel tiles (the
+    // padding stays zero), and short A-row sets are padded with a zero
+    // column, so every tile runs the one full-size kernel — uniform
+    // numerics at every strip partitioning.
+    let padded_n = strip_n.next_multiple_of(GEMM_NR);
+    let mut panel = vec![0.0f32; panel_rows * padded_n];
+    let zero_col = vec![0.0f32; panel_rows];
+    let mut codes = vec![0u32; sw];
 
-    // Each worker re-decodes the packed stream for its strip (decoding is
-    // read-only and sharing it would need a per-row barrier), so cap the
-    // worker count at m/4: every worker then amortizes its decode over at
-    // least ~4 AXPY rows and wall-clock never regresses vs sequential.
-    let workers = blocking.threads.min(m.div_ceil(4)).max(1);
-    parallel_row_chunks(c.as_mut_slice(), n, workers, |first_row, chunk| {
-        let mrows = chunk.len() / n;
-        let mut codes = vec![0u32; groups];
-        let mut wrow = vec![0.0f32; n];
-        for i in 0..k {
-            // Decode weight row i (all residual rounds) from packed codes.
-            wrow.fill(0.0);
-            for r in 0..vq.residuals {
-                wq.index_stream(r).unpack_block(i * groups, &mut codes);
-                for (g, &code) in codes.iter().enumerate() {
-                    books
-                        .book(r, books.scope_index(i, g * vs))
-                        .accumulate(code, &mut wrow[g * vs..(g + 1) * vs]);
-                }
-            }
-            // C[p] += A[p][i] * wrow for this worker's strip.
-            for p in 0..mrows {
-                let apv = a.row(first_row + p)[i];
-                if apv != 0.0 {
-                    for (o, &w) in chunk[p * n..(p + 1) * n].iter_mut().zip(&wrow) {
-                        *o += apv * w;
+    let mut band_start = 0;
+    while band_start < k {
+        let band_len = band.min(k - band_start);
+        // Books are row-invariant within a band: resolve the (residual,
+        // group) → codebook mapping once per band instead of per code.
+        let band_books: Vec<Vec<&vqllm_vq::Codebook>> = (0..vq.residuals)
+            .map(|r| {
+                (gs..ge)
+                    .map(|g| books.book(r, books.scope_index(band_start, g * vs)))
+                    .collect()
+            })
+            .collect();
+        let mut p0 = 0;
+        while p0 < band_len {
+            let kb = panel_rows.min(band_len - p0);
+            let i0 = band_start + p0;
+            // Decode the K-panel (all residual rounds) from packed codes:
+            // the first round writes entries straight into the panel, later
+            // rounds accumulate.
+            let panel_slice = &mut panel[..kb * padded_n];
+            for (r, row_books) in band_books.iter().enumerate() {
+                let stream = wq.index_stream(r);
+                for (ii, prow) in panel_slice.chunks_mut(padded_n).enumerate() {
+                    stream.unpack_block((i0 + ii) * groups + gs, &mut codes);
+                    for (gi, &code) in codes.iter().enumerate() {
+                        let book = row_books[gi];
+                        let out = &mut prow[gi * vs..(gi + 1) * vs];
+                        if vq.lattice {
+                            let base = book.stored_id_of(code) as usize;
+                            let signs = code >> book.sign_shift();
+                            let entry = &book.entries_flat()[base * vs..(base + 1) * vs];
+                            for (j, (o, &e)) in out.iter_mut().zip(entry).enumerate() {
+                                let v = if signs & (1 << j) != 0 { -e } else { e };
+                                if r == 0 {
+                                    *o = v;
+                                } else {
+                                    *o += v;
+                                }
+                            }
+                        } else if vs == 4 {
+                            // The dominant sub-vector width: fixed-size
+                            // copies compile to two 16-byte moves instead
+                            // of a runtime-length memcpy per code.
+                            let c = code as usize;
+                            let entry: &[f32; 4] = book.entries_flat()[c * 4..c * 4 + 4]
+                                .try_into()
+                                .expect("vs-4 entry");
+                            let out: &mut [f32; 4] = out.try_into().expect("vs-4 slot");
+                            if r == 0 {
+                                *out = *entry;
+                            } else {
+                                for (o, &e) in out.iter_mut().zip(entry) {
+                                    *o += e;
+                                }
+                            }
+                        } else {
+                            let c = code as usize;
+                            let entry = &book.entries_flat()[c * vs..(c + 1) * vs];
+                            if r == 0 {
+                                out.copy_from_slice(entry);
+                            } else {
+                                for (o, &e) in out.iter_mut().zip(entry) {
+                                    *o += e;
+                                }
+                            }
+                        }
                     }
                 }
             }
+            // Register-blocked tile updates over the resident panel.
+            for pr0 in (0..m).step_by(GEMM_MR) {
+                let mr = GEMM_MR.min(m - pr0);
+                let arows: [&[f32]; GEMM_MR] = std::array::from_fn(|p| {
+                    if p < mr {
+                        &a.row(pr0 + p)[i0..i0 + kb]
+                    } else {
+                        &zero_col[..kb]
+                    }
+                });
+                for j0 in (0..strip_n).step_by(GEMM_NR) {
+                    let nr = GEMM_NR.min(strip_n - j0);
+                    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+                    simd::gemm_acc_tile(&arows, panel_slice, padded_n, j0, kb, &mut acc);
+                    for (p, accp) in acc.iter().enumerate().take(mr) {
+                        let crow = &mut cs[(pr0 + p) * strip_n + j0..(pr0 + p) * strip_n + j0 + nr];
+                        for (o, &v) in crow.iter_mut().zip(accp) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+            p0 += kb;
         }
-    });
-    Ok(c)
+        band_start += band_len;
+    }
 }
 
 /// One head of fused attention decode over quantized K/V caches
@@ -420,6 +693,43 @@ pub fn attention_decode_fused(
     }
     linalg::softmax_inplace(&mut scores);
     gemv_xw(&scores, vq, blocking)
+}
+
+/// Batched fused attention decode: `qs` holds one query row per sequence
+/// (`batch × head_dim`) attending over shared quantized K/V caches;
+/// returns `batch × head_dim` outputs.
+///
+/// The serving-layer composition of the two blocked paths: the score pass
+/// is [`gemv_lut_batch`] (K's packed codes decoded **once** for the whole
+/// batch), and after per-query softmax the value pass is the
+/// panel-blocked [`gemm_fused`] (`scores (batch × seq) × dequant(Vq)`).
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] on inconsistent shapes.
+pub fn attention_decode_batch(
+    qs: &Tensor2D,
+    kq: &QuantizedTensor,
+    vq: &QuantizedTensor,
+    blocking: &HostBlocking,
+) -> Result<Tensor2D> {
+    if kq.shape() != vq.shape() || qs.cols() != kq.shape().1 {
+        return Err(KernelError::ShapeMismatch {
+            what: "qs/K/V shapes disagree",
+        });
+    }
+    // `rows × batch` scores, transposed to query-major for the softmax and
+    // the GeMM value pass.
+    let mut scores = gemv_lut_batch(kq, qs, blocking)?.transposed();
+    let scale = 1.0 / (qs.cols() as f32).sqrt();
+    for b in 0..scores.rows() {
+        let srow = scores.row_mut(b);
+        for s in srow.iter_mut() {
+            *s *= scale;
+        }
+        linalg::softmax_inplace(srow);
+    }
+    gemm_fused(&scores, vq, blocking)
 }
 
 #[cfg(test)]
@@ -480,6 +790,35 @@ mod tests {
     }
 
     #[test]
+    fn gemv_lut_batch_matches_per_row_gemv() {
+        for (cfg, rows, cols) in preset_cases() {
+            let wq = quantized(cfg, rows, cols, 13);
+            for batch in [1usize, 3, 8] {
+                let acts =
+                    Tensor2D::from_fn(batch, cols, |b, c| ((b * 31 + c) as f32 * 0.17).sin());
+                let out = gemv_lut_batch(&wq, &acts, &HostBlocking::default()).unwrap();
+                assert_eq!(out.shape(), (rows, batch));
+                for b in 0..batch {
+                    let single = gemv_lut(&wq, acts.row(b), &HostBlocking::default()).unwrap();
+                    let col: Vec<f32> = (0..rows).map(|r| out.get(r, b)).collect();
+                    assert!(
+                        metrics::allclose(&col, &single, 1e-4, 1e-4),
+                        "{cfg} {rows}x{cols} batch {batch} lane {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_lut_batch_empty_batch_is_empty() {
+        let cfg = VqConfig::new(4, 32, 1, CodebookScope::PerTensor).unwrap();
+        let wq = quantized(cfg, 32, 32, 5);
+        let out = gemv_lut_batch(&wq, &Tensor2D::zeros(0, 32), &HostBlocking::default()).unwrap();
+        assert_eq!(out.shape(), (32, 0));
+    }
+
+    #[test]
     fn gemv_xw_matches_transposed_gemv() {
         for (cfg, rows, cols) in preset_cases() {
             let wq = quantized(cfg, rows, cols, 11);
@@ -497,14 +836,38 @@ mod tests {
     fn gemm_fused_matches_dequantized_matmul() {
         for (cfg, rows, cols) in preset_cases() {
             let wq = quantized(cfg, rows, cols, 3);
-            let a = synth::gaussian(5, rows, 1.0, 9);
-            let fused = gemm_fused(&a, &wq, &HostBlocking::default()).unwrap();
-            let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
-            assert!(
-                metrics::allclose(fused.as_slice(), reference.as_slice(), 1e-4, 1e-4),
-                "{cfg} {rows}x{cols}"
-            );
+            // Cover micro-kernel edges: m below/at/above MR multiples.
+            for m in [1usize, 4, 5] {
+                let a = synth::gaussian(m, rows, 1.0, 9 + m as u64);
+                let fused = gemm_fused(&a, &wq, &HostBlocking::default()).unwrap();
+                let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
+                assert!(
+                    metrics::allclose(fused.as_slice(), reference.as_slice(), 1e-4, 1e-4),
+                    "{cfg} {rows}x{cols} m={m}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn gemm_fused_tiny_panels_still_correct() {
+        // Slab smaller than one panel row: panel_rows bottoms out and the
+        // K loop walks many panels.
+        let cfg = VqConfig::new(4, 64, 2, CodebookScope::PerTensor).unwrap();
+        let wq = quantized(cfg, 48, 64, 2);
+        let a = synth::gaussian(6, 48, 1.0, 21);
+        let tiny = HostBlocking {
+            slab_bytes: 1,
+            threads: 1,
+        };
+        let fused = gemm_fused(&a, &wq, &tiny).unwrap();
+        let reference = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
+        assert!(metrics::allclose(
+            fused.as_slice(),
+            reference.as_slice(),
+            1e-4,
+            1e-4
+        ));
     }
 
     #[test]
@@ -527,6 +890,28 @@ mod tests {
     }
 
     #[test]
+    fn attention_batch_matches_per_query_fused() {
+        let cfg = VqAlgorithm::Cq4.config();
+        let k = synth::kv_stream(320, 32, 0.8, 14);
+        let v = synth::kv_stream(320, 32, 0.8, 15);
+        let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
+        let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+        let qs = Tensor2D::from_fn(5, 32, |b, d| ((b * 17 + d) as f32 * 0.29).cos());
+        for threads in [1usize, 3] {
+            let blocking = HostBlocking::default().with_threads(threads);
+            let batch = attention_decode_batch(&qs, &kq, &vq, &blocking).unwrap();
+            assert_eq!(batch.shape(), (5, 32));
+            for b in 0..qs.rows() {
+                let single = attention_decode_fused(qs.row(b), &kq, &vq, &blocking).unwrap();
+                assert!(
+                    metrics::allclose(batch.row(b), &single, 1e-4, 1e-4),
+                    "query {b} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn threaded_path_matches_sequential() {
         for (cfg, rows, cols) in preset_cases() {
             let wq = quantized(cfg, rows, cols, 17);
@@ -543,6 +928,12 @@ mod tests {
                 gemv_xw(&xr, &wq, &seq).unwrap(),
                 gemv_xw(&xr, &wq, &par).unwrap(),
                 "{cfg} xw"
+            );
+            let acts = Tensor2D::from_fn(3, cols, |b, c| ((b + 2 * c) as f32 * 0.13).sin());
+            assert_eq!(
+                gemv_lut_batch(&wq, &acts, &seq).unwrap(),
+                gemv_lut_batch(&wq, &acts, &par).unwrap(),
+                "{cfg} lut-batch"
             );
             let a = synth::gaussian(6, rows, 1.0, 21);
             assert_eq!(
@@ -570,6 +961,13 @@ mod tests {
         let fused = gemv_xw(&xr, &wq, &tiny).unwrap();
         let reference = linalg::gemv(&wq.dequantize().unwrap().transposed(), &xr).unwrap();
         assert!(metrics::allclose(&fused, &reference, 1e-4, 1e-4));
+        let acts = Tensor2D::from_fn(2, 64, |b, c| ((b + c) as f32 * 0.11).cos());
+        let batch = gemv_lut_batch(&wq, &acts, &tiny).unwrap();
+        for b in 0..2 {
+            let single = gemv_lut(&wq, acts.row(b), &tiny).unwrap();
+            let col: Vec<f32> = (0..48).map(|r| batch.get(r, b)).collect();
+            assert!(metrics::allclose(&col, &single, 1e-4, 1e-4));
+        }
     }
 
     #[test]
@@ -580,7 +978,9 @@ mod tests {
         assert!(gemv_lut(&wq, &[0.0; 3], &b).is_err());
         assert!(gemv_xw(&[0.0; 3], &wq, &b).is_err());
         assert!(gemm_fused(&Tensor2D::zeros(2, 3), &wq, &b).is_err());
+        assert!(gemv_lut_batch(&wq, &Tensor2D::zeros(2, 3), &b).is_err());
         let other = quantized(cfg, 32, 32, 2);
         assert!(attention_decode_fused(&[0.0; 32], &wq, &other, &b).is_err());
+        assert!(attention_decode_batch(&Tensor2D::zeros(2, 32), &wq, &other, &b).is_err());
     }
 }

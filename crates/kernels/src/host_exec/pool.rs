@@ -1,0 +1,362 @@
+//! Persistent worker pool for the host kernels' row-parallel paths.
+//!
+//! PR 2's `std::thread::scope` path paid a full OS-thread spawn + join per
+//! kernel call — on decode-sized operands the spawn cost rivals the kernel
+//! itself, which is why the seed bench recorded a *parallel* GeMV slower
+//! than the serial one. [`WorkerPool`] replaces it with workers spawned
+//! **once** (lazily, at the first parallel kernel call or when a
+//! `CpuBackend` warms it) and fed through a shared job queue; a kernel call
+//! is then two mutex pushes and a condvar wake instead of N `clone()`d
+//! stacks.
+//!
+//! Design points:
+//!
+//! * **Process-wide singleton** ([`WorkerPool::shared`]), sized to
+//!   `available_parallelism`. Every `CpuBackend` shares the same OS
+//!   threads; the per-backend `threads` knob controls how many chunks a
+//!   call is partitioned into (static row partitioning derived from
+//!   `HostBlocking`), not how many threads exist.
+//! * **Caller participation**: [`WorkerPool::scope`] lets the submitting
+//!   thread drain the queue while it waits, so a pool on a 1-core machine
+//!   (zero useful workers) still completes every job, and an
+//!   oversubscribed pool degrades to sequential execution instead of
+//!   deadlocking.
+//! * **Borrowed jobs**: jobs may borrow the caller's stack (the kernels
+//!   hand out disjoint `&mut` row chunks). `scope` guarantees every job
+//!   has finished before it returns, which is what makes the lifetime
+//!   erasure in [`Scope::spawn`] sound.
+//! * **Panic safety**: a panicking job neither kills its worker nor wedges
+//!   the scope — the panic is caught, the scope's completion latch still
+//!   fires (via a drop guard), and the panic is re-raised on the
+//!   submitting thread once the scope is fully joined.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared FIFO feeding the workers (and draining callers).
+struct JobQueue {
+    /// Pending jobs plus the shutdown flag, under one lock.
+    state: Mutex<(VecDeque<Job>, bool)>,
+    /// Signalled when a job is pushed or shutdown begins.
+    available: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.0.push_back(job);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocking pop for workers; `None` means shutdown and drained.
+    fn pop_wait(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.available.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Non-blocking pop for caller-drain loops.
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().expect("job queue poisoned").0.pop_front()
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("job queue poisoned").1 = true;
+        self.available.notify_all();
+    }
+}
+
+/// A persistent, channel-fed pool of worker threads.
+pub struct WorkerPool {
+    queue: Arc<JobQueue>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(JobQueue::new());
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("vqllm-host-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop_wait() {
+                            // A panicking job must not kill the worker; the
+                            // scope's drop guard reports it to the caller.
+                            let _ = panic::catch_unwind(AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            workers: Mutex::new(workers),
+            threads,
+        }
+    }
+
+    /// The process-wide pool, spawned on first use and sized to
+    /// `available_parallelism`. All `CpuBackend`s (and direct `host_exec`
+    /// callers) share it, so kernel calls never pay thread spawns.
+    pub fn shared() -> &'static WorkerPool {
+        static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            WorkerPool::new(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f`, which may [`Scope::spawn`] borrowing jobs onto the pool,
+    /// and returns only after every spawned job has completed. The calling
+    /// thread participates by draining the queue while it waits.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic if any spawned job panicked.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _env: PhantomData,
+        };
+        // Join before propagating any panic from `f` itself: spawned jobs
+        // borrow the caller's stack and must not outlive this frame.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.join();
+        match result {
+            Ok(result) => {
+                if scope.state.panicked.load(Ordering::SeqCst) {
+                    panic!("worker pool job panicked");
+                }
+                result
+            }
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        for handle in self.workers.lock().expect("workers").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Book-keeping for one [`WorkerPool::scope`] invocation.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Decrements the scope latch when dropped — runs even if the job panics,
+/// so a scope can never wedge on a poisoned job.
+struct CompletionGuard {
+    state: Arc<ScopeState>,
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.state.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut pending = self.state.pending.lock().expect("scope latch");
+        *pending -= 1;
+        if *pending == 0 {
+            self.state.done.notify_all();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Enqueues `job` on the pool. The job may borrow from `'env` (the
+    /// caller's stack); the enclosing [`WorkerPool::scope`] blocks until it
+    /// has run.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
+        *self.state.pending.lock().expect("scope latch") += 1;
+        let guard = CompletionGuard {
+            state: Arc::clone(&self.state),
+        };
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _guard = guard;
+            job();
+        });
+        // SAFETY: `WorkerPool::scope` joins (waits for `pending == 0`)
+        // before returning, and the completion guard only fires after the
+        // job has run (or unwound), so no borrow in `job` outlives `'env`.
+        let wrapped: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                wrapped,
+            )
+        };
+        self.pool.queue.push(wrapped);
+    }
+
+    /// Drains the queue from the calling thread, then waits for any jobs
+    /// still running on workers.
+    fn join(&self) {
+        // Run queued jobs inline — this is what makes a 1-core pool (or a
+        // pool busy with other scopes) make progress instead of blocking.
+        while let Some(job) = self.pool.queue.try_pop() {
+            let _ = panic::catch_unwind(AssertUnwindSafe(job));
+        }
+        let mut pending = self.state.pending.lock().expect("scope latch");
+        while *pending > 0 {
+            pending = self.state.done.wait(pending).expect("scope latch");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_every_job_and_blocks_until_done() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0usize; 64];
+        pool.scope(|scope| {
+            for (i, chunk) in data.chunks_mut(7).enumerate() {
+                scope.spawn(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 7 + j;
+                    }
+                });
+            }
+        });
+        let expect: Vec<usize> = (0..64).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_the_same_workers() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = WorkerPool::new(1);
+        let out = pool.scope(|_| 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        let a = WorkerPool::shared() as *const WorkerPool;
+        let b = WorkerPool::shared() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(WorkerPool::shared().threads() >= 1);
+    }
+
+    #[test]
+    fn panicking_job_is_reported_not_wedged() {
+        let pool = WorkerPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("boom"));
+                scope.spawn(|| ());
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives and keeps executing later scopes.
+        let ran = AtomicBool::new(false);
+        pool.scope(|scope| {
+            scope.spawn(|| ran.store(true, Ordering::SeqCst));
+        });
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn nested_parallelism_from_many_threads() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        pool.scope(|scope| {
+                            for _ in 0..3 {
+                                let total = &total;
+                                scope.spawn(move || {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 120);
+    }
+}

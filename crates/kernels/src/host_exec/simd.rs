@@ -1,0 +1,469 @@
+//! SIMD-wide inner loops for the host kernels.
+//!
+//! Every primitive here ships two tiers behind one safe entry point:
+//!
+//! * an **AVX2 + FMA** intrinsic path (`#[cfg(target_arch = "x86_64")]`,
+//!   selected at runtime via `is_x86_feature_detected!`, which caches the
+//!   CPUID probe), and
+//! * a **scalar** fallback restructured into 8-wide unrolled accumulator
+//!   lanes so LLVM's autovectorizer reliably emits packed math on any
+//!   target (and out-of-order cores get independent dependency chains even
+//!   when it does not).
+//!
+//! The primitives are exactly the inner loops of
+//! [`host_exec`](crate::host_exec): contiguous dot products (LUT builds and
+//! interleaved-codebook expansions), the `acc += lut[code]` gather of the
+//! LUT GeMV (an `vpgatherdps` over a group-blocked slab), and the
+//! batch-lane accumulation of `gemv_lut_batch`.
+
+/// Width of the accumulator-lane unroll (one AVX2 register of f32).
+pub const LANES: usize = 8;
+
+/// Rows of A per GeMM micro-kernel tile: 6 rows × two 8-wide vectors fills
+/// 12 of the 16 AVX registers with accumulators, leaving room for the two
+/// panel vectors and the broadcast.
+pub const GEMM_MR: usize = 6;
+/// Output columns per GeMM micro-kernel tile (two 8-wide vectors).
+pub const GEMM_NR: usize = 16;
+
+/// Whether the AVX2 + FMA tier is selected on this machine.
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // std caches the CPUID probe; this is a load + test after the
+        // first call.
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Human-readable name of the selected tier (for reports/benches).
+pub fn tier() -> &'static str {
+    if avx2_available() {
+        "avx2+fma"
+    } else {
+        "scalar-8w"
+    }
+}
+
+/// Dense dot product `Σ a[i]·b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot operand lengths");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA presence was just verified.
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for i in 0..chunks {
+        let (xa, xb) = (&a[i * LANES..][..LANES], &b[i * LANES..][..LANES]);
+        for l in 0..LANES {
+            lanes[l] += xa[l] * xb[l];
+        }
+    }
+    let mut acc = lanes.iter().sum::<f32>();
+    for i in chunks * LANES..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// `out[i] += s · src[i]` — the AXPY behind LUT builds over the
+/// interleaved codebook layout.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(out: &mut [f32], s: f32, src: &[f32]) {
+    assert_eq!(out.len(), src.len(), "axpy operand lengths");
+    if s == 0.0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA presence was just verified.
+        unsafe { axpy_avx2(out, s, src) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o += s * v;
+    }
+}
+
+/// `acc[i] += src[i]` — the batch-lane accumulation of `gemv_lut_batch`
+/// (`src` is the B-wide slab row of one code).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn add_assign(acc: &mut [f32], src: &[f32]) {
+    assert_eq!(acc.len(), src.len(), "add_assign operand lengths");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA presence was just verified.
+        unsafe { add_assign_avx2(acc, src) };
+        return;
+    }
+    for (a, &v) in acc.iter_mut().zip(src) {
+        *a += v;
+    }
+}
+
+/// The LUT GeMV inner loop: `Σ_g slab[g·stored + codes[g]]` — one gather
+/// and one add per packed code, 8 group lanes at a time.
+///
+/// # Panics
+///
+/// Panics (scalar tier) or debug-asserts (AVX2 tier) if any code indexes
+/// outside its `stored`-entry slab row.
+#[inline]
+pub fn lut_row_sum(slab: &[f32], stored: usize, codes: &[u32]) -> f32 {
+    debug_assert!(codes.len() * stored <= slab.len(), "slab covers codes");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA presence was just verified; index bounds are
+        // debug-asserted inside.
+        return unsafe { lut_row_sum_avx2(slab, stored, codes) };
+    }
+    lut_row_sum_scalar(slab, stored, codes)
+}
+
+fn lut_row_sum_scalar(slab: &[f32], stored: usize, codes: &[u32]) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    let chunks = codes.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            lanes[l] += slab[(base + l) * stored + codes[base + l] as usize];
+        }
+    }
+    let mut acc = lanes.iter().sum::<f32>();
+    for g in chunks * LANES..codes.len() {
+        acc += slab[g * stored + codes[g] as usize];
+    }
+    acc
+}
+
+/// One GeMM micro-kernel tile: `acc[p][l] += Σ_ii arows[p][ii] ·
+/// panel[ii·stride + j0 + l]` — `GEMM_MR × GEMM_NR` accumulators held
+/// live across the whole panel depth `kb`. Callers pad the panel width
+/// and the A-row set so every tile runs this one full-size kernel; the
+/// per-machine tier (FMA vs mul+add) is then uniform across all tiles,
+/// keeping results bitwise identical at every strip partitioning.
+///
+/// # Panics
+///
+/// Debug-asserts that each `arows[p]` covers `kb` and the panel covers
+/// the tile.
+#[inline]
+pub fn gemm_acc_tile(
+    arows: &[&[f32]; GEMM_MR],
+    panel: &[f32],
+    stride: usize,
+    j0: usize,
+    kb: usize,
+    acc: &mut [[f32; GEMM_NR]; GEMM_MR],
+) {
+    debug_assert!(arows.iter().all(|r| r.len() >= kb), "A rows cover kb");
+    debug_assert!(
+        kb == 0 || (kb - 1) * stride + j0 + GEMM_NR <= panel.len(),
+        "panel covers tile"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA presence was just verified; bounds are
+        // debug-asserted above and enforced by the slice indexing in the
+        // scalar path's shared contract.
+        unsafe { gemm_acc_tile_avx2(arows, panel, stride, j0, kb, acc) };
+        return;
+    }
+    gemm_acc_tile_scalar(arows, panel, stride, j0, kb, acc);
+}
+
+fn gemm_acc_tile_scalar(
+    arows: &[&[f32]; GEMM_MR],
+    panel: &[f32],
+    stride: usize,
+    j0: usize,
+    kb: usize,
+    acc: &mut [[f32; GEMM_NR]; GEMM_MR],
+) {
+    for ii in 0..kb {
+        let pvec: &[f32; GEMM_NR] = panel[ii * stride + j0..ii * stride + j0 + GEMM_NR]
+            .try_into()
+            .expect("tile panel slice");
+        for (p, accp) in acc.iter_mut().enumerate() {
+            let av = arows[p][ii];
+            for l in 0..GEMM_NR {
+                accp[l] += av * pvec[l];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::LANES;
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        // SAFETY: caller guarantees AVX2.
+        unsafe {
+            let hi = _mm256_extractf128_ps(v, 1);
+            let lo = _mm256_castps256_ps128(v);
+            let s = _mm_add_ps(lo, hi);
+            let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+            let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01));
+            _mm_cvtss_f32(s)
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: caller guarantees AVX2+FMA and equal lengths.
+        unsafe {
+            let chunks = a.len() / LANES;
+            let mut acc = _mm256_setzero_ps();
+            for i in 0..chunks {
+                let va = _mm256_loadu_ps(a.as_ptr().add(i * LANES));
+                let vb = _mm256_loadu_ps(b.as_ptr().add(i * LANES));
+                acc = _mm256_fmadd_ps(va, vb, acc);
+            }
+            let mut sum = hsum(acc);
+            for i in chunks * LANES..a.len() {
+                sum += a[i] * b[i];
+            }
+            sum
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy_avx2(out: &mut [f32], s: f32, src: &[f32]) {
+        // SAFETY: caller guarantees AVX2+FMA and equal lengths.
+        unsafe {
+            let chunks = out.len() / LANES;
+            let vs = _mm256_set1_ps(s);
+            for i in 0..chunks {
+                let o = out.as_mut_ptr().add(i * LANES);
+                let v = _mm256_fmadd_ps(
+                    vs,
+                    _mm256_loadu_ps(src.as_ptr().add(i * LANES)),
+                    _mm256_loadu_ps(o),
+                );
+                _mm256_storeu_ps(o, v);
+            }
+            for i in chunks * LANES..out.len() {
+                out[i] += s * src[i];
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn add_assign_avx2(acc: &mut [f32], src: &[f32]) {
+        // SAFETY: caller guarantees AVX2+FMA and equal lengths.
+        unsafe {
+            let chunks = acc.len() / LANES;
+            for i in 0..chunks {
+                let a = acc.as_mut_ptr().add(i * LANES);
+                let v = _mm256_add_ps(
+                    _mm256_loadu_ps(a),
+                    _mm256_loadu_ps(src.as_ptr().add(i * LANES)),
+                );
+                _mm256_storeu_ps(a, v);
+            }
+            for i in chunks * LANES..acc.len() {
+                acc[i] += src[i];
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_acc_tile_avx2(
+        arows: &[&[f32]; super::GEMM_MR],
+        panel: &[f32],
+        stride: usize,
+        j0: usize,
+        kb: usize,
+        acc: &mut [[f32; super::GEMM_NR]; super::GEMM_MR],
+    ) {
+        // SAFETY: caller guarantees AVX2+FMA and that every `arows[p]`
+        // covers `kb` and the panel covers the `GEMM_NR`-wide tile at
+        // `j0` for all `kb` rows.
+        unsafe {
+            let mut r: [[__m256; 2]; super::GEMM_MR] = [[_mm256_setzero_ps(); 2]; super::GEMM_MR];
+            for ii in 0..kb {
+                let p = panel.as_ptr().add(ii * stride + j0);
+                let v0 = _mm256_loadu_ps(p);
+                let v1 = _mm256_loadu_ps(p.add(8));
+                for (q, rq) in r.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*arows[q].get_unchecked(ii));
+                    rq[0] = _mm256_fmadd_ps(av, v0, rq[0]);
+                    rq[1] = _mm256_fmadd_ps(av, v1, rq[1]);
+                }
+            }
+            for (q, rq) in r.iter().enumerate() {
+                let a0 = _mm256_add_ps(_mm256_loadu_ps(acc[q].as_ptr()), rq[0]);
+                let a1 = _mm256_add_ps(_mm256_loadu_ps(acc[q].as_ptr().add(8)), rq[1]);
+                _mm256_storeu_ps(acc[q].as_mut_ptr(), a0);
+                _mm256_storeu_ps(acc[q].as_mut_ptr().add(8), a1);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn lut_row_sum_avx2(slab: &[f32], stored: usize, codes: &[u32]) -> f32 {
+        // SAFETY: caller guarantees AVX2+FMA; every gathered index is
+        // `g·stored + code` with `code < stored` (debug-asserted), which
+        // the caller's bound `codes.len()·stored ≤ slab.len()` keeps in
+        // range.
+        unsafe {
+            let chunks = codes.len() / LANES;
+            let mut acc = _mm256_setzero_ps();
+            // Lane offsets 0·stored … 7·stored, advanced by 8·stored.
+            let lane_off = _mm256_mullo_epi32(
+                _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                _mm256_set1_epi32(stored as i32),
+            );
+            let step = _mm256_set1_epi32((LANES * stored) as i32);
+            let mut base = lane_off;
+            for c in 0..chunks {
+                if cfg!(debug_assertions) {
+                    for l in 0..LANES {
+                        debug_assert!((codes[c * LANES + l] as usize) < stored, "code in range");
+                    }
+                }
+                let vcodes = _mm256_loadu_si256(codes.as_ptr().add(c * LANES).cast());
+                let vidx = _mm256_add_epi32(base, vcodes);
+                acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(slab.as_ptr(), vidx));
+                base = _mm256_add_epi32(base, step);
+            }
+            let mut sum = hsum(acc);
+            for g in chunks * LANES..codes.len() {
+                sum += slab[g * stored + codes[g] as usize];
+            }
+            sum
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{add_assign_avx2, axpy_avx2, dot_avx2, gemm_acc_tile_avx2, lut_row_sum_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * phase).sin()).collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_at_all_remainders() {
+        for n in [0, 1, 7, 8, 9, 31, 64, 100] {
+            let a = series(n, 0.37);
+            let b = series(n, 0.23);
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-4, "n = {n}");
+            assert!((dot_scalar(&a, &b) - naive).abs() < 1e-4, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn axpy_and_add_assign_match_naive() {
+        for n in [0, 3, 8, 19, 40] {
+            let src = series(n, 0.41);
+            let mut out = series(n, 0.11);
+            let mut naive = out.clone();
+            axpy(&mut out, 1.5, &src);
+            for (o, &s) in naive.iter_mut().zip(&src) {
+                *o += 1.5 * s;
+            }
+            assert_eq!(out.len(), naive.len());
+            for (x, y) in out.iter().zip(&naive) {
+                assert!((x - y).abs() < 1e-5, "n = {n}");
+            }
+            add_assign(&mut out, &src);
+            for (o, &s) in naive.iter_mut().zip(&src) {
+                *o += s;
+            }
+            for (x, y) in out.iter().zip(&naive) {
+                assert!((x - y).abs() < 1e-5, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_row_sum_matches_naive_gather() {
+        let stored = 16;
+        for groups in [1usize, 5, 8, 13, 24] {
+            let slab = series(groups * stored, 0.19);
+            let codes: Vec<u32> = (0..groups as u32)
+                .map(|g| (g * 7 + 3) % stored as u32)
+                .collect();
+            let naive: f32 = codes
+                .iter()
+                .enumerate()
+                .map(|(g, &c)| slab[g * stored + c as usize])
+                .sum();
+            assert!(
+                (lut_row_sum(&slab, stored, &codes) - naive).abs() < 1e-5,
+                "groups = {groups}"
+            );
+            assert!(
+                (lut_row_sum_scalar(&slab, stored, &codes) - naive).abs() < 1e-5,
+                "groups = {groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_tile_matches_naive_triple_loop() {
+        let kb = 11;
+        let stride = 2 * GEMM_NR;
+        let panel = series(kb * stride, 0.21);
+        let a: Vec<Vec<f32>> = (0..GEMM_MR)
+            .map(|p| series(kb, 0.31 + p as f32 * 0.07))
+            .collect();
+        let arows: [&[f32]; GEMM_MR] = std::array::from_fn(|p| a[p].as_slice());
+        for j0 in [0, GEMM_NR] {
+            let mut acc = [[0.5f32; GEMM_NR]; GEMM_MR];
+            gemm_acc_tile(&arows, &panel, stride, j0, kb, &mut acc);
+            for p in 0..GEMM_MR {
+                for l in 0..GEMM_NR {
+                    let naive: f32 = (0..kb)
+                        .map(|ii| arows[p][ii] * panel[ii * stride + j0 + l])
+                        .sum();
+                    assert!(
+                        (acc[p][l] - (0.5 + naive)).abs() < 1e-4,
+                        "p {p} l {l} j0 {j0}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tier_is_reported() {
+        // On x86_64 CI this exercises the AVX2 path; elsewhere the scalar
+        // tier. Either way the selection is stable across calls.
+        assert_eq!(tier(), tier());
+        assert!(["avx2+fma", "scalar-8w"].contains(&tier()));
+    }
+}

@@ -280,6 +280,90 @@ impl Pipeline {
         }
     }
 
+    /// Executes one decode linear layer for real: activations `x`
+    /// (`batch × k`, one row per in-flight sequence) against the quantized
+    /// weight `wq` (`k × n`), through the pipeline's backend and plan
+    /// cache.
+    ///
+    /// This is the serving-layer execution hook: a single-token batch is
+    /// planned and run as a GeMV, while a multi-token batch is planned as
+    /// the **GeMM-shaped decode op** (`m = batch`) and routed through
+    /// [`Backend::run_gemm`] — on a `CpuBackend` that is the panel-blocked
+    /// batched path, which decodes each weight panel once for the whole
+    /// batch instead of once per sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidInput`] when no launchable plan
+    /// exists for the decode shape, or a shape error from the backend.
+    ///
+    /// [`KernelError::InvalidInput`]: vqllm_kernels::KernelError::InvalidInput
+    pub fn run_linear(
+        &self,
+        x: &vqllm_tensor::Tensor2D,
+        wq: &vqllm_vq::QuantizedTensor,
+    ) -> vqllm_kernels::Result<(vqllm_tensor::Tensor2D, vqllm_kernels::KernelOutput)> {
+        let vq = *wq.config();
+        let (k, n) = wq.shape();
+        let opt = match self.scheme {
+            QuantScheme::VqLlm { opt, .. } => opt,
+            _ => OptLevel::O4,
+        };
+        let profile = AccessProfile::default_for(&vq);
+        let op = if x.rows() == 1 {
+            ComputeOp::Gemv { n, k, batch: 1 }
+        } else {
+            ComputeOp::Gemm { m: x.rows(), n, k }
+        };
+        let plan = self.vq_plan(&vq, &op, opt, &profile).ok_or(
+            vqllm_kernels::KernelError::InvalidInput {
+                what: "no launchable plan for decode linear",
+            },
+        )?;
+        if x.rows() == 1 {
+            let (y, out) = self.backend.run_gemv(&self.gpu, &plan, x.row(0), wq)?;
+            let y =
+                vqllm_tensor::Tensor2D::from_vec(1, y.len(), y).expect("gemv output is one row");
+            Ok((y, out))
+        } else {
+            self.backend.run_gemm(&self.gpu, &plan, x, wq)
+        }
+    }
+
+    /// Executes one attention head for a batch of decode queries (`qs` is
+    /// `batch × head_dim`) over shared quantized K/V caches, planned
+    /// through the cache and routed to [`Backend::run_attention_batch`]
+    /// (the fused batched kernel on a `CpuBackend`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidInput`] when no launchable plan
+    /// exists for the attention shape, or a shape error from the backend.
+    ///
+    /// [`KernelError::InvalidInput`]: vqllm_kernels::KernelError::InvalidInput
+    pub fn run_attention_heads(
+        &self,
+        qs: &vqllm_tensor::Tensor2D,
+        kq: &vqllm_vq::QuantizedTensor,
+        vq_cache: &vqllm_vq::QuantizedTensor,
+    ) -> vqllm_kernels::Result<(vqllm_tensor::Tensor2D, vqllm_kernels::KernelOutput)> {
+        let vq = *kq.config();
+        let opt = match self.scheme {
+            QuantScheme::VqLlm { opt, .. } => opt,
+            _ => OptLevel::O4,
+        };
+        let profile = AccessProfile::default_for(&vq);
+        let (seq, head_dim) = kq.shape();
+        let op = ComputeOp::attention_decode(1, head_dim, seq, qs.rows().max(1));
+        let plan = self.vq_plan(&vq, &op, opt, &profile).ok_or(
+            vqllm_kernels::KernelError::InvalidInput {
+                what: "no launchable plan for decode attention",
+            },
+        )?;
+        self.backend
+            .run_attention_batch(&self.gpu, &plan, qs, kq, vq_cache)
+    }
+
     fn linear_latency_us(&self, n: usize, k: usize, batch: usize) -> f64 {
         match self.scheme {
             QuantScheme::Fp16 => fp16::gemv(&self.gpu, n, k, batch).us(),
@@ -487,6 +571,81 @@ mod tests {
         let share_vq = vq.step.elementwise_us / vq.step.total_us();
         assert!(share_fp16 < 0.2, "{share_fp16}");
         assert!(share_vq > share_fp16, "{share_vq} !> {share_fp16}");
+    }
+
+    #[test]
+    fn run_linear_routes_batch_through_gemm_path() {
+        use vqllm_kernels::backend::CpuBackend;
+        use vqllm_tensor::{linalg, metrics, synth, Tensor2D};
+        use vqllm_vq::{VqAlgorithm, VqQuantizer};
+
+        let pipeline = Pipeline::new(
+            GpuSpec::rtx4090(),
+            LlamaConfig::llama_7b(),
+            QuantScheme::vq_llm_2bit(),
+        )
+        .with_backend(Arc::new(CpuBackend::with_threads(2)));
+        let w = synth::correlated_channels(256, 64, 4, 0.9, 3);
+        let wq = VqQuantizer::new(VqAlgorithm::Gptvq2.config())
+            .quantize(&w, 1)
+            .unwrap();
+        let w_ref = wq.dequantize().unwrap();
+
+        // Single-token decode plans a GeMV; the batch plans a GeMM.
+        for batch in [1usize, 4] {
+            let x = Tensor2D::from_fn(batch, 256, |b, i| ((b * 7 + i) as f32 * 0.13).sin());
+            let (y, out) = pipeline.run_linear(&x, &wq).expect("run_linear");
+            assert_eq!(y.shape(), (batch, 64));
+            assert!(out.us() > 0.0);
+            let oracle = linalg::matmul(&x, &w_ref).unwrap();
+            assert!(
+                metrics::allclose(y.as_slice(), oracle.as_slice(), 1e-4, 1e-4),
+                "batch {batch}"
+            );
+        }
+        // Both plans are memoized: a second batch run must hit the cache.
+        let before = pipeline.plan_cache().stats().hits;
+        let x = Tensor2D::from_fn(4, 256, |b, i| ((b + i) as f32 * 0.29).cos());
+        pipeline.run_linear(&x, &wq).expect("cached run");
+        assert!(pipeline.plan_cache().stats().hits > before);
+    }
+
+    #[test]
+    fn run_attention_heads_matches_reference() {
+        use vqllm_kernels::backend::CpuBackend;
+        use vqllm_tensor::{linalg, metrics, synth, Tensor2D};
+        use vqllm_vq::{VqAlgorithm, VqQuantizer};
+
+        let pipeline = Pipeline::new(
+            GpuSpec::rtx4090(),
+            LlamaConfig::llama_7b(),
+            QuantScheme::vq_llm_4bit(),
+        )
+        .with_backend(Arc::new(CpuBackend::new()));
+        let cfg = VqAlgorithm::Cq4.config();
+        let k = synth::kv_stream(320, 32, 0.8, 4);
+        let v = synth::kv_stream(320, 32, 0.8, 5);
+        let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
+        let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+        let qs = Tensor2D::from_fn(3, 32, |b, d| ((b * 11 + d) as f32 * 0.31).sin());
+        let (out, _) = pipeline
+            .run_attention_heads(&qs, &kq, &vq)
+            .expect("attention");
+        assert_eq!(out.shape(), (3, 32));
+        let scale = 1.0 / (32.0f32).sqrt();
+        for b in 0..3 {
+            let oracle = linalg::attention_decode_ref(
+                qs.row(b),
+                &kq.dequantize().unwrap(),
+                &vq.dequantize().unwrap(),
+                scale,
+            )
+            .unwrap();
+            assert!(
+                metrics::allclose(out.row(b), &oracle, 1e-4, 1e-4),
+                "query {b}"
+            );
+        }
     }
 
     #[test]

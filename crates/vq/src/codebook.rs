@@ -20,6 +20,12 @@ pub struct Codebook {
     vector_size: usize,
     entries: Vec<f32>,
     lattice: bool,
+    /// Element-major mirror of `entries` (`vector_size × stored_entries`):
+    /// `interleaved[j · stored + c] == entries[c · vector_size + j]`.
+    /// Derived at construction; the SIMD-wide host kernels stream it so
+    /// LUT builds and aggregated expansions become contiguous FMA loops
+    /// over all stored entries instead of `vector_size`-long strided dots.
+    interleaved: Vec<f32>,
 }
 
 impl Codebook {
@@ -50,11 +56,32 @@ impl Codebook {
                 value: vector_size,
             });
         }
+        // Lattice kernels take sign-aware paths over `entries_flat` and
+        // never read the mirror — skip it rather than double their
+        // centroid memory.
+        let interleaved = if lattice {
+            Vec::new()
+        } else {
+            Self::interleave(&entries, vector_size)
+        };
         Ok(Codebook {
             vector_size,
             entries,
             lattice,
+            interleaved,
         })
+    }
+
+    /// Builds the element-major mirror of a `stored × vector_size` buffer.
+    fn interleave(entries: &[f32], vector_size: usize) -> Vec<f32> {
+        let stored = entries.len() / vector_size;
+        let mut interleaved = vec![0.0f32; entries.len()];
+        for (c, entry) in entries.chunks_exact(vector_size).enumerate() {
+            for (j, &e) in entry.iter().enumerate() {
+                interleaved[j * stored + c] = e;
+            }
+        }
+        interleaved
     }
 
     /// Elements per entry.
@@ -76,6 +103,21 @@ impl Codebook {
     #[inline]
     pub fn entries_flat(&self) -> &[f32] {
         &self.entries
+    }
+
+    /// Element-major mirror of the centroid storage
+    /// (`vector_size × stored_entries`): row `j` holds element `j` of
+    /// every stored entry contiguously, so a kernel loop over all entries
+    /// at a fixed element — a LUT build (`lut[c] += x[j] · entry_c[j]`) or
+    /// an aggregated expansion (`out[j] = Σ_c wsum[c] · entry_c[j]`) —
+    /// reads/FMAs a dense `stored_entries`-long run that vectorizes
+    /// 8-wide. Derived from [`Codebook::entries_flat`] at construction.
+    ///
+    /// Empty for lattice books: their per-element sign masks rule out the
+    /// table-driven kernels, so no mirror is materialized.
+    #[inline]
+    pub fn entries_interleaved(&self) -> &[f32] {
+        &self.interleaved
     }
 
     /// For lattice books: how far the sign mask is shifted above the base
@@ -182,6 +224,33 @@ impl Codebook {
         }
     }
 
+    /// Scaled accumulate: `out[j] += w · entry[j]` for logical entry `id`
+    /// (sign-applied for lattice books) — the expansion step of aggregated
+    /// kernels, where `w` is the sum of activations that mapped to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != vector_size` or `id` is out of range.
+    #[inline]
+    pub fn axpy(&self, id: u32, w: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.vector_size, "output buffer size");
+        assert!(
+            (id as usize) < self.logical_entries(),
+            "entry id out of range"
+        );
+        let entry = self.stored_entry(self.stored_id_of(id) as usize);
+        if self.lattice {
+            let signs = id >> self.sign_shift();
+            for (j, (o, &e)) in out.iter_mut().zip(entry).enumerate() {
+                *o += w * if signs & (1 << j) != 0 { -e } else { e };
+            }
+        } else {
+            for (o, &e) in out.iter_mut().zip(entry) {
+                *o += w * e;
+            }
+        }
+    }
+
     /// Encodes `v` to the nearest logical entry id.
     ///
     /// Plain books scan all stored entries; lattice books pick the sign
@@ -229,10 +298,16 @@ impl Codebook {
             entries[new_pos * vs..(new_pos + 1) * vs]
                 .copy_from_slice(self.stored_entry(old_id as usize));
         }
+        let interleaved = if self.lattice {
+            Vec::new()
+        } else {
+            Self::interleave(&entries, vs)
+        };
         Codebook {
             vector_size: vs,
             entries,
             lattice: self.lattice,
+            interleaved,
         }
     }
 }
@@ -395,6 +470,43 @@ mod tests {
                     &book.entries_flat()[base * vs..(base + 1) * vs],
                     book.stored_entry(base)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_mirrors_entries() {
+        let book = plain_book();
+        let stored = book.stored_entries();
+        let vs = book.vector_size();
+        let inter = book.entries_interleaved();
+        assert_eq!(inter.len(), book.entries_flat().len());
+        for c in 0..stored {
+            for j in 0..vs {
+                assert_eq!(inter[j * stored + c], book.stored_entry(c)[j]);
+            }
+        }
+        // Reordering rebuilds the mirror consistently.
+        let re = book.reordered(&[2, 0, 3, 1]);
+        assert_eq!(re.entries_interleaved()[0], re.stored_entry(0)[0]);
+        // Lattice books take sign-aware kernel paths and carry no mirror.
+        let lattice = Codebook::new(vec![1.0, 2.0, 3.0, 4.0], 2, true).unwrap();
+        assert!(lattice.entries_interleaved().is_empty());
+    }
+
+    #[test]
+    fn axpy_is_scaled_accumulate() {
+        let plain = plain_book();
+        let lattice = Codebook::new(vec![1.0, 2.0, 3.0, 4.0], 2, true).unwrap();
+        for book in [plain, lattice] {
+            for id in 0..book.logical_entries() as u32 {
+                let mut entry = vec![0.0f32; book.vector_size()];
+                book.lookup(id, &mut entry);
+                let mut out = vec![0.25f32; book.vector_size()];
+                book.axpy(id, -1.5, &mut out);
+                for (o, &e) in out.iter().zip(&entry) {
+                    assert!((o - (0.25 - 1.5 * e)).abs() < 1e-6, "id {id}");
+                }
             }
         }
     }

@@ -294,6 +294,44 @@ mod tests {
     }
 
     #[test]
+    fn block_decode_straddles_word_boundaries() {
+        // Odd widths whose indices land astride the 64-bit words that
+        // `word_at` loads: for each width, pick block starts so the first
+        // decoded index begins in the last bits of a word and spills into
+        // the next (bit_pos/64 != (bit_pos+bits-1)/64), plus blocks that
+        // end exactly at, one before, and one past each word seam.
+        for bits in [3u8, 5, 7, 31] {
+            let n = 403usize;
+            let idx = mixed_indices(n, bits);
+            let p = PackedIndices::pack(&idx, bits).unwrap();
+            let b = bits as usize;
+            // Every straddling start position in the stream.
+            let straddles: Vec<usize> = (0..n)
+                .filter(|i| (i * b) / 64 != (i * b + b - 1) / 64)
+                .collect();
+            assert!(!straddles.is_empty(), "width {bits} has straddles");
+            for &start in &straddles {
+                for count in [1usize, 2, 64 / b + 1] {
+                    let count = count.min(n - start);
+                    let mut out = vec![0u32; count];
+                    p.unpack_block(start, &mut out);
+                    assert_eq!(out, &idx[start..start + count], "width {bits} @ {start}");
+                    // The word-load `get` agrees at the same positions.
+                    assert_eq!(p.get(start), idx[start], "width {bits} get({start})");
+                }
+            }
+            // Blocks ending at / around the final byte of the stream (the
+            // zero-padded tail load of `word_at`).
+            for tail in 1..=(64 / b).min(n) {
+                let start = n - tail;
+                let mut out = vec![0u32; tail];
+                p.unpack_block(start, &mut out);
+                assert_eq!(out, &idx[start..], "width {bits} tail {tail}");
+            }
+        }
+    }
+
+    #[test]
     fn iter_range_matches_block_decode() {
         let idx = mixed_indices(151, 11);
         let p = PackedIndices::pack(&idx, 11).unwrap();

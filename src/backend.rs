@@ -27,10 +27,16 @@ pub enum BackendKind {
     /// estimates; functional execution flows through the modelled
     /// codebook cache.
     PerfModel,
-    /// Real host execution ([`CpuBackend`]) with `threads` workers on the
-    /// row-parallel path (`0` means auto-detect).
+    /// Real host execution ([`CpuBackend`]) with `threads` worker
+    /// partitions on the parallel paths (`0` means auto-detect).
+    ///
+    /// Partitions execute on the process-wide persistent
+    /// [`vqllm_kernels::host_exec::pool::WorkerPool`], spawned once at
+    /// backend instantiation and shared by every backend/session in the
+    /// process — kernel calls enqueue work instead of spawning threads,
+    /// so parallel decode never pays per-call thread startup.
     Cpu {
-        /// Worker threads (`0` = available parallelism).
+        /// Worker partitions (`0` = available parallelism).
         threads: usize,
     },
 }

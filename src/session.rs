@@ -114,6 +114,15 @@ impl SessionBuilder {
         self.backend(kind.instantiate())
     }
 
+    /// Shortcut for `backend_kind(BackendKind::Cpu { threads })`: real
+    /// host execution with `threads` worker partitions (`0` = the
+    /// machine's available parallelism). Instantiation warms the shared
+    /// persistent worker pool, so the session's first parallel kernel
+    /// call pays no thread spawns.
+    pub fn cpu_threads(self, threads: usize) -> Self {
+        self.backend_kind(BackendKind::Cpu { threads })
+    }
+
     /// Shares an existing plan cache (default: a fresh empty cache). Lets
     /// several sessions — e.g. one per tenant on the same device — reuse
     /// each other's plans.
@@ -462,6 +471,29 @@ impl Session {
         Ok(self
             .backend
             .run_attention_head(&self.gpu, plan, q, kq, vq)?)
+    }
+
+    /// Functionally executes one attention head for a batch of decode
+    /// queries (`qs` is `batch × head_dim`, one row per in-flight
+    /// sequence) over shared quantized K/V caches — the serving-layer
+    /// shape. On a `CpuBackend` this is the fused batched kernel (one
+    /// packed-code decode for the whole batch + the panel-blocked GeMM
+    /// value pass); other backends fall back to a per-query loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Kernel`] on shape mismatches or an empty
+    /// batch.
+    pub fn run_attention_batch(
+        &self,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        Ok(self
+            .backend
+            .run_attention_batch(&self.gpu, plan, qs, kq, vq)?)
     }
 
     // --- end-to-end ---

@@ -66,7 +66,9 @@ proptest! {
         let x: Vec<f32> = (0..rows).map(|i| ((i as f32) * 0.37 + seed as f32).sin()).collect();
         let op = ComputeOp::Gemv { n: cols, k: rows, batch: 1 };
         let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
-        let threads = 1 + (seed as usize) % 3;
+        // Exercise the sequential path and the persistent-pool path at the
+        // partition counts the serving layer will use.
+        let threads = [1, 2, 4][(seed as usize) % 3];
         let (y, out) = CpuBackend::with_threads(threads)
             .run_gemv(&GpuSpec::rtx4090(), &plan, &x, &wq)
             .expect("run_gemv");
@@ -91,11 +93,45 @@ proptest! {
         let blocking = HostBlocking {
             // Exercise many slab splits, including degenerate ones.
             slab_bytes: [1usize, 1 << 10, 32 << 10][(seed as usize) % 3],
-            threads: 1 + (seed as usize) % 3,
+            threads: [1, 2, 4][(seed as usize) % 3],
         };
         let y = host_exec::gemv_lut(&wq, &x, &blocking).expect("gemv_lut");
         let oracle = linalg::gemv(&wq.dequantize().unwrap(), &x).unwrap();
         prop_assert!(metrics::allclose(&y, &oracle, 1e-4, 1e-4), "{cfg} {rows}x{cols}");
+    }
+
+    /// The batched LUT GeMV (`Y = dequant(Wq) · Xᵀ`, the serving-layer
+    /// multi-token decode shape) vs per-column dequantize oracles, across
+    /// batch sizes, slab splits, and pool partition counts.
+    #[test]
+    fn lut_gemv_batch_matches_oracle(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        cols_i in 0usize..2,
+        batch in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (rows, cols) = dims(rows_i, cols_i);
+        let wq = quantize(cfg, rows, cols, seed);
+        let acts = vq_llm::tensor::Tensor2D::from_fn(batch, cols, |b, c| {
+            ((b * 13 + c) as f32 * 0.23 + seed as f32).cos()
+        });
+        let blocking = HostBlocking {
+            slab_bytes: [1usize, 1 << 10, 32 << 10][(seed as usize) % 3],
+            threads: [1, 2, 4][(seed as usize + 1) % 3],
+        };
+        let y = host_exec::gemv_lut_batch(&wq, &acts, &blocking).expect("gemv_lut_batch");
+        prop_assert_eq!(y.shape(), (rows, batch));
+        let w = wq.dequantize().unwrap();
+        for b in 0..batch {
+            let oracle = linalg::gemv(&w, acts.row(b)).unwrap();
+            let col: Vec<f32> = (0..rows).map(|r| y.get(r, b)).collect();
+            prop_assert!(
+                metrics::allclose(&col, &oracle, 1e-4, 1e-4),
+                "{} {}x{} batch {} lane {}", cfg, rows, cols, batch, b
+            );
+        }
     }
 
     /// `CpuBackend::run_gemm` (`C = A × dequant(Wq)`) vs the dequantize
@@ -113,7 +149,10 @@ proptest! {
         let a = synth::gaussian(m, rows, 1.0, seed ^ 0xa5);
         let op = ComputeOp::Gemm { m, n: cols, k: rows };
         let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
-        let (c, _) = CpuBackend::with_threads(1 + (seed as usize) % 4)
+        // m in 1..9 crosses the 6-row micro-kernel boundary, and the
+        // thread counts cover the column-strip pool path of the
+        // panel-blocked GeMM.
+        let (c, _) = CpuBackend::with_threads([1, 2, 4][(seed as usize) % 3])
             .run_gemm(&GpuSpec::rtx4090(), &plan, &a, &wq)
             .expect("run_gemm");
         let oracle = linalg::matmul(&a, &wq.dequantize().unwrap()).unwrap();
@@ -138,7 +177,7 @@ proptest! {
         let q: Vec<f32> = (0..head_dim).map(|i| ((i as f32) * 0.31 + seed as f32).sin()).collect();
         let op = ComputeOp::attention_decode(1, head_dim, seq, 1);
         let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
-        let (out, _) = CpuBackend::with_threads(1 + (seed as usize) % 3)
+        let (out, _) = CpuBackend::with_threads([1, 2, 4][(seed as usize) % 3])
             .run_attention_head(&GpuSpec::rtx4090(), &plan, &q, &kq, &vq)
             .expect("run_attention_head");
         let scale = 1.0 / (head_dim as f32).sqrt();
@@ -179,15 +218,55 @@ fn cpu_session_runs_fused_kernels() {
     assert!(metrics::allclose(&y, &oracle, 1e-4, 1e-4));
     assert!(out.us() > 0.0);
 
-    // The session's pipelines inherit the backend.
+    // Batched decode attention through the facade: the CPU backend's
+    // fused batch kernel vs its own per-query path.
+    let kd = synth::kv_stream(320, 64, 0.8, 4);
+    let vd = synth::kv_stream(320, 64, 0.8, 5);
+    let kq = session.quantize_kv(&kd, 1).unwrap();
+    let vq = session.quantize_kv(&vd, 2).unwrap();
+    let (kv_plan, _) = session.best_kv_plan(&session.attention_op(320, 2)).unwrap();
+    let qs = vq_llm::tensor::Tensor2D::from_fn(2, 64, |b, d| ((b * 7 + d) as f32 * 0.21).sin());
+    let (batch_out, _) = session
+        .run_attention_batch(&kv_plan, &qs, &kq, &vq)
+        .unwrap();
+    assert_eq!(batch_out.shape(), (2, 64));
+    for b in 0..2 {
+        let (single, _) = session
+            .run_attention_head(&kv_plan, qs.row(b), &kq, &vq)
+            .unwrap();
+        assert!(
+            metrics::allclose(batch_out.row(b), &single, 1e-4, 1e-4),
+            "query {b}"
+        );
+    }
+
+    // The session's pipelines inherit the backend, including the real
+    // execution hooks.
     let pipeline = session.pipeline(session.scheme());
     assert_eq!(pipeline.backend().name(), "cpu");
     assert!(pipeline.generate(512, 64, 4).total_ms() > 0.0);
+    let acts = vq_llm::tensor::Tensor2D::from_fn(3, 256, |b, i| ((b + i) as f32 * 0.17).cos());
+    let (y_batch, _) = pipeline
+        .run_linear(&acts, &wq)
+        .expect("pipeline run_linear");
+    let oracle_b = linalg::matmul(&acts, &wq.dequantize().unwrap()).unwrap();
+    assert!(metrics::allclose(
+        y_batch.as_slice(),
+        oracle_b.as_slice(),
+        1e-4,
+        1e-4
+    ));
 
-    // An explicit Arc-ed backend works the same way.
+    // An explicit Arc-ed backend and the cpu_threads shortcut work the
+    // same way.
     let session2 = Session::builder()
         .backend(Arc::new(CpuBackend::auto()))
         .build()
         .expect("valid session");
     assert_eq!(session2.backend().name(), "cpu");
+    let session3 = Session::builder()
+        .cpu_threads(0)
+        .build()
+        .expect("valid session");
+    assert_eq!(session3.backend().name(), "cpu");
 }
