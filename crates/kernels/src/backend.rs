@@ -139,6 +139,77 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
         }
         Ok((out, last.expect("non-empty batch")))
     }
+
+    /// Ragged batched attention decode: query `b` attends only the first
+    /// `lens[b]` cached tokens of the shared quantized K/V — the
+    /// continuous-batching shape, where co-scheduled tenants sit at
+    /// different positions in one cache. The default dequantizes and loops
+    /// the reference per query (correct on any substrate); [`CpuBackend`]
+    /// overrides it with the fused ragged kernel whose K-decode is shared
+    /// across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches, an empty batch, or a length
+    /// outside `1..=seq`.
+    fn run_attention_ragged(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        lens: &[usize],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        if qs.rows() == 0 {
+            return Err(crate::KernelError::InvalidInput {
+                what: "empty query batch",
+            });
+        }
+        if lens.len() != qs.rows() {
+            return Err(crate::KernelError::ShapeMismatch {
+                what: "one softmax length per query row",
+            });
+        }
+        if kq.shape() != vq.shape() || qs.cols() != kq.shape().1 {
+            return Err(crate::KernelError::ShapeMismatch {
+                what: "qs/K/V shapes disagree",
+            });
+        }
+        let (seq, head_dim) = kq.shape();
+        if lens.iter().any(|&l| l == 0 || l > seq) {
+            return Err(crate::KernelError::InvalidInput {
+                what: "softmax lengths must be in 1..=seq",
+            });
+        }
+        let kd = kq
+            .dequantize()
+            .map_err(|_| crate::KernelError::InvalidInput {
+                what: "K cache failed to dequantize",
+            })?;
+        let vd = vq
+            .dequantize()
+            .map_err(|_| crate::KernelError::InvalidInput {
+                what: "V cache failed to dequantize",
+            })?;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut out = Tensor2D::zeros(qs.rows(), head_dim);
+        for (b, &len) in lens.iter().enumerate() {
+            let row = vqllm_tensor::linalg::attention_decode_ref(
+                qs.row(b),
+                &kd.slice(0, 0, len, head_dim),
+                &vd.slice(0, 0, len, head_dim),
+                scale,
+            )
+            .map_err(|_| crate::KernelError::ShapeMismatch {
+                what: "reference attention rejected the ragged slice",
+            })?;
+            out.row_mut(b).copy_from_slice(&row);
+        }
+        let profile = AccessProfile::default_for(kq.config());
+        let counters = self.estimate(gpu, plan, &profile);
+        Ok((out, counters))
+    }
 }
 
 /// The GPU performance-model backend (the workspace's documented hardware
@@ -371,6 +442,26 @@ impl Backend for CpuBackend {
         let out = host_exec::attention_decode_batch(qs, kq, vq, &self.blocking(plan))?;
         Ok((out, self.output_for(gpu, plan, kq)))
     }
+
+    fn run_attention_ragged(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        lens: &[usize],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        if qs.rows() == 0 {
+            return Err(crate::KernelError::InvalidInput {
+                what: "empty query batch",
+            });
+        }
+        // One shared K-decode for the whole ragged batch; per-query softmax
+        // prefixes and an exactly-zero tail in the value pass.
+        let out = host_exec::attention_decode_ragged(qs, lens, kq, vq, &self.blocking(plan))?;
+        Ok((out, self.output_for(gpu, plan, kq)))
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +540,50 @@ mod tests {
             .is_err());
         assert!(PerfModelBackend
             .run_attention_batch(&gpu, &plan, &empty, &kq, &vq_t)
+            .is_err());
+    }
+
+    #[test]
+    fn attention_ragged_agrees_across_backends() {
+        let vq_cfg = VqAlgorithm::Cq4.config();
+        let k = synth::kv_stream(320, 32, 0.8, 30);
+        let v = synth::kv_stream(320, 32, 0.8, 31);
+        let kq = VqQuantizer::new(vq_cfg).quantize(&k, 1).unwrap();
+        let vq_t = VqQuantizer::new(vq_cfg).quantize(&v, 2).unwrap();
+        let op = ComputeOp::attention_decode(1, 32, 320, 3);
+        let plan = plan_for(&vq_cfg, &op);
+        let gpu = GpuSpec::rtx4090();
+        let qs = vqllm_tensor::Tensor2D::from_fn(3, 32, |b, d| ((b * 7 + d) as f32 * 0.19).sin());
+        let lens = [40usize, 320, 9];
+        let backend = CpuBackend::with_threads(2);
+        let (fused, out) = backend
+            .run_attention_ragged(&gpu, &plan, &qs, &lens, &kq, &vq_t)
+            .unwrap();
+        assert!(out.us() > 0.0);
+        // The trait's dequantize-and-loop default (what PerfModelBackend
+        // inherits) is the oracle.
+        let (reference, _) = PerfModelBackend
+            .run_attention_ragged(&gpu, &plan, &qs, &lens, &kq, &vq_t)
+            .unwrap();
+        assert!(metrics::allclose(
+            fused.as_slice(),
+            reference.as_slice(),
+            1e-4,
+            1e-4
+        ));
+        // Invalid lengths and empty batches are rejected on both paths.
+        let empty = vqllm_tensor::Tensor2D::zeros(0, 32);
+        assert!(backend
+            .run_attention_ragged(&gpu, &plan, &empty, &[], &kq, &vq_t)
+            .is_err());
+        assert!(PerfModelBackend
+            .run_attention_ragged(&gpu, &plan, &empty, &[], &kq, &vq_t)
+            .is_err());
+        assert!(backend
+            .run_attention_ragged(&gpu, &plan, &qs, &[0, 1, 1], &kq, &vq_t)
+            .is_err());
+        assert!(PerfModelBackend
+            .run_attention_ragged(&gpu, &plan, &qs, &[1, 1, 321], &kq, &vq_t)
             .is_err());
     }
 

@@ -713,21 +713,78 @@ pub fn attention_decode_batch(
     vq: &QuantizedTensor,
     blocking: &HostBlocking,
 ) -> Result<Tensor2D> {
+    attention_batch_inner(qs, None, kq, vq, blocking)
+}
+
+/// Ragged batched fused attention decode: like [`attention_decode_batch`],
+/// but query `b` attends only the first `lens[b]` cached tokens of the
+/// shared K/V — the continuous-batching shape, where co-scheduled tenants
+/// sit at different positions in the cache.
+///
+/// The K-decode is still shared across the whole batch (the score pass
+/// computes all `seq` rows once); raggedness is applied afterwards: each
+/// query's softmax runs over its own prefix and the tail weights are
+/// exactly zero, so the value-pass GeMM contributes nothing beyond
+/// `lens[b]`. A query with `lens[b] == seq` goes through *identical*
+/// arithmetic to [`attention_decode_batch`], and every lane's result is
+/// bitwise independent of the other lanes in the batch — the serving
+/// scheduler's parity contract.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] on inconsistent shapes or
+/// `lens` length, and [`KernelError::InvalidInput`] when any length is 0
+/// or exceeds the cached sequence.
+pub fn attention_decode_ragged(
+    qs: &Tensor2D,
+    lens: &[usize],
+    kq: &QuantizedTensor,
+    vq: &QuantizedTensor,
+    blocking: &HostBlocking,
+) -> Result<Tensor2D> {
+    if lens.len() != qs.rows() {
+        return Err(KernelError::ShapeMismatch {
+            what: "one softmax length per query row",
+        });
+    }
+    let seq = kq.shape().0;
+    if lens.iter().any(|&l| l == 0 || l > seq) {
+        return Err(KernelError::InvalidInput {
+            what: "softmax lengths must be in 1..=seq",
+        });
+    }
+    attention_batch_inner(qs, Some(lens), kq, vq, blocking)
+}
+
+/// Shared body of [`attention_decode_batch`] / [`attention_decode_ragged`]
+/// (`lens: None` means every query attends the full cache).
+fn attention_batch_inner(
+    qs: &Tensor2D,
+    lens: Option<&[usize]>,
+    kq: &QuantizedTensor,
+    vq: &QuantizedTensor,
+    blocking: &HostBlocking,
+) -> Result<Tensor2D> {
     if kq.shape() != vq.shape() || qs.cols() != kq.shape().1 {
         return Err(KernelError::ShapeMismatch {
             what: "qs/K/V shapes disagree",
         });
     }
+    let seq = kq.shape().0;
     // `rows × batch` scores, transposed to query-major for the softmax and
     // the GeMM value pass.
     let mut scores = gemv_lut_batch(kq, qs, blocking)?.transposed();
     let scale = 1.0 / (qs.cols() as f32).sqrt();
     for b in 0..scores.rows() {
+        let len = lens.map_or(seq, |l| l[b]);
         let srow = scores.row_mut(b);
-        for s in srow.iter_mut() {
+        for s in srow[..len].iter_mut() {
             *s *= scale;
         }
-        linalg::softmax_inplace(srow);
+        linalg::softmax_inplace(&mut srow[..len]);
+        // Beyond the query's prefix the weights are exactly zero, so the
+        // value pass adds nothing there (0·v contributions are exact).
+        srow[len..].fill(0.0);
     }
     gemm_fused(&scores, vq, blocking)
 }
@@ -909,6 +966,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn attention_ragged_matches_truncated_reference() {
+        let cfg = VqAlgorithm::Cq4.config();
+        let k = synth::kv_stream(320, 32, 0.8, 24);
+        let v = synth::kv_stream(320, 32, 0.8, 25);
+        let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
+        let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+        let qs = Tensor2D::from_fn(4, 32, |b, d| ((b * 19 + d) as f32 * 0.27).sin());
+        let lens = [17usize, 320, 40, 1];
+        let blocking = HostBlocking::default();
+        let out = attention_decode_ragged(&qs, &lens, &kq, &vq, &blocking).unwrap();
+        let kd = kq.dequantize().unwrap();
+        let vd = vq.dequantize().unwrap();
+        for (b, &len) in lens.iter().enumerate() {
+            let oracle = linalg::attention_decode_ref(
+                qs.row(b),
+                &kd.slice(0, 0, len, 32),
+                &vd.slice(0, 0, len, 32),
+                1.0 / (32.0f32).sqrt(),
+            )
+            .unwrap();
+            assert!(
+                metrics::allclose(out.row(b), &oracle, 1e-4, 1e-4),
+                "query {b} len {len}"
+            );
+        }
+        // Full-length raggedness is the same arithmetic as the plain batch
+        // path — bitwise.
+        let full = attention_decode_batch(&qs, &kq, &vq, &blocking).unwrap();
+        let ragged_full = attention_decode_ragged(&qs, &[320; 4], &kq, &vq, &blocking).unwrap();
+        assert_eq!(full, ragged_full);
+        // And each lane is bitwise independent of its batch-mates: the
+        // request alone (batch 1, same length) reproduces its row exactly.
+        for (b, &len) in lens.iter().enumerate() {
+            let solo_q = Tensor2D::from_vec(1, 32, qs.row(b).to_vec()).unwrap();
+            let solo = attention_decode_ragged(&solo_q, &[len], &kq, &vq, &blocking).unwrap();
+            assert_eq!(out.row(b), solo.row(0), "lane {b} not batch-invariant");
+        }
+        // Degenerate lengths are rejected.
+        assert!(attention_decode_ragged(&qs, &[0, 1, 1, 1], &kq, &vq, &blocking).is_err());
+        assert!(attention_decode_ragged(&qs, &[321, 1, 1, 1], &kq, &vq, &blocking).is_err());
+        assert!(attention_decode_ragged(&qs, &[1, 1], &kq, &vq, &blocking).is_err());
     }
 
     #[test]

@@ -269,8 +269,12 @@ mod x86 {
                 );
                 _mm256_storeu_ps(o, v);
             }
+            // Fused like the vector body: a lane must land on the same
+            // rounding whether it fell in the 8-wide chunks or the tail,
+            // so batch-interleaved LUT slabs are bitwise identical at
+            // every batch width (the serving scheduler's parity contract).
             for i in chunks * LANES..out.len() {
-                out[i] += s * src[i];
+                out[i] = s.mul_add(src[i], out[i]);
             }
         }
     }

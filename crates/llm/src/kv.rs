@@ -58,6 +58,10 @@ pub struct KvCache {
 
 impl KvCache {
     /// Creates a cache descriptor.
+    ///
+    /// Unvalidated (kept for footprint arithmetic on hypothetical
+    /// geometries); the serving layer goes through [`KvCache::try_new`] so
+    /// that every live cache starts inside the model's context window.
     pub fn new(model: LlamaConfig, seq: usize, batch: usize, storage: KvStorage) -> Self {
         KvCache {
             model,
@@ -65,6 +69,37 @@ impl KvCache {
             batch,
             storage,
         }
+    }
+
+    /// Creates a cache descriptor, validating the geometry against the
+    /// configured model: `seq` must fit the context window and `batch`
+    /// must be non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::KvCapacity`] when `seq > model.max_seq` or
+    /// `batch == 0`.
+    pub fn try_new(
+        model: LlamaConfig,
+        seq: usize,
+        batch: usize,
+        storage: KvStorage,
+    ) -> crate::Result<Self> {
+        if seq > model.max_seq {
+            return Err(crate::LlmError::KvCapacity {
+                what: "seq exceeds the model's context window",
+                value: seq,
+                limit: model.max_seq,
+            });
+        }
+        if batch == 0 {
+            return Err(crate::LlmError::KvCapacity {
+                what: "batch must be non-zero",
+                value: 0,
+                limit: 1,
+            });
+        }
+        Ok(KvCache::new(model, seq, batch, storage))
     }
 
     /// Total cache bytes at the configured precision (both K and V, all
@@ -87,12 +122,47 @@ impl KvCache {
 
     /// Appends one token per sample, returning the quantization overhead in
     /// microseconds (0 for FP16).
-    pub fn append_token(&mut self) -> f64 {
+    ///
+    /// Growth is validated against the configured model instead of
+    /// silently extrapolating: a cache at the context window refuses to
+    /// grow, so a decode loop can never walk off the end of the window it
+    /// was admitted for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::KvCapacity`] when the cache is already at
+    /// `model.max_seq`.
+    pub fn append_token(&mut self) -> crate::Result<f64> {
+        if self.seq >= self.model.max_seq {
+            return Err(crate::LlmError::KvCapacity {
+                what: "append_token past the model's context window",
+                value: self.seq + 1,
+                limit: self.model.max_seq,
+            });
+        }
         self.seq += 1;
-        match self.storage {
+        Ok(match self.storage {
             KvStorage::Fp16 => 0.0,
             _ => DECODE_QUANT_OVERHEAD_US,
+        })
+    }
+
+    /// Resizes the batch dimension (a tenant joining or leaving a shared
+    /// model-wide cache), validating the new geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::KvCapacity`] when `batch == 0`.
+    pub fn set_batch(&mut self, batch: usize) -> crate::Result<()> {
+        if batch == 0 {
+            return Err(crate::LlmError::KvCapacity {
+                what: "batch must be non-zero",
+                value: 0,
+                limit: 1,
+            });
         }
+        self.batch = batch;
+        Ok(())
     }
 }
 
@@ -123,11 +193,43 @@ mod tests {
                 bits_per_element: 4.0,
             },
         );
-        let us = cache.append_token();
+        let us = cache.append_token().unwrap();
         assert_eq!(cache.seq, 9);
         assert!(us > 0.0 && us < 1.0, "paper: < 1 us");
         let mut fp = KvCache::new(LlamaConfig::llama_7b(), 8, 1, KvStorage::Fp16);
-        assert_eq!(fp.append_token(), 0.0);
+        assert_eq!(fp.append_token().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn growth_past_the_context_window_is_an_error_not_an_extrapolation() {
+        let model = LlamaConfig::llama_7b();
+        let mut cache = KvCache::new(
+            model,
+            model.max_seq - 1,
+            1,
+            KvStorage::Vq {
+                bits_per_element: 4.0,
+            },
+        );
+        // The last in-window append succeeds; the one past it is refused
+        // and leaves the geometry untouched.
+        assert!(cache.append_token().is_ok());
+        assert_eq!(cache.seq, model.max_seq);
+        let err = cache.append_token().unwrap_err();
+        assert!(
+            matches!(err, crate::LlmError::KvCapacity { limit, .. } if limit == model.max_seq),
+            "{err}"
+        );
+        assert_eq!(cache.seq, model.max_seq);
+        // Validated construction and batch resizing reject degenerate
+        // geometry up front.
+        assert!(KvCache::try_new(model, model.max_seq + 1, 1, KvStorage::Fp16).is_err());
+        assert!(KvCache::try_new(model, 16, 0, KvStorage::Fp16).is_err());
+        let mut ok = KvCache::try_new(model, 16, 2, KvStorage::Fp16).unwrap();
+        assert!(ok.set_batch(0).is_err());
+        assert_eq!(ok.batch, 2);
+        ok.set_batch(5).unwrap();
+        assert_eq!(ok.batch, 5);
     }
 
     #[test]

@@ -18,31 +18,81 @@ pub mod accuracy;
 pub mod kv;
 pub mod model;
 pub mod pipeline;
+pub mod serve;
 
 pub use accuracy::AccuracyProxy;
 pub use kv::KvCache;
 pub use model::LlamaConfig;
 pub use pipeline::{DecodeBreakdown, E2eReport, Pipeline, QuantScheme};
+pub use serve::{
+    DecodeRequest, RequestHandle, RequestId, RequestOutput, RequestStatus, ServeConfig, Server,
+    ServerStats, SharedContext, StepReport,
+};
 
-/// Error type for pipeline configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Error type for pipeline configuration and the serving layer.
+#[derive(Debug, Clone, PartialEq)]
 pub enum LlmError {
     /// A configuration value was invalid.
     InvalidConfig {
         /// Description of the problem.
         what: &'static str,
     },
+    /// KV-cache growth or geometry violated the configured model's limits
+    /// (e.g. an `append_token` past the context window).
+    KvCapacity {
+        /// What was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The model's limit for it.
+        limit: usize,
+    },
+    /// A serving request was refused at admission because the queue is at
+    /// its configured `max_queue` limit. The request was **not** enqueued.
+    QueueFull {
+        /// The configured admission limit.
+        max_queue: usize,
+    },
+    /// A serving request was rejected at admission as malformed or
+    /// unservable (wrong query width, zero tokens, context overflow).
+    InvalidRequest {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// A kernel failed underneath the serving decode loop.
+    Kernel(vqllm_kernels::KernelError),
 }
 
 impl std::fmt::Display for LlmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LlmError::InvalidConfig { what } => write!(f, "invalid LLM config: {what}"),
+            LlmError::KvCapacity { what, value, limit } => {
+                write!(f, "kv capacity: {what} ({value} > limit {limit})")
+            }
+            LlmError::QueueFull { max_queue } => {
+                write!(f, "serving queue full (max_queue = {max_queue})")
+            }
+            LlmError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
+            LlmError::Kernel(e) => write!(f, "kernel: {e}"),
         }
     }
 }
 
-impl std::error::Error for LlmError {}
+impl std::error::Error for LlmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LlmError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vqllm_kernels::KernelError> for LlmError {
+    fn from(e: vqllm_kernels::KernelError) -> Self {
+        LlmError::Kernel(e)
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LlmError>;

@@ -19,6 +19,10 @@ pub struct LlamaConfig {
     pub intermediate: usize,
     /// Vocabulary size.
     pub vocab: usize,
+    /// Context window: the largest sequence the KV cache may grow to.
+    /// Growth past this is a configuration error, not an extrapolation
+    /// ([`KvCache::append_token`](crate::KvCache::append_token)).
+    pub max_seq: usize,
 }
 
 impl LlamaConfig {
@@ -33,6 +37,7 @@ impl LlamaConfig {
             layers: 32,
             intermediate: 11008,
             vocab: 32000,
+            max_seq: 2048,
         }
     }
 
@@ -47,6 +52,7 @@ impl LlamaConfig {
             layers: 80,
             intermediate: 22016,
             vocab: 32000,
+            max_seq: 2048,
         }
     }
 

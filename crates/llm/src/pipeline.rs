@@ -188,6 +188,17 @@ impl Pipeline {
         &self.scheme
     }
 
+    /// The configured model shape.
+    pub fn model(&self) -> LlamaConfig {
+        self.model
+    }
+
+    /// The target device (the serving scheduler routes its kernel calls
+    /// through the same spec the plans were made for).
+    pub(crate) fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
     /// The execution backend.
     pub fn backend(&self) -> &Arc<dyn Backend> {
         &self.backend
@@ -437,8 +448,9 @@ impl Pipeline {
     /// Memoized plan lookup: `O4` resolves to the adaptive best plan
     /// under `profile` (fingerprinted into the key via the canonical
     /// [`PlanKey::best`] recipe, so `Session` shares the entry), lower
-    /// levels to a fixed-rung plan.
-    fn vq_plan(
+    /// levels to a fixed-rung plan. `pub(crate)` so the serving scheduler
+    /// plans its canonical decode shapes through the same cache.
+    pub(crate) fn vq_plan(
         &self,
         vq: &vqllm_vq::VqConfig,
         op: &ComputeOp,

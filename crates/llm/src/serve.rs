@@ -1,0 +1,159 @@
+//! Batched request serving on top of the decode pipeline.
+//!
+//! The kernel substrate already speaks the serving shapes — one shared
+//! K-decode feeds a whole batch of queries
+//! ([`Backend::run_attention_ragged`]), and a multi-row linear rides the
+//! panel-blocked GeMM ([`Backend::run_gemm`]) — so what this module adds
+//! is the machinery that *keeps those batches full under traffic*
+//! (EVA's decode-centric interface, PAPERS.md):
+//!
+//! * **admission** — [`Server::submit`] accepts a [`DecodeRequest`] into a
+//!   bounded FIFO queue ([`ServeConfig::max_queue`]) or rejects it
+//!   explicitly; nothing is ever dropped silently;
+//! * **continuous batch formation** — every [`Server::step`] re-forms the
+//!   decode batch: finished requests leave their slot, queued ones take
+//!   it, up to [`ServeConfig::max_batch`] in flight;
+//! * **per-tenant KV ownership** — each request owns a [`KvCache`]
+//!   descriptor (its position in the shared context, validated growth),
+//!   while all tenants share one quantized context ([`SharedContext`]),
+//!   one `PlanCache`, and one backend through the [`Pipeline`];
+//! * **a deterministic driver** — [`Server::step`] is synchronous and
+//!   side-effect-free beyond its own state, so tests can single-step the
+//!   scheduler and a bench can meter tokens/second; an async/tokio driver
+//!   can wrap it later without touching the scheduling logic.
+//!
+//! Numerically the scheduler is *invisible*: each step runs one canonical
+//! ragged-attention plan and one canonical linear plan at whatever batch
+//! happens to be live, and both kernels are bitwise lane-stable across
+//! batch widths — a request decoded in a full batch produces exactly the
+//! bytes it would produce running alone (`tests/serving.rs` pins this).
+//!
+//! [`Backend::run_attention_ragged`]: vqllm_kernels::backend::Backend::run_attention_ragged
+//! [`Backend::run_gemm`]: vqllm_kernels::backend::Backend::run_gemm
+//! [`KvCache`]: crate::KvCache
+//! [`Pipeline`]: crate::Pipeline
+
+pub mod request;
+pub mod scheduler;
+
+pub use request::{DecodeRequest, RequestHandle, RequestId, RequestOutput, RequestStatus};
+pub use scheduler::{Server, ServerStats, StepReport};
+
+use crate::{LlmError, Result};
+use std::sync::Arc;
+use vqllm_vq::QuantizedTensor;
+
+/// Admission and batching limits of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest decode batch formed per step (in-flight request slots).
+    pub max_batch: usize,
+    /// Largest number of requests waiting for a slot; a `submit` beyond
+    /// this is rejected with [`LlmError::QueueFull`].
+    pub max_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_queue: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Config with explicit limits.
+    pub fn new(max_batch: usize, max_queue: usize) -> Self {
+        ServeConfig {
+            max_batch,
+            max_queue,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(LlmError::InvalidConfig {
+                what: "serve max_batch must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The quantized state every request of a [`Server`] decodes against: one
+/// K cache, one V cache (`seq × head_dim` each), and one output-projection
+/// weight (`head_dim × head_dim`).
+///
+/// This is the EVA/VecInfer serving scenario: tenants fan out over a
+/// shared pre-quantized context (a shared prompt, a system prefix, a
+/// beam), each attending its own prefix of it, so one K-decode per step
+/// serves the whole batch. Tensors are `Arc`-shared — cloning the context
+/// is cheap and servers can hand it to reporting threads.
+#[derive(Debug, Clone)]
+pub struct SharedContext {
+    kq: Arc<QuantizedTensor>,
+    vq: Arc<QuantizedTensor>,
+    wq: Arc<QuantizedTensor>,
+}
+
+impl SharedContext {
+    /// Validates and wraps the shared tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::InvalidConfig`] when K and V disagree in shape
+    /// or the projection weight is not `head_dim × head_dim`.
+    pub fn new(
+        kq: QuantizedTensor,
+        vq: QuantizedTensor,
+        wq: QuantizedTensor,
+    ) -> Result<SharedContext> {
+        if kq.shape() != vq.shape() {
+            return Err(LlmError::InvalidConfig {
+                what: "shared K and V caches must have identical shapes",
+            });
+        }
+        let head_dim = kq.shape().1;
+        if wq.shape() != (head_dim, head_dim) {
+            return Err(LlmError::InvalidConfig {
+                what: "projection weight must be head_dim x head_dim",
+            });
+        }
+        if kq.shape().0 == 0 || head_dim == 0 {
+            return Err(LlmError::InvalidConfig {
+                what: "shared context must be non-empty",
+            });
+        }
+        Ok(SharedContext {
+            kq: Arc::new(kq),
+            vq: Arc::new(vq),
+            wq: Arc::new(wq),
+        })
+    }
+
+    /// Cached tokens in the shared context.
+    pub fn seq(&self) -> usize {
+        self.kq.shape().0
+    }
+
+    /// Channels per head.
+    pub fn head_dim(&self) -> usize {
+        self.kq.shape().1
+    }
+
+    /// The quantized K cache.
+    pub fn kq(&self) -> &QuantizedTensor {
+        &self.kq
+    }
+
+    /// The quantized V cache.
+    pub fn vq(&self) -> &QuantizedTensor {
+        &self.vq
+    }
+
+    /// The quantized output-projection weight.
+    pub fn wq(&self) -> &QuantizedTensor {
+        &self.wq
+    }
+}

@@ -1,0 +1,90 @@
+//! Request vocabulary of the serving layer: what a tenant submits, the
+//! handle it gets back, and the output it can collect.
+
+/// Server-assigned request identifier (unique per [`Server`] instance).
+///
+/// [`Server`]: crate::serve::Server
+pub type RequestId = u64;
+
+/// Opaque handle returned by [`Server::submit`]; pass it back to query
+/// [`Server::status`] or collect [`Server::take_output`].
+///
+/// [`Server::submit`]: crate::serve::Server::submit
+/// [`Server::status`]: crate::serve::Server::status
+/// [`Server::take_output`]: crate::serve::Server::take_output
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestHandle {
+    pub(crate) id: RequestId,
+}
+
+impl RequestHandle {
+    /// The server-assigned id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+}
+
+/// One tenant's decode request against the server's [`SharedContext`].
+///
+/// The request enters the shared context at `context_len` cached tokens
+/// and asks for `gen_tokens` decode steps; each step attends one more
+/// token of the context (teacher-forced decode over the pre-quantized
+/// cache), so admission requires `context_len + gen_tokens - 1` to fit
+/// both the shared context and the model's window.
+///
+/// [`SharedContext`]: crate::serve::SharedContext
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeRequest {
+    /// Caller-supplied tenant tag (reported back in the output).
+    pub tenant: u64,
+    /// Initial query/hidden state, `head_dim` wide.
+    pub query: Vec<f32>,
+    /// Tokens of the shared context attended at the first step (≥ 1).
+    pub context_len: usize,
+    /// Decode steps requested (≥ 1).
+    pub gen_tokens: usize,
+}
+
+impl DecodeRequest {
+    /// Builds a request.
+    pub fn new(tenant: u64, query: Vec<f32>, context_len: usize, gen_tokens: usize) -> Self {
+        DecodeRequest {
+            tenant,
+            query,
+            context_len,
+            gen_tokens,
+        }
+    }
+}
+
+/// Where a submitted request currently is in the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStatus {
+    /// Waiting for a batch slot.
+    Queued,
+    /// Occupying a decode slot.
+    Running,
+    /// All steps decoded; output is ready to collect.
+    Completed,
+    /// Not known to this server (never submitted, or already collected).
+    Unknown,
+}
+
+/// The collected result of a completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutput {
+    /// Server-assigned id.
+    pub id: RequestId,
+    /// The tenant tag from the [`DecodeRequest`].
+    pub tenant: u64,
+    /// One decoded hidden-state row (`head_dim` wide) per step, in step
+    /// order.
+    pub steps: Vec<Vec<f32>>,
+    /// Total on-the-fly KV-quantization overhead charged to this tenant's
+    /// cache growth, microseconds.
+    pub kv_quant_us: f64,
+    /// Scheduler step at which the request was submitted.
+    pub submitted_step: u64,
+    /// Scheduler step at which the last token was decoded.
+    pub finished_step: u64,
+}

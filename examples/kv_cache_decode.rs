@@ -52,7 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut quant_overhead = 0.0;
     for _ in 0..256 {
-        quant_overhead += cache.append_token();
+        // Growth is validated against the model's context window.
+        quant_overhead += cache.append_token()?;
     }
     println!(
         "KV cache at seq {}: {:.2} GB vs {:.2} GB FP16 ({:.0}% saved); \

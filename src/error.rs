@@ -101,7 +101,14 @@ impl From<KernelError> for VqLlmError {
 
 impl From<LlmError> for VqLlmError {
     fn from(e: LlmError) -> Self {
-        VqLlmError::Pipeline(e)
+        match e {
+            // The serving decode loop flows kernel failures through
+            // `LlmError`; unwrap them so callers see the same structured
+            // context as a direct kernel call (including Unplannable →
+            // Planning).
+            LlmError::Kernel(k) => VqLlmError::from(k),
+            other => VqLlmError::Pipeline(other),
+        }
     }
 }
 

@@ -75,5 +75,8 @@ pub use session::{Session, SessionBuilder};
 pub use vqllm_core::{CacheStats, ComputeOp, KernelPlan, OptLevel, PlanCache};
 pub use vqllm_gpu::GpuSpec;
 pub use vqllm_kernels::KernelOutput;
-pub use vqllm_llm::{E2eReport, LlamaConfig, Pipeline, QuantScheme};
+pub use vqllm_llm::{
+    DecodeRequest, E2eReport, LlamaConfig, Pipeline, QuantScheme, RequestHandle, RequestOutput,
+    RequestStatus, ServeConfig, Server, ServerStats, SharedContext, StepReport,
+};
 pub use vqllm_vq::{VqAlgorithm, VqConfig};

@@ -39,7 +39,9 @@ use vqllm_core::plan_cache::{self, CacheStats, PlanCache, PlanKey, PlanRequest};
 use vqllm_core::{codegen, ComputeOp, KernelPlan, OptLevel, ProfileSummary};
 use vqllm_gpu::GpuSpec;
 use vqllm_kernels::{AccessProfile, KernelOutput};
-use vqllm_llm::{E2eReport, LlamaConfig, Pipeline, QuantScheme};
+use vqllm_llm::{
+    E2eReport, LlamaConfig, Pipeline, QuantScheme, ServeConfig, Server, SharedContext,
+};
 use vqllm_tensor::Tensor2D;
 use vqllm_vq::{QuantizedTensor, VqAlgorithm, VqConfig, VqQuantizer};
 
@@ -496,6 +498,29 @@ impl Session {
             .run_attention_batch(&self.gpu, plan, qs, kq, vq)?)
     }
 
+    /// Ragged batched attention decode: query `b` of `qs` attends only the
+    /// first `lens[b]` cached tokens of the shared quantized K/V — the
+    /// continuous-batching shape, where co-scheduled tenants sit at
+    /// different positions in one cache. On a `CpuBackend` the K-decode is
+    /// still shared across the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Kernel`] on shape mismatches, an empty batch,
+    /// or a length outside `1..=seq`.
+    pub fn run_attention_ragged(
+        &self,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        lens: &[usize],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        Ok(self
+            .backend
+            .run_attention_ragged(&self.gpu, plan, qs, lens, kq, vq)?)
+    }
+
     // --- end-to-end ---
 
     /// An end-to-end pipeline under an explicit scheme (FP16 / qServe /
@@ -519,5 +544,22 @@ impl Session {
     pub fn generate(&self, prompt: usize, gen_tokens: usize, batch: usize) -> E2eReport {
         self.pipeline(self.scheme())
             .generate(prompt, gen_tokens, batch)
+    }
+
+    // --- serving ---
+
+    /// A batched request [`Server`] over this session: tenants submitted
+    /// through [`Server::submit`] share `ctx`'s quantized context, this
+    /// session's backend, and its plan cache, while each owns its KV
+    /// position; every [`Server::step`] re-forms the decode batch
+    /// (continuous batching) and runs one shared-K-decode attention pass
+    /// plus one batched linear for all live requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::Pipeline`] on a degenerate config or when no
+    /// launchable plan exists for the serving shapes.
+    pub fn serve(&self, ctx: SharedContext, config: ServeConfig) -> Result<Server> {
+        Ok(Server::new(self.pipeline(self.scheme()), ctx, config)?)
     }
 }

@@ -162,6 +162,63 @@ proptest! {
         );
     }
 
+    /// Ragged `CpuBackend::run_attention_ragged` (per-query softmax
+    /// lengths over shared K/V — mask/short-seq tenants) vs looping the
+    /// single-query fused path over row-truncated caches.
+    #[test]
+    fn ragged_attention_batch_matches_looped_single(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        cols_i in 0usize..2,
+        batch in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (seq, head_dim) = dims(rows_i, cols_i);
+        let kq = quantize(cfg, seq, head_dim, seed);
+        let vq = quantize(cfg, seq, head_dim, seed ^ 0x3333);
+        let qs = vq_llm::tensor::Tensor2D::from_fn(batch, head_dim, |b, d| {
+            ((b * 23 + d) as f32 * 0.29 + seed as f32).sin()
+        });
+        // Lengths spread over the whole range, always including one
+        // full-length tenant so the unmasked path is co-tested.
+        let lens: Vec<usize> = (0..batch)
+            .map(|b| if b == 0 { seq } else { 1 + (seed as usize * 31 + b * 97) % seq })
+            .collect();
+        let op = ComputeOp::attention_decode(1, head_dim, seq, batch);
+        let Some(plan) = plan_for(&cfg, &op) else { return Ok(()); };
+        let backend = CpuBackend::with_threads([1, 2, 4][(seed as usize) % 3]);
+        let gpu = GpuSpec::rtx4090();
+        let (out, _) = backend
+            .run_attention_ragged(&gpu, &plan, &qs, &lens, &kq, &vq)
+            .expect("run_attention_ragged");
+        prop_assert_eq!(out.shape(), (batch, head_dim));
+        let kd = kq.dequantize().unwrap();
+        let vd = vq.dequantize().unwrap();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        for (b, &len) in lens.iter().enumerate() {
+            // The looped single-query oracle: reference attention over the
+            // cache truncated to this tenant's prefix.
+            let oracle = linalg::attention_decode_ref(
+                qs.row(b),
+                &kd.slice(0, 0, len, head_dim),
+                &vd.slice(0, 0, len, head_dim),
+                scale,
+            )
+            .unwrap();
+            prop_assert!(
+                metrics::allclose(out.row(b), &oracle, 1e-4, 1e-4),
+                "{} {}x{} lane {} len {}", cfg, seq, head_dim, b, len
+            );
+        }
+        // The full-length lane must match the unmasked batch kernel
+        // bitwise (same arithmetic path).
+        let (full, _) = backend
+            .run_attention_batch(&gpu, &plan, &qs, &kq, &vq)
+            .expect("run_attention_batch");
+        prop_assert_eq!(out.row(0), full.row(0));
+    }
+
     /// `CpuBackend::run_attention_head` vs the reference decode attention.
     #[test]
     fn cpu_attention_matches_oracle(
