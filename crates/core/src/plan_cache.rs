@@ -26,10 +26,14 @@
 use crate::engine::{KernelPlan, OptLevel, ProfileSummary};
 use crate::ops::ComputeOp;
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use vqllm_gpu::GpuSpec;
 use vqllm_vq::VqConfig;
+
+pub mod persist;
 
 /// What kind of plan a key asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +127,24 @@ impl PlanKey {
             &ProfileSummary::default_for(vq),
         )
         .with_profile_tag(profile_tag)
+    }
+
+    /// The canonical [`PlanRequest::Best`] key under a **measured**
+    /// profile: the measured summary's hot-entry count plus the estimation
+    /// profile's fingerprint. [`PlanKey::best`] is the default-profile
+    /// specialization of this recipe; every front end that plans with
+    /// measured feedback (the engine's per-context canonical plans) must
+    /// build its keys here so siblings measuring the same tensors share
+    /// cache entries.
+    pub fn best_profiled(
+        gpu: Arc<str>,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        summary: &ProfileSummary,
+        profile_tag: u64,
+    ) -> Self {
+        PlanKey::with_identity(gpu, vq, op, PlanRequest::Best, summary)
+            .with_profile_tag(profile_tag)
     }
 
     /// The request kind this key encodes.
@@ -221,13 +243,120 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(plan()?);
         let mut map = self.map.lock().expect("plan cache poisoned");
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            // Evict one arbitrary entry; see with_capacity_limit.
+        Self::evict_if_full(&mut map, &key, self.capacity);
+        Ok(Arc::clone(map.entry(key).or_insert(fresh)))
+    }
+
+    /// The shared capacity policy of every insert path: at the bound, one
+    /// arbitrary entry makes room for a *new* key (see
+    /// [`PlanCache::with_capacity_limit`]).
+    fn evict_if_full(map: &mut HashMap<PlanKey, Arc<KernelPlan>>, key: &PlanKey, capacity: usize) {
+        if map.len() >= capacity && !map.contains_key(key) {
             if let Some(victim) = map.keys().next().cloned() {
                 map.remove(&victim);
             }
         }
-        Ok(Arc::clone(map.entry(key).or_insert(fresh)))
+    }
+
+    /// Removes the entry for `key`, returning whether one was cached.
+    /// Outstanding `Arc`s to the evicted plan stay valid; the next lookup
+    /// for the key re-plans. This is the profile-feedback seam: when a
+    /// context's measured access distribution shifts, its canonical plan
+    /// keys are invalidated and replanned under the new profile.
+    pub fn invalidate(&self, key: &PlanKey) -> bool {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .remove(key)
+            .is_some()
+    }
+
+    /// Inserts a plan directly (used by [`PlanCache::load_from`] and by
+    /// tests seeding a cache); respects the capacity bound like a planned
+    /// insert and keeps an existing entry for the key.
+    pub fn insert(&self, key: PlanKey, plan: KernelPlan) {
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        Self::evict_if_full(&mut map, &key, self.capacity);
+        map.entry(key).or_insert_with(|| Arc::new(plan));
+    }
+
+    /// Snapshot of every cached `(key, plan)` pair, in unspecified order.
+    pub fn snapshot(&self) -> Vec<(PlanKey, Arc<KernelPlan>)> {
+        self.map
+            .lock()
+            .expect("plan cache poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Writes every cached entry to `path` in the versioned text format of
+    /// [`persist`] (sorted by rendered line, so identical caches produce
+    /// identical files). Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be written.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let mut lines: Vec<String> = self
+            .snapshot()
+            .iter()
+            .map(|(k, p)| persist::encode_entry(k, p))
+            .collect();
+        lines.sort_unstable();
+        let mut out = String::with_capacity(lines.len() * 128 + 32);
+        out.push_str(persist::HEADER);
+        out.push('\n');
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+        Ok(lines.len())
+    }
+
+    /// Loads entries from a file written by [`PlanCache::save_to`] into
+    /// this cache (existing entries for a key win; the capacity bound
+    /// applies). Returns the number of entries read.
+    ///
+    /// The read is strict: a bad header or any malformed entry fails with
+    /// [`io::ErrorKind::InvalidData`] so a corrupt warm-start file is
+    /// surfaced instead of silently loading as partial or empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (including a missing file — probe
+    /// with `Path::exists` to treat that as a cold start) or
+    /// `InvalidData` on a version/format mismatch.
+    pub fn load_from(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(persist::HEADER) => {}
+            other => {
+                return Err(persist::invalid_data(format!(
+                    "expected header {:?}, found {other:?}",
+                    persist::HEADER
+                )));
+            }
+        }
+        // Decode fully before touching the cache: a corrupt line midway
+        // through the file must not leave a shared cache partially
+        // mutated behind the InvalidData error.
+        let mut entries = Vec::new();
+        for (idx, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let entry = persist::decode_entry(line)
+                .map_err(|e| persist::invalid_data(format!("entry {}: {e}", idx + 1)))?;
+            entries.push(entry);
+        }
+        let loaded = entries.len();
+        for (key, plan) in entries {
+            self.insert(key, plan);
+        }
+        Ok(loaded)
     }
 
     /// Number of cached plans.
@@ -374,6 +503,137 @@ mod tests {
         let a = PlanKey::new(&gpu, &vq, &op, PlanRequest::Best, &prof);
         let b = PlanKey::with_identity(gpu_identity(&gpu), &vq, &op, PlanRequest::Best, &prof);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_round_trips_bitwise() {
+        let cache = PlanCache::new();
+        // A mixed population: every algorithm family (plain, lattice,
+        // per-tile, per-channel-group scopes), both request kinds, and a
+        // non-zero profile tag.
+        for algo in [
+            VqAlgorithm::Cq2,
+            VqAlgorithm::QuipSharp4,
+            VqAlgorithm::Gptvq2,
+        ] {
+            for level in [OptLevel::O2, OptLevel::O4] {
+                cache
+                    .get_or_try_insert_with::<()>(key(algo, level), || Ok(plan(algo, level)))
+                    .unwrap();
+            }
+        }
+        let vq = VqAlgorithm::Cq4.config();
+        let op = ComputeOp::Gemv {
+            n: 64,
+            k: 256,
+            batch: 3,
+        };
+        let best_key = PlanKey::best(
+            gpu_identity(&GpuSpec::rtx4090()),
+            &vq,
+            &op,
+            0xdead_beef_cafe_f00d,
+        );
+        cache
+            .get_or_try_insert_with::<()>(best_key.clone(), || {
+                Ok(KernelPlanner::new(GpuSpec::rtx4090())
+                    .plan(&vq, &op)
+                    .unwrap())
+            })
+            .unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "vqllm_plan_cache_roundtrip_{}.txt",
+            std::process::id()
+        ));
+        let written = cache.save_to(&path).unwrap();
+        assert_eq!(written, cache.len());
+
+        let restored = PlanCache::new();
+        let loaded = restored.load_from(&path).unwrap();
+        assert_eq!(loaded, written);
+        assert_eq!(restored.len(), cache.len());
+        for (k, p) in cache.snapshot() {
+            let q = restored.peek(&k).expect("restored cache misses a key");
+            assert_eq!(*q, *p, "plan changed across the round trip");
+        }
+        // Round-tripping the restored cache reproduces the identical file.
+        let path2 = std::env::temp_dir().join(format!(
+            "vqllm_plan_cache_roundtrip2_{}.txt",
+            std::process::id()
+        ));
+        restored.save_to(&path2).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            std::fs::read_to_string(&path2).unwrap()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files() {
+        let dir = std::env::temp_dir();
+        let bad_header = dir.join(format!(
+            "vqllm_plan_cache_bad_header_{}.txt",
+            std::process::id()
+        ));
+        std::fs::write(&bad_header, "some other file\n").unwrap();
+        let cache = PlanCache::new();
+        let err = cache.load_from(&bad_header).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&bad_header);
+
+        // A *valid* entry followed by a corrupt line: the whole load must
+        // fail without mutating the cache (no partial apply).
+        let donor = PlanCache::new();
+        donor
+            .get_or_try_insert_with::<()>(key(VqAlgorithm::Cq2, OptLevel::O2), || {
+                Ok(plan(VqAlgorithm::Cq2, OptLevel::O2))
+            })
+            .unwrap();
+        let valid_file = dir.join(format!(
+            "vqllm_plan_cache_valid_donor_{}.txt",
+            std::process::id()
+        ));
+        donor.save_to(&valid_file).unwrap();
+        let mut text = std::fs::read_to_string(&valid_file).unwrap();
+        text.push_str("not an entry\n");
+        let bad_entry = dir.join(format!(
+            "vqllm_plan_cache_bad_entry_{}.txt",
+            std::process::id()
+        ));
+        std::fs::write(&bad_entry, text).unwrap();
+        let err = cache.load_from(&bad_entry).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(cache.is_empty(), "strict load must not partially apply");
+        let _ = std::fs::remove_file(&valid_file);
+        let _ = std::fs::remove_file(&bad_entry);
+
+        assert!(cache
+            .load_from(dir.join(format!(
+                "vqllm_plan_cache_missing_{}.txt",
+                std::process::id()
+            )))
+            .is_err());
+    }
+
+    #[test]
+    fn invalidate_forces_a_replan() {
+        let cache = PlanCache::new();
+        let k = key(VqAlgorithm::Cq2, OptLevel::O2);
+        cache
+            .get_or_try_insert_with::<()>(k.clone(), || Ok(plan(VqAlgorithm::Cq2, OptLevel::O2)))
+            .unwrap();
+        assert!(cache.invalidate(&k));
+        assert!(!cache.invalidate(&k), "second invalidate finds nothing");
+        assert!(cache.peek(&k).is_none());
+        // The next lookup misses and re-plans.
+        let misses = cache.stats().misses;
+        cache
+            .get_or_try_insert_with::<()>(k.clone(), || Ok(plan(VqAlgorithm::Cq2, OptLevel::O2)))
+            .unwrap();
+        assert_eq!(cache.stats().misses, misses + 1);
     }
 
     #[test]

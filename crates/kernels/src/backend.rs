@@ -21,6 +21,7 @@
 
 use crate::host_exec::{self, HostBlocking};
 use crate::{vq_kernel, AccessProfile, KernelOutput, Result};
+use vqllm_core::plan_cache::PlanRequest;
 use vqllm_core::{ComputeOp, KernelPlan, KernelPlanner, OptLevel, ProfileSummary};
 use vqllm_gpu::GpuSpec;
 use vqllm_tensor::Tensor2D;
@@ -62,6 +63,32 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
         op: &ComputeOp,
         profile: &AccessProfile,
     ) -> Result<(KernelPlan, KernelOutput)>;
+
+    /// Plans a [`PlanRequest`]: a fixed rung goes through
+    /// [`Backend::plan_at`] with `summary`, the adaptive best through
+    /// [`Backend::best_plan`] with `profile`. This is the one seam every
+    /// front end (`Session`, `Pipeline`, the serving warm-up) dispatches
+    /// through, so a measured profile threads into planning identically
+    /// everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Unplannable`](crate::KernelError::Unplannable)
+    /// when no launchable configuration exists for the request.
+    fn plan_request(
+        &self,
+        gpu: &GpuSpec,
+        vq: &VqConfig,
+        op: &ComputeOp,
+        request: PlanRequest,
+        profile: &AccessProfile,
+        summary: &ProfileSummary,
+    ) -> Result<KernelPlan> {
+        match request {
+            PlanRequest::At(level) => self.plan_at(gpu, vq, op, level, summary),
+            PlanRequest::Best => self.best_plan(gpu, vq, op, profile).map(|(plan, _)| plan),
+        }
+    }
 
     /// Latency/counter estimate for an existing plan.
     fn estimate(&self, gpu: &GpuSpec, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput;

@@ -25,8 +25,9 @@ pub use kv::KvCache;
 pub use model::LlamaConfig;
 pub use pipeline::{DecodeBreakdown, E2eReport, Pipeline, QuantScheme};
 pub use serve::{
-    DecodeRequest, RequestHandle, RequestId, RequestOutput, RequestStatus, ServeConfig, Server,
-    ServerStats, SharedContext, StepReport,
+    ContextHandle, ContextStats, DecodeRequest, MultiServer, ProfileConfig, RejectReason,
+    RequestHandle, RequestId, RequestOutput, RequestStatus, ServeConfig, Server, ServerStats,
+    SharedContext, StepReport,
 };
 
 /// Error type for pipeline configuration and the serving layer.
@@ -59,6 +60,12 @@ pub enum LlmError {
         /// Description of the problem.
         what: &'static str,
     },
+    /// A request named a [`ContextHandle`](serve::ContextHandle) that this
+    /// engine never issued.
+    UnknownContext {
+        /// The unrecognized handle id.
+        id: u64,
+    },
     /// A kernel failed underneath the serving decode loop.
     Kernel(vqllm_kernels::KernelError),
 }
@@ -74,6 +81,9 @@ impl std::fmt::Display for LlmError {
                 write!(f, "serving queue full (max_queue = {max_queue})")
             }
             LlmError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
+            LlmError::UnknownContext { id } => {
+                write!(f, "unknown context handle {id} (not issued by this engine)")
+            }
             LlmError::Kernel(e) => write!(f, "kernel: {e}"),
         }
     }

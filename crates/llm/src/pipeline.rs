@@ -457,13 +457,32 @@ impl Pipeline {
         opt: OptLevel,
         profile: &AccessProfile,
     ) -> Option<Arc<KernelPlan>> {
-        let summary = ProfileSummary::default_for(vq);
+        self.vq_plan_profiled(vq, op, opt, profile, &ProfileSummary::default_for(vq))
+            .map(|(_, plan)| plan)
+    }
+
+    /// [`Pipeline::vq_plan`] with an explicit **measured** profile summary
+    /// (the profile-feedback seam): the key carries the measured hot-entry
+    /// count and the estimation profile's fingerprint via the canonical
+    /// [`PlanKey::best_profiled`] recipe, so two engines measuring the
+    /// same tensors share one cache entry while a shifted distribution
+    /// never aliases a stale decision. Returns the key alongside the plan
+    /// so the caller can later invalidate exactly this entry.
+    pub(crate) fn vq_plan_profiled(
+        &self,
+        vq: &vqllm_vq::VqConfig,
+        op: &ComputeOp,
+        opt: OptLevel,
+        profile: &AccessProfile,
+        summary: &ProfileSummary,
+    ) -> Option<(PlanKey, Arc<KernelPlan>)> {
         let (key, request) = if opt == OptLevel::O4 {
             (
-                PlanKey::best(
+                PlanKey::best_profiled(
                     Arc::clone(&self.gpu_identity),
                     vq,
                     op,
+                    summary,
                     profile.fingerprint(),
                 ),
                 PlanRequest::Best,
@@ -475,26 +494,20 @@ impl Pipeline {
                     vq,
                     op,
                     PlanRequest::At(opt),
-                    &summary,
+                    summary,
                 ),
                 PlanRequest::At(opt),
             )
         };
-        self.cache
-            .get_or_try_insert_with(key, || -> Result<KernelPlan, ()> {
-                match request {
-                    PlanRequest::Best => self
-                        .backend
-                        .best_plan(&self.gpu, vq, op, profile)
-                        .map(|(plan, _)| plan)
-                        .map_err(|_| ()),
-                    PlanRequest::At(level) => self
-                        .backend
-                        .plan_at(&self.gpu, vq, op, level, &summary)
-                        .map_err(|_| ()),
-                }
+        let plan = self
+            .cache
+            .get_or_try_insert_with(key.clone(), || -> Result<KernelPlan, ()> {
+                self.backend
+                    .plan_request(&self.gpu, vq, op, request, profile, summary)
+                    .map_err(|_| ())
             })
-            .ok()
+            .ok()?;
+        Some((key, plan))
     }
 }
 

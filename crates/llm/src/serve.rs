@@ -20,7 +20,15 @@
 //! * **a deterministic driver** — [`Server::step`] is synchronous and
 //!   side-effect-free beyond its own state, so tests can single-step the
 //!   scheduler and a bench can meter tokens/second; an async/tokio driver
-//!   can wrap it later without touching the scheduling logic.
+//!   can wrap it later without touching the scheduling logic;
+//! * **multi-context batches** — the [`multi`] module generalizes all of
+//!   the above to a registry of contexts ([`MultiServer`], what
+//!   `vq_llm::Engine` wraps): requests are tagged with a
+//!   [`ContextHandle`], slots and the queue are shared engine-wide, and
+//!   each step runs one ragged-attention + one GeMM pass **per live
+//!   context group**, with measured-profile feedback replanning a
+//!   context's canonical plans when its access distribution shifts.
+//!   [`Server`] itself is now a thin single-context view over it.
 //!
 //! Numerically the scheduler is *invisible*: each step runs one canonical
 //! ragged-attention plan and one canonical linear plan at whatever batch
@@ -33,10 +41,14 @@
 //! [`KvCache`]: crate::KvCache
 //! [`Pipeline`]: crate::Pipeline
 
+pub mod multi;
 pub mod request;
 pub mod scheduler;
 
-pub use request::{DecodeRequest, RequestHandle, RequestId, RequestOutput, RequestStatus};
+pub use multi::{ContextHandle, ContextStats, MultiServer, ProfileConfig, REJECTED_TOMBSTONE_CAP};
+pub use request::{
+    DecodeRequest, RejectReason, RequestHandle, RequestId, RequestOutput, RequestStatus,
+};
 pub use scheduler::{Server, ServerStats, StepReport};
 
 use crate::{LlmError, Result};

@@ -57,16 +57,99 @@ impl DecodeRequest {
     }
 }
 
-/// Where a submitted request currently is in the scheduler.
+/// Why a request was refused at admission. Every rejection is explicit
+/// and typed — [`MultiServer::submit`] hands back a handle whose
+/// [`RequestStatus::Rejected`] carries the reason, and
+/// [`Server::submit`] surfaces the same information as an [`LlmError`].
+///
+/// [`MultiServer::submit`]: crate::serve::MultiServer::submit
+/// [`Server::submit`]: crate::serve::Server::submit
+/// [`LlmError`]: crate::LlmError
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue is at its configured `max_queue` limit.
+    QueueFull {
+        /// The configured admission limit.
+        max_queue: usize,
+    },
+    /// The request was malformed or unservable against its context
+    /// (wrong query width, zero tokens, decode past the shared context).
+    Invalid {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// The request would grow its KV cache past the model's limits.
+    KvCapacity {
+        /// What was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The model's limit for it.
+        limit: usize,
+    },
+    /// The request named a context handle this engine never issued.
+    UnknownContext {
+        /// The unrecognized handle id.
+        id: u64,
+    },
+}
+
+impl RejectReason {
+    /// Classifies an admission error (panics on non-admission errors,
+    /// which `admit` never returns).
+    pub(crate) fn from_llm(e: &crate::LlmError) -> RejectReason {
+        match *e {
+            crate::LlmError::QueueFull { max_queue } => RejectReason::QueueFull { max_queue },
+            crate::LlmError::InvalidRequest { what } => RejectReason::Invalid { what },
+            crate::LlmError::KvCapacity { what, value, limit } => {
+                RejectReason::KvCapacity { what, value, limit }
+            }
+            crate::LlmError::UnknownContext { id } => RejectReason::UnknownContext { id },
+            ref other => unreachable!("admission produced a non-admission error: {other}"),
+        }
+    }
+
+    /// The equivalent [`LlmError`](crate::LlmError), for callers using the
+    /// `Result`-shaped admission path.
+    pub fn into_error(self) -> crate::LlmError {
+        match self {
+            RejectReason::QueueFull { max_queue } => crate::LlmError::QueueFull { max_queue },
+            RejectReason::Invalid { what } => crate::LlmError::InvalidRequest { what },
+            RejectReason::KvCapacity { what, value, limit } => {
+                crate::LlmError::KvCapacity { what, value, limit }
+            }
+            RejectReason::UnknownContext { id } => crate::LlmError::UnknownContext { id },
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.into_error())
+    }
+}
+
+/// Where a submitted request currently is in its typed lifecycle:
+/// `Queued → Running → Finished`, or `Rejected` straight from admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestStatus {
     /// Waiting for a batch slot.
     Queued,
     /// Occupying a decode slot.
     Running,
-    /// All steps decoded; output is ready to collect.
-    Completed,
-    /// Not known to this server (never submitted, or already collected).
+    /// All steps decoded; the output (`tokens` hidden-state rows) is ready
+    /// to collect via `take_output`.
+    Finished {
+        /// Decoded tokens waiting in the output.
+        tokens: usize,
+    },
+    /// Refused at admission; the request never entered the queue.
+    Rejected {
+        /// Why admission refused it.
+        reason: RejectReason,
+    },
+    /// Not known to this scheduler (never submitted, or already
+    /// collected).
     Unknown,
 }
 

@@ -1,82 +1,26 @@
-//! The batched request scheduler: admission, continuous batch formation,
-//! and the synchronous decode-step driver.
+//! The single-context request scheduler: a thin compatibility facade over
+//! the multi-context [`MultiServer`].
+//!
+//! [`Server`] is what `Session::serve` hands out — one shared
+//! [`SharedContext`], bounded-queue admission, continuous batch
+//! re-formation. Since the engine redesign all of that machinery lives in
+//! [`MultiServer`] (requests tagged with a [`ContextHandle`], per-context
+//! batch groups); a `Server` is a `MultiServer` with exactly one
+//! registered context and profile feedback disabled, so its behaviour —
+//! plan-cache keys included — is unchanged from the pre-engine scheduler.
+//!
+//! [`MultiServer`]: crate::serve::MultiServer
+//! [`ContextHandle`]: crate::serve::ContextHandle
 
-use crate::kv::KvCache;
-use crate::pipeline::{Pipeline, QuantScheme};
-use crate::serve::request::{
-    DecodeRequest, RequestHandle, RequestId, RequestOutput, RequestStatus,
-};
+use crate::pipeline::Pipeline;
+use crate::serve::multi::{ContextHandle, MultiServer, ProfileConfig};
+use crate::serve::request::{DecodeRequest, RequestHandle, RequestOutput, RequestStatus};
 use crate::serve::{ServeConfig, SharedContext};
-use crate::{LlmError, Result};
-use serde::Serialize;
-use std::collections::{HashMap, VecDeque};
+use crate::Result;
 use std::sync::Arc;
-use vqllm_core::{ComputeOp, KernelPlan, OptLevel};
-use vqllm_kernels::AccessProfile;
-use vqllm_tensor::Tensor2D;
+use vqllm_core::KernelPlan;
 
-/// One request's live scheduler state.
-#[derive(Debug)]
-struct Active {
-    id: RequestId,
-    tenant: u64,
-    /// Current query/hidden state (`head_dim` wide); rewritten each step
-    /// from the projected decode output, so the stream is data-dependent.
-    h: Vec<f32>,
-    /// Per-tenant cache descriptor: `seq` is the prefix of the shared
-    /// context this tenant attends, and growth is validated against the
-    /// model's window.
-    kv: KvCache,
-    remaining: usize,
-    steps: Vec<Vec<f32>>,
-    kv_quant_us: f64,
-    submitted_step: u64,
-}
-
-/// What one [`Server::step`] did.
-#[derive(Debug, Clone, PartialEq, Serialize)]
-pub struct StepReport {
-    /// Scheduler step index (monotonic, counts non-idle steps and idle
-    /// polls alike).
-    pub step: u64,
-    /// Requests decoded this step (0 = the server was idle).
-    pub batch: usize,
-    /// Requests admitted from the queue into the batch this step.
-    pub admitted: Vec<RequestId>,
-    /// Requests that decoded their last token this step.
-    pub finished: Vec<RequestId>,
-    /// Requests still waiting after this step.
-    pub queued: usize,
-    /// KV-quantization overhead charged across the batch this step,
-    /// microseconds.
-    pub kv_quant_us: f64,
-}
-
-/// Cumulative scheduler counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
-pub struct ServerStats {
-    /// Requests accepted into the queue.
-    pub submitted: u64,
-    /// Requests refused at admission (queue full or invalid).
-    pub rejected: u64,
-    /// Requests fully decoded.
-    pub completed: u64,
-    /// Decode steps executed (non-idle).
-    pub steps: u64,
-    /// Tokens decoded across all requests.
-    pub decoded_tokens: u64,
-}
-
-impl ServerStats {
-    /// Mean decode-batch occupancy across non-idle steps.
-    pub fn mean_batch(&self) -> f64 {
-        if self.steps == 0 {
-            0.0
-        } else {
-            self.decoded_tokens as f64 / self.steps as f64
-        }
-    }
-}
+pub use crate::serve::multi::{ServerStats, StepReport};
 
 /// A batched request scheduler over one [`Pipeline`] and one
 /// [`SharedContext`].
@@ -93,137 +37,100 @@ impl ServerStats {
 /// or [`Server::run_until_drained`].
 #[derive(Debug)]
 pub struct Server {
-    pipeline: Pipeline,
-    ctx: SharedContext,
-    config: ServeConfig,
-    attn_plan: Arc<KernelPlan>,
-    linear_plan: Arc<KernelPlan>,
-    queue: VecDeque<Active>,
-    running: Vec<Active>,
-    finished: HashMap<RequestId, RequestOutput>,
-    next_id: RequestId,
-    step: u64,
-    stats: ServerStats,
+    inner: MultiServer,
+    handle: ContextHandle,
 }
 
 impl Server {
     /// Builds a server: validates the config and plans the canonical
-    /// decode shapes once (both plans are memoized in the pipeline's
-    /// shared `PlanCache`, so sibling servers — and the `Session` facade —
-    /// reuse them).
+    /// decode shapes once through the shared warm-up helper (both plans
+    /// are memoized in the pipeline's shared `PlanCache`, so sibling
+    /// servers — and the `Session`/`Engine` facades — reuse them: a
+    /// second construction over the same context is a pure cache hit).
     ///
     /// # Errors
     ///
     /// Returns [`LlmError::InvalidConfig`] on a degenerate config or when
     /// no launchable plan exists for the serving shapes.
+    ///
+    /// [`LlmError::InvalidConfig`]: crate::LlmError::InvalidConfig
     pub fn new(pipeline: Pipeline, ctx: SharedContext, config: ServeConfig) -> Result<Server> {
-        config.validate()?;
-        let (seq, head_dim) = (ctx.seq(), ctx.head_dim());
-        let opt = match pipeline.scheme() {
-            QuantScheme::VqLlm { opt, .. } => *opt,
-            _ => OptLevel::O4,
-        };
-        // Canonical batch-independent plan keys: the host kernels only
-        // read blocking hints, and keying on batch=1 keeps the summation
-        // order — and the plan-cache entry — identical at every live
-        // batch size.
-        let kv_cfg = *ctx.kq().config();
-        let attn_op = ComputeOp::attention_decode(1, head_dim, seq, 1);
-        let attn_plan = pipeline
-            .vq_plan(&kv_cfg, &attn_op, opt, &AccessProfile::default_for(&kv_cfg))
-            .ok_or(LlmError::InvalidConfig {
-                what: "no launchable plan for the serving attention shape",
-            })?;
-        let w_cfg = *ctx.wq().config();
-        let linear_op = ComputeOp::Gemv {
-            n: head_dim,
-            k: head_dim,
-            batch: 1,
-        };
-        let linear_plan = pipeline
-            .vq_plan(&w_cfg, &linear_op, opt, &AccessProfile::default_for(&w_cfg))
-            .ok_or(LlmError::InvalidConfig {
-                what: "no launchable plan for the serving linear shape",
-            })?;
-        Ok(Server {
-            pipeline,
-            ctx,
-            config,
-            attn_plan,
-            linear_plan,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            finished: HashMap::new(),
-            next_id: 1,
-            step: 0,
-            stats: ServerStats::default(),
-        })
+        // Profile feedback stays disabled on the compatibility facade:
+        // plans come from the algorithm's synthetic default profiles,
+        // exactly as before the engine redesign.
+        let mut inner = MultiServer::new(pipeline, config, ProfileConfig::disabled())?;
+        let handle = inner.register_context(ctx)?;
+        Ok(Server { inner, handle })
     }
 
     // --- accessors ---
 
     /// The admission/batching limits.
     pub fn config(&self) -> ServeConfig {
-        self.config
+        self.inner.config()
+    }
+
+    /// The handle of this server's single registered context (valid for
+    /// the underlying [`MultiServer`] API).
+    pub fn context_handle(&self) -> ContextHandle {
+        self.handle
     }
 
     /// The shared quantized context.
     pub fn context(&self) -> &SharedContext {
-        &self.ctx
+        self.inner
+            .context(self.handle)
+            .expect("server always has its context registered")
     }
 
     /// The canonical attention plan every step executes (the parity
     /// harness runs its batch-of-one references through the same plan).
     pub fn attention_plan(&self) -> &Arc<KernelPlan> {
-        &self.attn_plan
+        self.inner
+            .attention_plan(self.handle)
+            .expect("server always has its context registered")
     }
 
     /// The canonical linear plan every step executes.
     pub fn linear_plan(&self) -> &Arc<KernelPlan> {
-        &self.linear_plan
+        self.inner
+            .linear_plan(self.handle)
+            .expect("server always has its context registered")
     }
 
     /// Requests waiting for a slot.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.inner.queued()
     }
 
     /// Requests currently holding a decode slot.
     pub fn running(&self) -> usize {
-        self.running.len()
+        self.inner.running()
     }
 
     /// Whether no request is queued or in flight.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.running.is_empty()
+        self.inner.is_idle()
     }
 
     /// Cumulative counters.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.inner.stats()
     }
 
     /// Where a submitted request currently is.
     pub fn status(&self, handle: &RequestHandle) -> RequestStatus {
-        if self.running.iter().any(|r| r.id == handle.id) {
-            RequestStatus::Running
-        } else if self.queue.iter().any(|r| r.id == handle.id) {
-            RequestStatus::Queued
-        } else if self.finished.contains_key(&handle.id) {
-            RequestStatus::Completed
-        } else {
-            RequestStatus::Unknown
-        }
+        self.inner.poll(handle)
     }
 
-    /// The output of a completed request, if ready.
+    /// The output of a finished request, if ready.
     pub fn output(&self, handle: &RequestHandle) -> Option<&RequestOutput> {
-        self.finished.get(&handle.id)
+        self.inner.output(handle)
     }
 
-    /// Removes and returns the output of a completed request.
+    /// Removes and returns the output of a finished request.
     pub fn take_output(&mut self, handle: &RequestHandle) -> Option<RequestOutput> {
-        self.finished.remove(&handle.id)
+        self.inner.take_output(handle)
     }
 
     // --- admission ---
@@ -242,79 +149,12 @@ impl Server {
     /// the queue is at [`ServeConfig::max_queue`]. Every error counts as
     /// an explicit rejection in [`ServerStats::rejected`]; nothing is
     /// dropped silently.
+    ///
+    /// [`LlmError::InvalidRequest`]: crate::LlmError::InvalidRequest
+    /// [`LlmError::KvCapacity`]: crate::LlmError::KvCapacity
+    /// [`LlmError::QueueFull`]: crate::LlmError::QueueFull
     pub fn submit(&mut self, req: DecodeRequest) -> Result<RequestHandle> {
-        match self.admit(req) {
-            Ok(handle) => {
-                self.stats.submitted += 1;
-                Ok(handle)
-            }
-            Err(e) => {
-                self.stats.rejected += 1;
-                Err(e)
-            }
-        }
-    }
-
-    fn admit(&mut self, req: DecodeRequest) -> Result<RequestHandle> {
-        if req.query.len() != self.ctx.head_dim() {
-            return Err(LlmError::InvalidRequest {
-                what: "query width must equal the context's head_dim",
-            });
-        }
-        if req.gen_tokens == 0 {
-            return Err(LlmError::InvalidRequest {
-                what: "gen_tokens must be at least 1",
-            });
-        }
-        if req.context_len == 0 {
-            return Err(LlmError::InvalidRequest {
-                what: "context_len must be at least 1",
-            });
-        }
-        // Checked: an absurd gen_tokens must reject, not wrap past the
-        // admission bounds (gen_tokens >= 1 was verified above).
-        let final_len = match req.context_len.checked_add(req.gen_tokens - 1) {
-            Some(len) if len <= self.ctx.seq() => len,
-            _ => {
-                return Err(LlmError::InvalidRequest {
-                    what: "request would decode past the shared context",
-                });
-            }
-        };
-        // Per-tenant cache descriptor; `try_new` + the final-length check
-        // make every later `append_token` infallible by construction.
-        let model = self.pipeline.model();
-        if final_len > model.max_seq {
-            return Err(LlmError::KvCapacity {
-                what: "request would decode past the model's context window",
-                value: final_len,
-                limit: model.max_seq,
-            });
-        }
-        let kv = KvCache::try_new(
-            model,
-            req.context_len,
-            1,
-            self.pipeline.scheme().kv_storage(),
-        )?;
-        if self.queue.len() >= self.config.max_queue {
-            return Err(LlmError::QueueFull {
-                max_queue: self.config.max_queue,
-            });
-        }
-        let id = self.next_id;
-        self.next_id += 1;
-        self.queue.push_back(Active {
-            id,
-            tenant: req.tenant,
-            h: req.query,
-            kv,
-            remaining: req.gen_tokens,
-            steps: Vec::with_capacity(req.gen_tokens),
-            kv_quant_us: 0.0,
-            submitted_step: self.step,
-        });
-        Ok(RequestHandle { id })
+        self.inner.try_submit(self.handle, req)
     }
 
     // --- the decode loop ---
@@ -328,119 +168,19 @@ impl Server {
     ///
     /// Returns [`LlmError::Kernel`] if a kernel rejects its inputs (the
     /// admission invariants make this unreachable under normal use).
+    ///
+    /// [`LlmError::Kernel`]: crate::LlmError::Kernel
     pub fn step(&mut self) -> Result<StepReport> {
-        let step = self.step;
-        self.step += 1;
-
-        // Batch formation: fill free slots FIFO from the queue.
-        let mut admitted = Vec::new();
-        while self.running.len() < self.config.max_batch {
-            let Some(r) = self.queue.pop_front() else {
-                break;
-            };
-            admitted.push(r.id);
-            self.running.push(r);
-        }
-        let batch = self.running.len();
-        if batch == 0 {
-            return Ok(StepReport {
-                step,
-                batch: 0,
-                admitted,
-                finished: Vec::new(),
-                queued: self.queue.len(),
-                kv_quant_us: 0.0,
-            });
-        }
-
-        // One shared K-decode for the whole batch, ragged over each
-        // tenant's attended prefix, then one panel-blocked GeMM through
-        // the projection weight.
-        let head_dim = self.ctx.head_dim();
-        let qs = Tensor2D::from_fn(batch, head_dim, |i, d| self.running[i].h[d]);
-        let lens: Vec<usize> = self.running.iter().map(|r| r.kv.seq).collect();
-        let backend = self.pipeline.backend();
-        let gpu = self.pipeline.gpu();
-        let (attn, _) = backend.run_attention_ragged(
-            gpu,
-            &self.attn_plan,
-            &qs,
-            &lens,
-            self.ctx.kq(),
-            self.ctx.vq(),
-        )?;
-        let (ys, _) = backend.run_gemm(gpu, &self.linear_plan, &attn, self.ctx.wq())?;
-
-        // Per-request bookkeeping: record the step, advance the hidden
-        // state, grow the tenant's cache (validated), retire finished
-        // requests.
-        let mut kv_quant_us = 0.0;
-        for (i, r) in self.running.iter_mut().enumerate() {
-            r.steps.push(ys.row(i).to_vec());
-            r.h.copy_from_slice(ys.row(i));
-            r.remaining -= 1;
-            if r.remaining > 0 {
-                let us = r.kv.append_token()?;
-                r.kv_quant_us += us;
-                kv_quant_us += us;
-            }
-        }
-        self.stats.steps += 1;
-        self.stats.decoded_tokens += batch as u64;
-
-        let mut finished = Vec::new();
-        let mut i = 0;
-        while i < self.running.len() {
-            if self.running[i].remaining == 0 {
-                let r = self.running.remove(i);
-                finished.push(r.id);
-                self.stats.completed += 1;
-                self.finished.insert(
-                    r.id,
-                    RequestOutput {
-                        id: r.id,
-                        tenant: r.tenant,
-                        steps: r.steps,
-                        kv_quant_us: r.kv_quant_us,
-                        submitted_step: r.submitted_step,
-                        finished_step: step,
-                    },
-                );
-            } else {
-                i += 1;
-            }
-        }
-
-        Ok(StepReport {
-            step,
-            batch,
-            admitted,
-            finished,
-            queued: self.queue.len(),
-            kv_quant_us,
-        })
+        self.inner.step()
     }
 
     /// Steps until every submitted request has completed, returning the
-    /// per-step reports. Terminates because each non-idle step decodes one
-    /// token of every live request and admission bounds total work.
+    /// per-step reports.
     ///
     /// # Errors
     ///
     /// Propagates the first [`Server::step`] error.
     pub fn run_until_drained(&mut self) -> Result<Vec<StepReport>> {
-        let mut reports = Vec::new();
-        while !self.is_idle() {
-            let report = self.step()?;
-            if report.batch == 0 && !self.is_idle() {
-                // max_batch >= 1 makes this unreachable; guard against a
-                // scheduling bug turning into an infinite loop.
-                return Err(LlmError::InvalidConfig {
-                    what: "scheduler made no progress with work pending",
-                });
-            }
-            reports.push(report);
-        }
-        Ok(reports)
+        self.inner.run_until_drained()
     }
 }

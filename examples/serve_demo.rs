@@ -3,12 +3,16 @@
 //! (continuous batching), and every step runs one shared K-decode for the
 //! whole batch.
 //!
+//! This is the single-context `Session::serve` facade; for decode batches
+//! spanning *multiple* registered contexts (and profile-driven
+//! replanning), see `examples/multi_context_serve.rs` and `vq_llm::Engine`.
+//!
 //! ```sh
 //! cargo run --release --example serve_demo
 //! ```
 
 use vq_llm::tensor::synth;
-use vq_llm::{DecodeRequest, ServeConfig, Session, SharedContext, VqAlgorithm};
+use vq_llm::{DecodeRequest, RequestStatus, ServeConfig, Session, SharedContext, VqAlgorithm};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let session = Session::builder()
@@ -69,6 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for handle in &handles {
+        // The typed lifecycle: a drained request polls as Finished with
+        // its token count before the output is collected.
+        assert!(matches!(
+            server.status(handle),
+            RequestStatus::Finished { .. }
+        ));
         let out = server.take_output(handle).expect("completed");
         println!(
             "tenant {}: {} tokens decoded (submitted step {}, finished step {}, kv quant {:.1} us)",

@@ -37,6 +37,15 @@ pub enum VqLlmError {
         /// Human-readable detail.
         detail: String,
     },
+    /// Plan-cache persistence (load at engine build, save on request)
+    /// failed — a missing configured path, an unreadable/corrupt file, or
+    /// an I/O error while writing.
+    Persistence {
+        /// What the engine was doing.
+        what: &'static str,
+        /// Path and underlying error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for VqLlmError {
@@ -51,6 +60,9 @@ impl std::fmt::Display for VqLlmError {
             VqLlmError::InvalidSession { what, detail } => {
                 write!(f, "invalid session config ({what}): {detail}")
             }
+            VqLlmError::Persistence { what, detail } => {
+                write!(f, "plan-cache persistence ({what}): {detail}")
+            }
         }
     }
 }
@@ -64,7 +76,7 @@ impl std::error::Error for VqLlmError {
             VqLlmError::Kernel(e) => Some(e),
             VqLlmError::Pipeline(e) => Some(e),
             VqLlmError::Tensor(e) => Some(e),
-            VqLlmError::InvalidSession { .. } => None,
+            VqLlmError::InvalidSession { .. } | VqLlmError::Persistence { .. } => None,
         }
     }
 }

@@ -56,6 +56,7 @@
 //! * [`llm`] — Llama-shaped inference substrate for end-to-end evaluation.
 
 pub mod backend;
+pub mod engine;
 pub mod error;
 pub mod session;
 
@@ -67,16 +68,18 @@ pub use vqllm_tensor as tensor;
 pub use vqllm_vq as vq;
 
 pub use backend::{Backend, BackendKind, CpuBackend, PerfModelBackend};
+pub use engine::{Engine, EngineBuilder};
 pub use error::{Result, VqLlmError};
 pub use session::{Session, SessionBuilder};
 
-// The vocabulary types a `Session` consumer touches, re-exported at the
-// top level so the quickstart needs one import line.
+// The vocabulary types a `Session`/`Engine` consumer touches, re-exported
+// at the top level so the quickstart needs one import line.
 pub use vqllm_core::{CacheStats, ComputeOp, KernelPlan, OptLevel, PlanCache};
 pub use vqllm_gpu::GpuSpec;
 pub use vqllm_kernels::KernelOutput;
 pub use vqllm_llm::{
-    DecodeRequest, E2eReport, LlamaConfig, Pipeline, QuantScheme, RequestHandle, RequestOutput,
-    RequestStatus, ServeConfig, Server, ServerStats, SharedContext, StepReport,
+    ContextHandle, ContextStats, DecodeRequest, E2eReport, LlamaConfig, Pipeline, ProfileConfig,
+    QuantScheme, RejectReason, RequestHandle, RequestOutput, RequestStatus, ServeConfig, Server,
+    ServerStats, SharedContext, StepReport,
 };
 pub use vqllm_vq::{VqAlgorithm, VqConfig};

@@ -1,4 +1,4 @@
-//! The `Session` facade: one ergonomic, cache-aware entry point.
+//! The `Session` facade: one ergonomic, cache-aware view of the engine.
 //!
 //! The paper's framework is a single coherent pipeline — profile →
 //! codebook-cache placement → dataflow → fusion → codegen → execute
@@ -14,6 +14,14 @@
 //! * a shared, memoizing [`PlanCache`] makes repeated planning requests —
 //!   the serving hot path — a hash probe instead of re-running Alg. 2, and
 //!   is inherited by every [`Pipeline`] the session creates.
+//!
+//! Since the engine redesign a `Session` is a **thin view** over the same
+//! shared state an [`Engine`](crate::Engine) owns (device + algorithms +
+//! backend + plan cache), optionally **bound to one registered context**
+//! ([`Engine::session`](crate::Engine::session)) — the single-context
+//! compatibility facade over the multi-context serving API. A standalone
+//! `Session::builder()` still works exactly as before for planning,
+//! quantization, and single-context serving.
 //!
 //! ```
 //! use vq_llm::{OptLevel, Session, VqAlgorithm};
@@ -32,13 +40,15 @@
 //! # }
 //! ```
 
-use crate::backend::{Backend, BackendKind, PerfModelBackend};
+use crate::backend::{Backend, BackendKind};
+use crate::engine::{build_shared, EngineShared};
 use crate::error::{Result, VqLlmError};
 use std::sync::Arc;
-use vqllm_core::plan_cache::{self, CacheStats, PlanCache, PlanKey, PlanRequest};
+use vqllm_core::plan_cache::{CacheStats, PlanCache, PlanKey, PlanRequest};
 use vqllm_core::{codegen, ComputeOp, KernelPlan, OptLevel, ProfileSummary};
 use vqllm_gpu::GpuSpec;
 use vqllm_kernels::{AccessProfile, KernelOutput};
+use vqllm_llm::serve::ContextHandle;
 use vqllm_llm::{
     E2eReport, LlamaConfig, Pipeline, QuantScheme, ServeConfig, Server, SharedContext,
 };
@@ -104,6 +114,8 @@ impl SessionBuilder {
     }
 
     /// Execution backend (default: [`PerfModelBackend`]).
+    ///
+    /// [`PerfModelBackend`]: crate::PerfModelBackend
     pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
         self.backend = Some(backend);
         self
@@ -141,62 +153,30 @@ impl SessionBuilder {
     /// not a weight quantizer, the KV algorithm is not a KV-cache
     /// quantizer, or the device description is degenerate.
     pub fn build(self) -> Result<Session> {
-        if !self.weight_algo.is_weight_algorithm() {
-            return Err(VqLlmError::InvalidSession {
-                what: "weight_algo",
-                detail: format!(
-                    "{} is a KV-cache algorithm; expected one of {:?}",
-                    self.weight_algo.name(),
-                    VqAlgorithm::WEIGHT.map(|a| a.name()),
-                ),
-            });
-        }
-        if self.kv_algo.is_weight_algorithm() {
-            return Err(VqLlmError::InvalidSession {
-                what: "kv_algo",
-                detail: format!(
-                    "{} is a weight algorithm; expected one of {:?}",
-                    self.kv_algo.name(),
-                    VqAlgorithm::KV_CACHE.map(|a| a.name()),
-                ),
-            });
-        }
-        if self.gpu.num_sms == 0 || self.gpu.dram_bw_gbps <= 0.0 {
-            return Err(VqLlmError::InvalidSession {
-                what: "gpu",
-                detail: format!("degenerate device description: {}", self.gpu),
-            });
-        }
-        Ok(Session {
-            gpu_identity: plan_cache::gpu_identity(&self.gpu),
-            gpu: self.gpu,
-            weight_algo: self.weight_algo,
-            kv_algo: self.kv_algo,
-            opt: self.opt,
-            model: self.model,
-            backend: self.backend.unwrap_or_else(|| Arc::new(PerfModelBackend)),
-            plan_cache: self.plan_cache.unwrap_or_default(),
-        })
+        let shared = build_shared(
+            self.gpu,
+            self.weight_algo,
+            self.kv_algo,
+            self.opt,
+            self.model,
+            self.backend,
+            self.plan_cache,
+        )?;
+        Ok(Session::view(shared, None))
     }
 }
 
-/// A configured VQ-LLM instance: device + algorithms + optimization level
-/// + backend + shared plan cache.
+/// A configured VQ-LLM view: device + algorithms + optimization level +
+/// backend + shared plan cache, optionally bound to one registered
+/// context (see [`Engine::session`](crate::Engine::session)).
 ///
-/// Cloning is cheap (the backend and plan cache are shared), so a server
-/// can hand one clone to every worker thread.
+/// Cloning is cheap (everything is behind one `Arc`), so a server can
+/// hand one clone to every worker thread.
 #[derive(Debug, Clone)]
 pub struct Session {
-    gpu: GpuSpec,
-    /// Precomputed full-spec cache identity ([`plan_cache::gpu_identity`])
-    /// so cache lookups don't re-render the spec.
-    gpu_identity: Arc<str>,
-    weight_algo: VqAlgorithm,
-    kv_algo: VqAlgorithm,
-    opt: OptLevel,
-    model: LlamaConfig,
-    backend: Arc<dyn Backend>,
-    plan_cache: Arc<PlanCache>,
+    shared: Arc<EngineShared>,
+    /// The engine context this view is bound to, if any.
+    bound: Option<(ContextHandle, SharedContext)>,
 }
 
 impl Session {
@@ -206,60 +186,76 @@ impl Session {
         SessionBuilder::default()
     }
 
+    /// Internal constructor: a view over shared engine state.
+    pub(crate) fn view(
+        shared: Arc<EngineShared>,
+        bound: Option<(ContextHandle, SharedContext)>,
+    ) -> Session {
+        Session { shared, bound }
+    }
+
     // --- accessors ---
 
     /// The target device.
     pub fn gpu(&self) -> &GpuSpec {
-        &self.gpu
+        &self.shared.gpu
     }
 
     /// The configured weight algorithm.
     pub fn weight_algo(&self) -> VqAlgorithm {
-        self.weight_algo
+        self.shared.weight_algo
     }
 
     /// The configured KV-cache algorithm.
     pub fn kv_algo(&self) -> VqAlgorithm {
-        self.kv_algo
+        self.shared.kv_algo
     }
 
     /// The configured optimization level.
     pub fn opt_level(&self) -> OptLevel {
-        self.opt
+        self.shared.opt
     }
 
     /// The configured model shape.
     pub fn model(&self) -> LlamaConfig {
-        self.model
+        self.shared.model
     }
 
     /// The execution backend.
     pub fn backend(&self) -> &Arc<dyn Backend> {
-        &self.backend
+        &self.shared.backend
     }
 
     /// The shared plan cache.
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
-        &self.plan_cache
+        &self.shared.plan_cache
     }
 
     /// Hit/miss counters of the shared plan cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.plan_cache.stats()
+        self.shared.plan_cache.stats()
+    }
+
+    /// The engine context handle this view is bound to, if it came from
+    /// [`Engine::session`](crate::Engine::session).
+    pub fn context_handle(&self) -> Option<ContextHandle> {
+        self.bound.as_ref().map(|(h, _)| *h)
+    }
+
+    /// The registered context this view is bound to, if any.
+    pub fn bound_context(&self) -> Option<&SharedContext> {
+        self.bound.as_ref().map(|(_, ctx)| ctx)
     }
 
     /// The quantization scheme this session's pipeline runs under.
     pub fn scheme(&self) -> QuantScheme {
-        QuantScheme::VqLlm {
-            weight: self.weight_algo,
-            kv: self.kv_algo,
-            opt: self.opt,
-        }
+        self.shared.scheme()
     }
 
     /// Attention-decode op at this session's model shape.
     pub fn attention_op(&self, seq: usize, batch: usize) -> ComputeOp {
-        ComputeOp::attention_decode(self.model.heads, self.model.head_dim, seq, batch)
+        let m = &self.shared.model;
+        ComputeOp::attention_decode(m.heads, m.head_dim, seq, batch)
     }
 
     // --- planning (memoized) ---
@@ -278,11 +274,11 @@ impl Session {
     /// Returns [`VqLlmError::Planning`] when no launchable configuration
     /// exists.
     pub fn plan(&self, vq: &VqConfig, op: &ComputeOp) -> Result<Arc<KernelPlan>> {
-        if self.opt == OptLevel::O4 {
+        if self.shared.opt == OptLevel::O4 {
             // Plan only — skip best_plan()'s per-call latency estimate.
             self.cached_best_plan(vq, op, &AccessProfile::default_for(vq))
         } else {
-            self.plan_at(vq, op, self.opt)
+            self.plan_at(vq, op, self.shared.opt)
         }
     }
 
@@ -300,15 +296,16 @@ impl Session {
     ) -> Result<Arc<KernelPlan>> {
         let summary = ProfileSummary::default_for(vq);
         let key = PlanKey::with_identity(
-            Arc::clone(&self.gpu_identity),
+            Arc::clone(&self.shared.gpu_identity),
             vq,
             op,
             PlanRequest::At(level),
             &summary,
         );
-        self.plan_cache.get_or_try_insert_with(key, || {
-            self.backend
-                .plan_at(&self.gpu, vq, op, level, &summary)
+        self.shared.plan_cache.get_or_try_insert_with(key, || {
+            self.shared
+                .backend
+                .plan_at(&self.shared.gpu, vq, op, level, &summary)
                 .map_err(VqLlmError::from)
         })
     }
@@ -326,7 +323,10 @@ impl Session {
     ) -> Result<(Arc<KernelPlan>, KernelOutput)> {
         let profile = AccessProfile::default_for(vq);
         let plan = self.cached_best_plan(vq, op, &profile)?;
-        let out = self.backend.estimate(&self.gpu, &plan, &profile);
+        let out = self
+            .shared
+            .backend
+            .estimate(&self.shared.gpu, &plan, &profile);
         Ok((plan, out))
     }
 
@@ -340,14 +340,15 @@ impl Session {
         profile: &AccessProfile,
     ) -> Result<Arc<KernelPlan>> {
         let key = PlanKey::best(
-            Arc::clone(&self.gpu_identity),
+            Arc::clone(&self.shared.gpu_identity),
             vq,
             op,
             profile.fingerprint(),
         );
-        self.plan_cache.get_or_try_insert_with(key, || {
-            self.backend
-                .best_plan(&self.gpu, vq, op, profile)
+        self.shared.plan_cache.get_or_try_insert_with(key, || {
+            self.shared
+                .backend
+                .best_plan(&self.shared.gpu, vq, op, profile)
                 .map(|(plan, _)| plan)
                 .map_err(VqLlmError::from)
         })
@@ -359,7 +360,7 @@ impl Session {
     ///
     /// See [`Session::plan`].
     pub fn weight_plan(&self, op: &ComputeOp) -> Result<Arc<KernelPlan>> {
-        self.plan(&self.weight_algo.config(), op)
+        self.plan(&self.shared.weight_algo.config(), op)
     }
 
     /// [`Session::plan`] for the configured KV-cache algorithm.
@@ -368,7 +369,7 @@ impl Session {
     ///
     /// See [`Session::plan`].
     pub fn kv_plan(&self, op: &ComputeOp) -> Result<Arc<KernelPlan>> {
-        self.plan(&self.kv_algo.config(), op)
+        self.plan(&self.shared.kv_algo.config(), op)
     }
 
     /// [`Session::best_plan`] for the configured weight algorithm.
@@ -377,7 +378,7 @@ impl Session {
     ///
     /// See [`Session::best_plan`].
     pub fn best_weight_plan(&self, op: &ComputeOp) -> Result<(Arc<KernelPlan>, KernelOutput)> {
-        self.best_plan(&self.weight_algo.config(), op)
+        self.best_plan(&self.shared.weight_algo.config(), op)
     }
 
     /// [`Session::best_plan`] for the configured KV-cache algorithm.
@@ -386,7 +387,7 @@ impl Session {
     ///
     /// See [`Session::best_plan`].
     pub fn best_kv_plan(&self, op: &ComputeOp) -> Result<(Arc<KernelPlan>, KernelOutput)> {
-        self.best_plan(&self.kv_algo.config(), op)
+        self.best_plan(&self.shared.kv_algo.config(), op)
     }
 
     // --- estimation & codegen ---
@@ -394,12 +395,16 @@ impl Session {
     /// Latency/counter estimate for a plan under a default access profile.
     pub fn estimate(&self, plan: &KernelPlan) -> KernelOutput {
         let profile = AccessProfile::default_for(&plan.vq);
-        self.backend.estimate(&self.gpu, plan, &profile)
+        self.shared
+            .backend
+            .estimate(&self.shared.gpu, plan, &profile)
     }
 
     /// Latency/counter estimate under an explicit access profile.
     pub fn estimate_with(&self, plan: &KernelPlan, profile: &AccessProfile) -> KernelOutput {
-        self.backend.estimate(&self.gpu, plan, profile)
+        self.shared
+            .backend
+            .estimate(&self.shared.gpu, plan, profile)
     }
 
     /// Emits the CUDA-like source a GPU backend would compile for `plan`.
@@ -415,7 +420,7 @@ impl Session {
     ///
     /// Returns [`VqLlmError::Quantization`] on shape/config mismatches.
     pub fn quantize_weights(&self, w: &Tensor2D, seed: u64) -> Result<QuantizedTensor> {
-        Ok(VqQuantizer::new(self.weight_algo.config()).quantize(w, seed)?)
+        Ok(VqQuantizer::new(self.shared.weight_algo.config()).quantize(w, seed)?)
     }
 
     /// Quantizes a K or V cache tensor with the session's KV algorithm.
@@ -424,7 +429,7 @@ impl Session {
     ///
     /// Returns [`VqLlmError::Quantization`] on shape/config mismatches.
     pub fn quantize_kv(&self, kv: &Tensor2D, seed: u64) -> Result<QuantizedTensor> {
-        Ok(VqQuantizer::new(self.kv_algo.config()).quantize(kv, seed)?)
+        Ok(VqQuantizer::new(self.shared.kv_algo.config()).quantize(kv, seed)?)
     }
 
     // --- functional execution ---
@@ -440,7 +445,10 @@ impl Session {
         a: &Tensor2D,
         wq: &QuantizedTensor,
     ) -> Result<(Tensor2D, KernelOutput)> {
-        Ok(self.backend.run_gemm(&self.gpu, plan, a, wq)?)
+        Ok(self
+            .shared
+            .backend
+            .run_gemm(&self.shared.gpu, plan, a, wq)?)
     }
 
     /// Functionally executes a fused GeMV through the backend.
@@ -454,7 +462,10 @@ impl Session {
         x: &[f32],
         wq: &QuantizedTensor,
     ) -> Result<(Vec<f32>, KernelOutput)> {
-        Ok(self.backend.run_gemv(&self.gpu, plan, x, wq)?)
+        Ok(self
+            .shared
+            .backend
+            .run_gemv(&self.shared.gpu, plan, x, wq)?)
     }
 
     /// Functionally executes one fused attention-decode head through the
@@ -471,8 +482,9 @@ impl Session {
         vq: &QuantizedTensor,
     ) -> Result<(Vec<f32>, KernelOutput)> {
         Ok(self
+            .shared
             .backend
-            .run_attention_head(&self.gpu, plan, q, kq, vq)?)
+            .run_attention_head(&self.shared.gpu, plan, q, kq, vq)?)
     }
 
     /// Functionally executes one attention head for a batch of decode
@@ -494,8 +506,9 @@ impl Session {
         vq: &QuantizedTensor,
     ) -> Result<(Tensor2D, KernelOutput)> {
         Ok(self
+            .shared
             .backend
-            .run_attention_batch(&self.gpu, plan, qs, kq, vq)?)
+            .run_attention_batch(&self.shared.gpu, plan, qs, kq, vq)?)
     }
 
     /// Ragged batched attention decode: query `b` of `qs` attends only the
@@ -517,8 +530,9 @@ impl Session {
         vq: &QuantizedTensor,
     ) -> Result<(Tensor2D, KernelOutput)> {
         Ok(self
+            .shared
             .backend
-            .run_attention_ragged(&self.gpu, plan, qs, lens, kq, vq)?)
+            .run_attention_ragged(&self.shared.gpu, plan, qs, lens, kq, vq)?)
     }
 
     // --- end-to-end ---
@@ -530,13 +544,7 @@ impl Session {
     /// `generate` reports identical numbers); the backend matters for the
     /// functional `run_*` execution paths.
     pub fn pipeline(&self, scheme: QuantScheme) -> Pipeline {
-        Pipeline::with_cache(
-            self.gpu.clone(),
-            self.model,
-            scheme,
-            Arc::clone(&self.plan_cache),
-        )
-        .with_backend(Arc::clone(&self.backend))
+        self.shared.pipeline(scheme)
     }
 
     /// Full generation run (prefill + decode) under this session's VQ-LLM
@@ -555,11 +563,32 @@ impl Session {
     /// (continuous batching) and runs one shared-K-decode attention pass
     /// plus one batched linear for all live requests.
     ///
+    /// For decode batches spanning **multiple** contexts, use
+    /// [`Engine`](crate::Engine) instead.
+    ///
     /// # Errors
     ///
     /// Returns [`VqLlmError::Pipeline`] on a degenerate config or when no
     /// launchable plan exists for the serving shapes.
     pub fn serve(&self, ctx: SharedContext, config: ServeConfig) -> Result<Server> {
         Ok(Server::new(self.pipeline(self.scheme()), ctx, config)?)
+    }
+
+    /// [`Session::serve`] against the context this view is bound to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqLlmError::InvalidSession`] when the session is not
+    /// bound to a context, otherwise as [`Session::serve`].
+    pub fn serve_bound(&self, config: ServeConfig) -> Result<Server> {
+        let Some((_, ctx)) = &self.bound else {
+            return Err(VqLlmError::InvalidSession {
+                what: "context",
+                detail: "session is not bound to an engine context; use \
+                         Engine::session(handle) or Session::serve(ctx, config)"
+                    .to_string(),
+            });
+        };
+        self.serve(ctx.clone(), config)
     }
 }

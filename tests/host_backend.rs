@@ -219,6 +219,58 @@ proptest! {
         prop_assert_eq!(out.row(0), full.row(0));
     }
 
+    /// The serving layer's replan guarantee rests on this invariant: host
+    /// kernel output is **bitwise** independent of the blocking hints a
+    /// plan supplies (slab budget across the full clamp range, worker
+    /// partitions). A profile-shift replan only changes blocking hints,
+    /// so it can never change decoded bytes.
+    #[test]
+    fn kernel_bytes_are_blocking_independent(
+        case in 0usize..8,
+        rows_i in 0usize..3,
+        cols_i in 0usize..2,
+        batch in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let cfg = config(case);
+        let (seq, head_dim) = dims(rows_i, cols_i);
+        let kq = quantize(cfg, seq, head_dim, seed);
+        let vq = quantize(cfg, seq, head_dim, seed ^ 0x5a5a);
+        let qs = vq_llm::tensor::Tensor2D::from_fn(batch, head_dim, |b, d| {
+            ((b * 19 + d) as f32 * 0.27 + seed as f32).sin()
+        });
+        let a = vq_llm::tensor::Tensor2D::from_fn(batch, seq, |b, d| {
+            ((b * 11 + d) as f32 * 0.17 + seed as f32).cos()
+        });
+        let lens: Vec<usize> = (0..batch)
+            .map(|b| if b == 0 { seq } else { 1 + (seed as usize * 13 + b * 89) % seq })
+            .collect();
+        // The HostBlocking clamp range is [16 KiB, 256 KiB]; cover both
+        // extremes, a mid-range slab, and 1/2/4 worker partitions.
+        let blockings = [
+            HostBlocking { slab_bytes: 16 << 10, threads: 1 },
+            HostBlocking { slab_bytes: 48 << 10, threads: 2 },
+            HostBlocking { slab_bytes: 256 << 10, threads: 4 },
+        ];
+        let base_attn =
+            host_exec::attention_decode_ragged(&qs, &lens, &kq, &vq, &blockings[0]).unwrap();
+        let base_gemm = host_exec::gemm_fused(&a, &kq, &blockings[0]).unwrap();
+        for b in &blockings[1..] {
+            let attn = host_exec::attention_decode_ragged(&qs, &lens, &kq, &vq, b).unwrap();
+            let gemm = host_exec::gemm_fused(&a, &kq, b).unwrap();
+            prop_assert_eq!(
+                base_attn.as_slice(),
+                attn.as_slice(),
+                "attention bytes depend on blocking {:?} ({} {}x{})", b, cfg, seq, head_dim
+            );
+            prop_assert_eq!(
+                base_gemm.as_slice(),
+                gemm.as_slice(),
+                "gemm bytes depend on blocking {:?} ({} {}x{})", b, cfg, seq, head_dim
+            );
+        }
+    }
+
     /// `CpuBackend::run_attention_head` vs the reference decode attention.
     #[test]
     fn cpu_attention_matches_oracle(

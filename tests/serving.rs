@@ -20,17 +20,23 @@ use std::sync::OnceLock;
 use vq_llm::llm::LlmError;
 use vq_llm::tensor::{synth, Tensor2D};
 use vq_llm::{
-    DecodeRequest, RequestStatus, ServeConfig, Server, Session, SharedContext, VqAlgorithm,
+    ContextHandle, DecodeRequest, Engine, ProfileConfig, RejectReason, RequestStatus, ServeConfig,
+    Server, Session, SharedContext, VqAlgorithm,
 };
 
 const SEQ: usize = 320;
 const HEAD_DIM: usize = 32;
+/// The second context's geometry (deliberately different from the first,
+/// so grouping bugs that mix contexts crash on shape instead of passing
+/// silently).
+const SEQ_B: usize = 288;
+const HEAD_DIM_B: usize = 64;
 
-/// One shared (session, context) pair for the whole file: quantizing the
-/// context is the expensive part, and sharing it also exercises the
-/// plan-cache reuse the serving layer is designed around.
-fn harness() -> &'static (Session, SharedContext) {
-    static HARNESS: OnceLock<(Session, SharedContext)> = OnceLock::new();
+/// One shared (session, context A, context B) triple for the whole file:
+/// quantizing the contexts is the expensive part, and sharing them also
+/// exercises the plan-cache reuse the serving layer is designed around.
+fn harness() -> &'static (Session, SharedContext, SharedContext) {
+    static HARNESS: OnceLock<(Session, SharedContext, SharedContext)> = OnceLock::new();
     HARNESS.get_or_init(|| {
         let session = Session::builder()
             .cpu_threads(2)
@@ -38,28 +44,85 @@ fn harness() -> &'static (Session, SharedContext) {
             .kv_algo(VqAlgorithm::Cq4)
             .build()
             .expect("valid session");
-        let k = synth::kv_stream(SEQ, HEAD_DIM, 0.85, 11);
-        let v = synth::kv_stream(SEQ, HEAD_DIM, 0.85, 12);
-        let w = synth::correlated_channels(HEAD_DIM, HEAD_DIM, 4, 0.9, 13);
-        let kq = session.quantize_kv(&k, 1).expect("quantize K");
-        let vq = session.quantize_kv(&v, 2).expect("quantize V");
-        let wq = session.quantize_weights(&w, 3).expect("quantize W");
-        let ctx = SharedContext::new(kq, vq, wq).expect("valid context");
-        (session, ctx)
+        let ctx_a = {
+            let k = synth::kv_stream(SEQ, HEAD_DIM, 0.85, 11);
+            let v = synth::kv_stream(SEQ, HEAD_DIM, 0.85, 12);
+            let w = synth::correlated_channels(HEAD_DIM, HEAD_DIM, 4, 0.9, 13);
+            SharedContext::new(
+                session.quantize_kv(&k, 1).expect("quantize K"),
+                session.quantize_kv(&v, 2).expect("quantize V"),
+                session.quantize_weights(&w, 3).expect("quantize W"),
+            )
+            .expect("valid context")
+        };
+        let ctx_b = {
+            let k = synth::kv_stream(SEQ_B, HEAD_DIM_B, 0.8, 21);
+            let v = synth::kv_stream(SEQ_B, HEAD_DIM_B, 0.8, 22);
+            let w = synth::correlated_channels(HEAD_DIM_B, HEAD_DIM_B, 4, 0.9, 23);
+            SharedContext::new(
+                session.quantize_kv(&k, 4).expect("quantize K"),
+                session.quantize_kv(&v, 5).expect("quantize V"),
+                session.quantize_weights(&w, 6).expect("quantize W"),
+            )
+            .expect("valid context")
+        };
+        (session, ctx_a, ctx_b)
     })
 }
 
 fn server(max_batch: usize, max_queue: usize) -> Server {
-    let (session, ctx) = harness();
+    let (session, ctx, _) = harness();
     session
         .serve(ctx.clone(), ServeConfig::new(max_batch, max_queue))
         .expect("valid server")
+}
+
+/// An engine over both harness contexts (fresh plan cache per call so
+/// stats assertions don't race other tests), sharing the harness
+/// session's backend.
+fn two_ctx_engine(
+    max_batch: usize,
+    max_queue: usize,
+    profile: ProfileConfig,
+) -> (Engine, ContextHandle, ContextHandle) {
+    let (session, ctx_a, ctx_b) = harness();
+    let mut engine = Engine::builder()
+        .backend(std::sync::Arc::clone(session.backend()))
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .serve_config(ServeConfig::new(max_batch, max_queue))
+        .profile_config(profile)
+        .build()
+        .expect("valid engine");
+    let ha = engine.register_context(ctx_a.clone()).expect("register A");
+    let hb = engine.register_context(ctx_b.clone()).expect("register B");
+    (engine, ha, hb)
 }
 
 fn query(tenant: u64) -> Vec<f32> {
     (0..HEAD_DIM)
         .map(|d| ((tenant as usize * 17 + d) as f32 * 0.23).sin())
         .collect()
+}
+
+fn query_b(tenant: u64) -> Vec<f32> {
+    (0..HEAD_DIM_B)
+        .map(|d| ((tenant as usize * 29 + d) as f32 * 0.19).cos())
+        .collect()
+}
+
+/// Drains one request alone through the single-context `Session::serve`
+/// facade (its own canonical plans, batch of one) and returns its decoded
+/// steps — the solo reference the engine's mixed-context batches must
+/// reproduce bitwise.
+fn solo_reference(ctx: &SharedContext, req: DecodeRequest) -> Vec<Vec<f32>> {
+    let (session, _, _) = harness();
+    let mut srv = session
+        .serve(ctx.clone(), ServeConfig::new(1, 1))
+        .expect("solo server");
+    let handle = srv.submit(req).expect("admitted");
+    srv.run_until_drained().expect("drained");
+    srv.take_output(&handle).expect("finished").steps
 }
 
 #[test]
@@ -82,7 +145,7 @@ fn finishing_request_frees_a_slot_a_queued_request_takes() {
     let r1 = srv.step().unwrap();
     assert_eq!(r1.batch, 2);
     assert_eq!(r1.finished, vec![a.id()]);
-    assert_eq!(srv.status(&a), RequestStatus::Completed);
+    assert_eq!(srv.status(&a), RequestStatus::Finished { tokens: 2 });
 
     // Step 2: the freed slot goes to c — the batch is re-formed, not
     // drained to empty first.
@@ -95,7 +158,7 @@ fn finishing_request_frees_a_slot_a_queued_request_takes() {
     assert!(rest.iter().all(|r| r.batch <= 2));
     assert!(srv.is_idle());
     for (h, gen) in [(a, 2usize), (b, 5), (c, 3)] {
-        assert_eq!(srv.status(&h), RequestStatus::Completed);
+        assert_eq!(srv.status(&h), RequestStatus::Finished { tokens: gen });
         let out = srv.take_output(&h).expect("output ready");
         assert_eq!(out.steps.len(), gen);
         assert!(out.steps.iter().all(|s| s.len() == HEAD_DIM));
@@ -158,7 +221,7 @@ fn admission_limits_reject_explicitly() {
 /// the session's batch-of-one entry points with the server's own plans.
 #[test]
 fn scheduled_decode_is_bitwise_identical_to_solo_runs() {
-    let (session, ctx) = harness();
+    let (session, ctx, _) = harness();
     let mut srv = server(3, 8);
     // Varied context positions and lengths force genuinely ragged batches
     // and mid-decode re-formation. The last request attends the *full*
@@ -217,6 +280,158 @@ fn scheduled_decode_is_bitwise_identical_to_solo_runs() {
             h.copy_from_slice(y.row(0));
         }
     }
+}
+
+// --- the multi-context engine ---
+
+/// The acceptance pin: a two-context `Engine` drain produces, per
+/// request, bytes identical to that request run alone on a
+/// single-context `Session::serve` facade — even though the engine plans
+/// from measured profiles and the solo servers from synthetic defaults
+/// (host kernels are bitwise blocking-independent, pinned in
+/// `tests/host_backend.rs`).
+#[test]
+fn two_context_engine_drain_is_bitwise_identical_to_solo_sessions() {
+    let (_, ctx_a, ctx_b) = harness();
+    let (mut engine, ha, hb) = two_ctx_engine(3, 16, ProfileConfig::default());
+
+    // Interleaved submissions across both contexts, ragged positions and
+    // lengths, more requests than slots — the batch re-forms mid-drain
+    // and every step may hold a mixed-context batch.
+    let reqs: Vec<(ContextHandle, DecodeRequest)> = vec![
+        (ha, DecodeRequest::new(1, query(1), 30, 4)),
+        (hb, DecodeRequest::new(2, query_b(2), 200, 2)),
+        (ha, DecodeRequest::new(3, query(3), 77, 6)),
+        (hb, DecodeRequest::new(4, query_b(4), 150, 3)),
+        (ha, DecodeRequest::new(5, query(5), SEQ, 1)),
+        (hb, DecodeRequest::new(6, query_b(6), 40, 5)),
+    ];
+    let handles: Vec<_> = reqs
+        .iter()
+        .map(|(h, r)| engine.submit(*h, r.clone()))
+        .collect();
+    for handle in &handles {
+        assert!(matches!(
+            engine.poll(handle),
+            RequestStatus::Queued | RequestStatus::Running
+        ));
+    }
+    let reports = engine.run_until_drained().expect("drained");
+    assert!(
+        reports.iter().any(|r| r.groups == 2),
+        "mixed-context batches happened: {reports:?}"
+    );
+    assert!(reports.iter().all(|r| r.batch <= 3 && r.groups <= 2));
+
+    for ((h, req), handle) in reqs.iter().zip(&handles) {
+        let gen = req.gen_tokens;
+        assert_eq!(engine.poll(handle), RequestStatus::Finished { tokens: gen });
+        let out = engine.take_output(handle).expect("finished");
+        assert_eq!(out.tenant, req.tenant);
+        let ctx = if *h == ha { ctx_a } else { ctx_b };
+        let solo = solo_reference(ctx, req.clone());
+        assert_eq!(
+            out.steps, solo,
+            "tenant {}: engine mixed-context batch diverged from solo session",
+            req.tenant
+        );
+        assert_eq!(engine.poll(handle), RequestStatus::Unknown, "collected");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.rejected, 0);
+}
+
+/// The typed lifecycle: rejected submissions get handles that poll as
+/// `Rejected` with the precise reason; unknown context handles reject
+/// instead of panicking; `try_submit` surfaces the same as errors.
+#[test]
+fn engine_rejections_are_typed_and_polled() {
+    let (mut engine, ha, hb) = two_ctx_engine(1, 2, ProfileConfig::default());
+
+    let ok = engine.submit(ha, DecodeRequest::new(1, query(1), 10, 2));
+    let ok2 = engine.submit(hb, DecodeRequest::new(2, query_b(2), 10, 2));
+    // The queue bound (2) is engine-wide: the third submission is refused
+    // no matter which context it targets.
+    let full = engine.submit(hb, DecodeRequest::new(3, query_b(3), 10, 2));
+    assert_eq!(engine.poll(&ok), RequestStatus::Queued);
+    assert_eq!(engine.poll(&ok2), RequestStatus::Queued);
+    assert_eq!(
+        engine.poll(&full),
+        RequestStatus::Rejected {
+            reason: RejectReason::QueueFull { max_queue: 2 }
+        }
+    );
+
+    // Wrong query width against context B (its head_dim differs from A's
+    // — handles are not interchangeable).
+    let wrong = engine.submit(hb, DecodeRequest::new(4, query(4), 10, 2));
+    assert_eq!(
+        engine.poll(&wrong),
+        RequestStatus::Rejected {
+            reason: RejectReason::Invalid {
+                what: "query width must equal the context's head_dim"
+            }
+        }
+    );
+
+    // A handle this engine never issued: handles carry the issuing
+    // engine's nonce, so even a *different* engine's handle whose
+    // registry index (0) is perfectly in range here is rejected instead
+    // of silently decoding against this engine's context 0.
+    let (other, foreign, _) = two_ctx_engine(2, 4, ProfileConfig::default());
+    drop(other);
+    assert_eq!(foreign.id(), 0, "in range on this engine, yet foreign");
+    let unknown = engine.submit(foreign, DecodeRequest::new(5, query(5), 10, 2));
+    assert_eq!(
+        engine.poll(&unknown),
+        RequestStatus::Rejected {
+            reason: RejectReason::UnknownContext { id: 0 }
+        }
+    );
+
+    // The Result-shaped twin reports the same through LlmError.
+    let err = engine
+        .try_submit(foreign, DecodeRequest::new(6, query(6), 10, 2))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            vq_llm::VqLlmError::Pipeline(LlmError::UnknownContext { id: 0 })
+        ),
+        "{err}"
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.rejected, 4);
+    engine.run_until_drained().expect("accepted work completes");
+    assert_eq!(engine.stats().completed, 2);
+
+    // Rejection tombstones are bounded: flood the engine with refusals
+    // and the oldest records age out (poll as Unknown) while the most
+    // recent cap's worth stay typed. The cumulative counter keeps them.
+    use vq_llm::llm::serve::REJECTED_TOMBSTONE_CAP;
+    let first_flood = engine.submit(ha, DecodeRequest::new(7, vec![0.0; 1], 1, 1));
+    let floods: Vec<_> = (0..REJECTED_TOMBSTONE_CAP as u64)
+        .map(|t| engine.submit(ha, DecodeRequest::new(t, vec![0.0; 1], 1, 1)))
+        .collect();
+    assert_eq!(
+        engine.poll(&first_flood),
+        RequestStatus::Unknown,
+        "aged out"
+    );
+    assert!(matches!(
+        engine.poll(floods.last().unwrap()),
+        RequestStatus::Rejected {
+            reason: RejectReason::Invalid { .. }
+        }
+    ));
+    assert_eq!(
+        engine.stats().rejected,
+        4 + 1 + REJECTED_TOMBSTONE_CAP as u64
+    );
 }
 
 /// Splitmix-style hash for deriving deterministic schedules from a seed.
@@ -286,9 +501,197 @@ proptest! {
         prop_assert_eq!(stats.completed, accepted.len() as u64);
         prop_assert_eq!(stats.decoded_tokens as usize, expected_tokens);
         for (h, gen) in accepted {
-            prop_assert_eq!(srv.status(&h), RequestStatus::Completed);
+            prop_assert_eq!(srv.status(&h), RequestStatus::Finished { tokens: gen });
             let out = srv.take_output(&h).expect("completed output");
             prop_assert_eq!(out.steps.len(), gen);
         }
     }
+
+    /// Random multi-context arrival schedules on the engine: termination,
+    /// engine-wide slots never exceed `max_batch`, at most one kernel
+    /// group per registered context per step, every request finishes or
+    /// is explicitly rejected, and every finished request is **bitwise**
+    /// identical to the same request drained alone on a single-context
+    /// `Session::serve` facade.
+    #[test]
+    fn random_multi_context_schedules_are_sound_and_solo_exact(
+        seed in 0u64..10_000,
+        max_batch in 1usize..5,
+        max_queue in 1usize..5,
+        n_requests in 1usize..8,
+    ) {
+        let (_, ctx_a, ctx_b) = harness();
+        let (mut engine, ha, hb) = two_ctx_engine(max_batch, max_queue, ProfileConfig::default());
+        let mut arrivals: Vec<(u64, ContextHandle, DecodeRequest)> = (0..n_requests)
+            .map(|i| {
+                let r = mix(seed ^ 0xabcd, i as u64);
+                let arrive = r % 6;
+                let to_b = r & (1 << 7) != 0;
+                let (h, seq, q) = if to_b {
+                    (hb, SEQ_B, query_b(i as u64))
+                } else {
+                    (ha, SEQ, query(i as u64))
+                };
+                let context_len = 1 + (r >> 8) as usize % (seq - 4);
+                let gen = 1 + (r >> 32) as usize % 4;
+                (arrive, h, DecodeRequest::new(i as u64, q, context_len, gen))
+            })
+            .collect();
+        arrivals.sort_by_key(|(t, _, _)| *t);
+
+        let mut handles = Vec::new();
+        let mut next = 0;
+        let mut ticks = 0u64;
+        let bound = 64 + 6 * n_requests as u64;
+        while next < arrivals.len() || !engine.is_idle() {
+            prop_assert!(ticks < bound, "engine did not terminate");
+            while next < arrivals.len() && arrivals[next].0 <= ticks {
+                let (_, h, req) = arrivals[next].clone();
+                handles.push((h, req.clone(), engine.submit(h, req)));
+                next += 1;
+            }
+            let report = engine.step().unwrap();
+            prop_assert!(report.batch <= max_batch, "engine-wide slots over limit");
+            prop_assert!(report.groups <= 2, "more groups than contexts");
+            prop_assert!((report.batch == 0) == (report.groups == 0));
+            ticks += 1;
+        }
+
+        let stats = engine.stats();
+        prop_assert_eq!(stats.submitted + stats.rejected, n_requests as u64);
+        let mut finished = 0u64;
+        for (h, req, ticket) in handles {
+            match engine.poll(&ticket) {
+                RequestStatus::Finished { tokens } => {
+                    prop_assert_eq!(tokens, req.gen_tokens);
+                    finished += 1;
+                    let out = engine.take_output(&ticket).expect("finished output");
+                    // Per-context bitwise parity vs a solo drain.
+                    let ctx = if h == ha { ctx_a } else { ctx_b };
+                    prop_assert_eq!(
+                        &out.steps,
+                        &solo_reference(ctx, req),
+                        "mixed-context batch diverged from solo"
+                    );
+                }
+                RequestStatus::Rejected { reason } => {
+                    // The only data-independent rejection in this schedule
+                    // space is queue pressure.
+                    prop_assert_eq!(
+                        reason,
+                        RejectReason::QueueFull { max_queue },
+                        "unexpected rejection"
+                    );
+                }
+                other => prop_assert!(false, "request neither finished nor rejected: {other:?}"),
+            }
+        }
+        prop_assert_eq!(finished, stats.completed);
+    }
+}
+
+/// A profile-shift replan changes which plan is cached — never the bytes
+/// a request decodes. Engine A runs aggressive feedback (check every
+/// step, zero divergence tolerance, so the first check replans); engine B
+/// runs with feedback disabled. Identical schedules must produce
+/// identical bytes, and A must have actually replanned.
+#[test]
+fn profile_shift_replan_does_not_change_emitted_bytes() {
+    let aggressive = ProfileConfig {
+        check_every: 1,
+        replan_divergence: 0.0,
+    };
+    let (mut a, a_ha, a_hb) = two_ctx_engine(3, 16, aggressive);
+    let (mut b, b_ha, b_hb) = two_ctx_engine(3, 16, ProfileConfig::disabled());
+
+    let reqs: Vec<(bool, DecodeRequest)> = vec![
+        // Short attended prefixes: the observed histogram covers a sliver
+        // of the registration profile, so the distributions diverge and
+        // the aggressive config replans immediately.
+        (false, DecodeRequest::new(1, query(1), 25, 5)),
+        (true, DecodeRequest::new(2, query_b(2), 40, 4)),
+        (false, DecodeRequest::new(3, query(3), 60, 6)),
+        (true, DecodeRequest::new(4, query_b(4), 30, 3)),
+    ];
+    let submit_all = |engine: &mut Engine, ha: ContextHandle, hb: ContextHandle| -> Vec<_> {
+        reqs.iter()
+            .map(|(to_b, r)| engine.submit(if *to_b { hb } else { ha }, r.clone()))
+            .collect()
+    };
+    let tickets_a = submit_all(&mut a, a_ha, a_hb);
+    let tickets_b = submit_all(&mut b, b_ha, b_hb);
+    a.run_until_drained().expect("drained");
+    b.run_until_drained().expect("drained");
+
+    let replans_a = a.context_stats(a_ha).unwrap().replans + a.context_stats(a_hb).unwrap().replans;
+    assert!(replans_a >= 1, "aggressive feedback never replanned");
+    assert_eq!(b.context_stats(b_ha).unwrap().replans, 0);
+    // The replan swapped the cached canonical plan under a measured key…
+    assert!(a.context_stats(a_ha).unwrap().profiled_tokens > 0);
+    // …but the decoded bytes are identical, request for request.
+    for (ta, tb) in tickets_a.iter().zip(&tickets_b) {
+        let oa = a.take_output(ta).expect("finished");
+        let ob = b.take_output(tb).expect("finished");
+        assert_eq!(
+            oa.steps, ob.steps,
+            "replanning changed decoded bytes (tenant {})",
+            oa.tenant
+        );
+    }
+}
+
+/// The warm-up dedupe satellite: sibling servers over one shared plan
+/// cache plan nothing new — the second construction is pure cache hits,
+/// and the canonical plans are pointer-equal across siblings.
+#[test]
+fn sibling_servers_warm_from_the_shared_cache() {
+    let (_, ctx, _) = harness();
+    let cache = std::sync::Arc::new(vq_llm::PlanCache::new());
+    let session = Session::builder()
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .plan_cache(std::sync::Arc::clone(&cache))
+        .build()
+        .expect("valid session");
+    let srv1 = session
+        .serve(ctx.clone(), ServeConfig::new(2, 2))
+        .expect("server");
+    let after_first = cache.stats();
+    assert_eq!(after_first.misses, 2, "one miss per canonical shape");
+
+    let srv2 = session
+        .serve(ctx.clone(), ServeConfig::new(4, 8))
+        .expect("server");
+    let after_second = cache.stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "sibling construction re-planned a canonical shape"
+    );
+    assert_eq!(after_second.hits, after_first.hits + 2);
+    assert!(std::sync::Arc::ptr_eq(
+        srv1.attention_plan(),
+        srv2.attention_plan()
+    ));
+    assert!(std::sync::Arc::ptr_eq(
+        srv1.linear_plan(),
+        srv2.linear_plan()
+    ));
+
+    // The engine warms through the same helper and the same cache — but
+    // under *measured* keys, so it adds exactly its own two entries and
+    // afterwards an identical registration is also a pure hit.
+    let mut engine = Engine::builder()
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .plan_cache(std::sync::Arc::clone(&cache))
+        .build()
+        .expect("engine");
+    engine.register_context(ctx.clone()).expect("register");
+    let after_engine = cache.stats();
+    assert_eq!(after_engine.misses, after_second.misses + 2);
+    engine
+        .register_context(ctx.clone())
+        .expect("register again");
+    assert_eq!(engine.cache_stats().misses, after_engine.misses);
+    assert!(engine.cache_stats().hits > after_engine.hits);
 }

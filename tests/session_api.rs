@@ -243,6 +243,141 @@ fn functional_execution_goes_through_the_backend() {
     assert!(matches!(bad, VqLlmError::Kernel(_)), "{bad}");
 }
 
+fn small_context(session: &Session) -> vq_llm::SharedContext {
+    use vq_llm::tensor::synth;
+    vq_llm::SharedContext::new(
+        session
+            .quantize_kv(&synth::kv_stream(288, 32, 0.85, 41), 1)
+            .unwrap(),
+        session
+            .quantize_kv(&synth::kv_stream(288, 32, 0.85, 42), 2)
+            .unwrap(),
+        session
+            .quantize_weights(&synth::correlated_channels(32, 32, 4, 0.9, 43), 3)
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn engine_sessions_are_views_over_the_engine_state() {
+    let mut engine = vq_llm::Engine::builder()
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .build()
+        .unwrap();
+    let unbound = engine.session_unbound();
+    assert!(unbound.context_handle().is_none());
+    assert!(
+        Arc::ptr_eq(engine.plan_cache(), unbound.plan_cache()),
+        "session views share the engine's plan cache"
+    );
+
+    let ctx = small_context(&unbound);
+    let handle = engine.register_context(ctx.clone()).unwrap();
+    let bound = engine.session(handle).unwrap();
+    assert_eq!(bound.context_handle(), Some(handle));
+    assert_eq!(
+        bound.bound_context().unwrap().seq(),
+        ctx.seq(),
+        "bound session sees the registered context"
+    );
+    // The bound view serves its context without re-passing it…
+    let mut srv = bound
+        .serve_bound(vq_llm::ServeConfig::new(2, 4))
+        .expect("serve_bound");
+    let q: Vec<f32> = (0..32).map(|d| (d as f32 * 0.2).sin()).collect();
+    let h = srv.submit(vq_llm::DecodeRequest::new(1, q, 10, 2)).unwrap();
+    srv.run_until_drained().unwrap();
+    assert_eq!(srv.take_output(&h).unwrap().steps.len(), 2);
+    // …while an unbound view refuses.
+    let err = unbound
+        .serve_bound(vq_llm::ServeConfig::default())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VqLlmError::InvalidSession {
+                what: "context",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // Unknown handles are typed errors, not panics.
+    drop(bound);
+    let other = vq_llm::Engine::builder().build().unwrap();
+    assert!(other.session(handle).is_err());
+}
+
+#[test]
+fn plan_cache_path_round_trips_the_warm_start() {
+    let path = std::env::temp_dir().join(format!(
+        "vqllm_session_api_plan_cache_{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // Engine 1: cold start — registration plans both canonical shapes.
+    let mut cold = vq_llm::Engine::builder()
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .plan_cache_path(&path)
+        .build()
+        .unwrap();
+    let ctx = small_context(&cold.session_unbound());
+    let hc = cold.register_context(ctx.clone()).unwrap();
+    let cold_stats = cold.cache_stats();
+    assert_eq!(cold_stats.misses, 2, "cold registration plans twice");
+    let written = cold.save_plan_cache().unwrap();
+    assert_eq!(written, 2);
+
+    // Engine 2: same path — registration of the same context re-measures
+    // the same profiles, builds the same keys, and planning is pure cache
+    // hits: the cold-start pass is skipped.
+    let mut warm = vq_llm::Engine::builder()
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .plan_cache_path(&path)
+        .build()
+        .unwrap();
+    let hw = warm.register_context(ctx.clone()).unwrap();
+    let warm_stats = warm.cache_stats();
+    assert_eq!(warm_stats.misses, 0, "warm start must not re-plan");
+    assert_eq!(warm_stats.hits, 2);
+
+    // The restored plans are identical to the cold engine's (the codec
+    // round trip is bitwise, `plan_cache::persist`).
+    assert_eq!(
+        **cold.attention_plan(hc).unwrap(),
+        **warm.attention_plan(hw).unwrap()
+    );
+    assert_eq!(
+        **cold.linear_plan(hc).unwrap(),
+        **warm.linear_plan(hw).unwrap()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // Error paths are typed: saving with no configured path…
+    let unconfigured = vq_llm::Engine::builder().build().unwrap();
+    assert!(matches!(
+        unconfigured.save_plan_cache().unwrap_err(),
+        VqLlmError::Persistence { .. }
+    ));
+    // …and building over a corrupt cache file.
+    let corrupt = std::env::temp_dir().join(format!(
+        "vqllm_session_api_corrupt_{}.txt",
+        std::process::id()
+    ));
+    std::fs::write(&corrupt, "not a plan cache\n").unwrap();
+    let err = vq_llm::Engine::builder()
+        .plan_cache_path(&corrupt)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, VqLlmError::Persistence { .. }), "{err}");
+    let _ = std::fs::remove_file(&corrupt);
+}
+
 #[test]
 fn generate_matches_raw_pipeline() {
     let s = session();
