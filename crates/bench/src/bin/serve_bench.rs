@@ -20,11 +20,16 @@
 //! * batched serving ≥ 1.5× tokens/s over per-request looping at batch 8
 //! * the mixed two-context engine drain ≥ 1.5× tokens/s over per-request
 //!   looping on the same engine machinery
+//! * step-latency tail at batch 8 with an oversubscribed queue: p99 ≤
+//!   10× p50 (per-step wall times and queue depths also land in
+//!   `BENCH_serving.json` as `step_latency_p50_us`/`step_latency_p99_us`/
+//!   `queue_depth_*`)
 //!
 //! Both drivers of each scenario run the identical scheduler machinery,
 //! so the measured ratios isolate exactly what batch formation buys.
 
 use std::time::Instant;
+use vq_llm::net::percentile;
 use vq_llm::tensor::synth;
 use vq_llm::{
     ContextHandle, DecodeRequest, Engine, ProfileConfig, ServeConfig, Session, SharedContext,
@@ -42,17 +47,21 @@ const GEN_TOKENS: usize = 24;
 const SEQ_B: usize = 768;
 const HEAD_DIM_B: usize = 32;
 
-fn requests() -> Vec<DecodeRequest> {
-    (0..TENANTS)
+fn requests_from(base: usize) -> Vec<DecodeRequest> {
+    (base..base + TENANTS)
         .map(|t| {
             let query: Vec<f32> = (0..HEAD_DIM)
                 .map(|d| ((t * 13 + d) as f32 * 0.21).sin())
                 .collect();
             // Ragged context positions: tenants sit at different depths of
             // the shared cache, like real continuous batching.
-            DecodeRequest::new(t as u64, query, 640 + 40 * t, GEN_TOKENS)
+            DecodeRequest::new(t as u64, query, 640 + 40 * (t % TENANTS), GEN_TOKENS)
         })
         .collect()
+}
+
+fn requests() -> Vec<DecodeRequest> {
+    requests_from(0)
 }
 
 /// The mixed scenario's traffic: tenants alternate between the two
@@ -114,6 +123,29 @@ fn tokens_per_s(
         assert!(handles.iter().all(|h| srv.output(h).is_some()));
     }
     (tokens as f64 / best, tokens)
+}
+
+/// Per-step wall time (µs) and observed queue depth of one oversubscribed
+/// drain at `max_batch`: twice the slots' worth of tenants are submitted
+/// up front, so the queue stays non-empty until the back half admits and
+/// every step decodes a full batch — the shape the tail-latency gate is
+/// about.
+fn step_profile(session: &Session, ctx: &SharedContext, max_batch: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut srv = session
+        .serve(ctx.clone(), ServeConfig::new(max_batch, 2 * TENANTS))
+        .expect("server");
+    for r in requests_from(0).into_iter().chain(requests_from(TENANTS)) {
+        srv.submit(r).expect("admitted");
+    }
+    let mut latencies_us = Vec::new();
+    let mut queue_depths = Vec::new();
+    while !srv.is_idle() {
+        let t0 = Instant::now();
+        let r = srv.step().expect("step");
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        queue_depths.push(r.queued as f64);
+    }
+    (latencies_us, queue_depths)
 }
 
 /// A fresh engine over both mixed-scenario contexts.
@@ -250,6 +282,17 @@ fn main() {
     let (mixed_batched_tps, _) = mixed_tokens_per_s(&session, &ctx, &ctx_b, TENANTS, reps);
     let mixed_speedup = mixed_batched_tps / mixed_looped_tps;
 
+    // Tail-latency profile at the CI-gated batch width: a fat head of
+    // steps with the queue full and the batch at max width is where
+    // stragglers would show, and the gate (p99 <= 10x p50) bounds them.
+    let (step_us, queue_depths) = step_profile(&session, &ctx, TENANTS);
+    let step_p50_us = percentile(&step_us, 0.50);
+    let step_p99_us = percentile(&step_us, 0.99);
+    let step_mean_us = step_us.iter().sum::<f64>() / step_us.len() as f64;
+    let step_max_us = step_us.iter().fold(0.0f64, |a, &b| a.max(b));
+    let queue_depth_mean = queue_depths.iter().sum::<f64>() / queue_depths.len() as f64;
+    let queue_depth_max = queue_depths.iter().fold(0.0f64, |a, &b| a.max(b));
+
     report.section(&format!(
         "{TENANTS} tenants x {GEN_TOKENS} tokens over a shared {SEQ}x{HEAD_DIM} CQ-4 context \
          (ragged positions, GPTVQ-2 projection, simd tier {})",
@@ -280,6 +323,18 @@ fn main() {
         "  speedup {mixed_speedup:.2}x over {mixed_tokens} decoded tokens"
     ));
 
+    report.section(&format!(
+        "step latency at max_batch {TENANTS} ({} steps, 2x oversubscribed queue)",
+        step_us.len()
+    ));
+    report.line(format!(
+        "  p50 {step_p50_us:7.0} us   p99 {step_p99_us:7.0} us   mean {step_mean_us:7.0} us   \
+         max {step_max_us:7.0} us"
+    ));
+    report.line(format!(
+        "  queue depth mean {queue_depth_mean:.1}, max {queue_depth_max:.0}"
+    ));
+
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"seq\": {SEQ},\n  \"head_dim\": {HEAD_DIM},\n  \"tenants\": {TENANTS},\n  \
@@ -291,6 +346,12 @@ fn main() {
          \"mixed_looped_tok_per_s\": {mixed_looped_tps:.1},\n  \
          \"mixed_batched_tok_per_s\": {mixed_batched_tps:.1},\n  \
          \"mixed_speedup\": {mixed_speedup:.3},\n  \
+         \"step_latency_p50_us\": {step_p50_us:.1},\n  \
+         \"step_latency_p99_us\": {step_p99_us:.1},\n  \
+         \"step_latency_mean_us\": {step_mean_us:.1},\n  \
+         \"step_latency_max_us\": {step_max_us:.1},\n  \
+         \"queue_depth_mean\": {queue_depth_mean:.2},\n  \
+         \"queue_depth_max\": {queue_depth_max:.0},\n  \
          \"available_threads\": {threads},\n  \
          \"simd_tier\": \"{}\"\n}}\n",
         vq_llm::kernels::host_exec::simd::tier()
@@ -316,6 +377,23 @@ fn main() {
         println!("OK: mixed two-context speedup {mixed_speedup:.2} (>= {gate:.2} required)");
     } else {
         eprintln!("FAIL: mixed two-context speedup {mixed_speedup:.2} < required {gate:.2}");
+        failed = true;
+    }
+    // Tail-latency gate: with 8 homogeneous tenants at full batch, a p99
+    // beyond 10x the median means some steps stall (lock contention,
+    // allocator churn, batch re-formation doing O(queue) work) — the
+    // serving layer's latency contract, not just its throughput.
+    let tail_gate = 10.0;
+    if step_p99_us <= tail_gate * step_p50_us {
+        println!(
+            "OK: step latency p99 {step_p99_us:.0} us <= {tail_gate:.0}x p50 \
+             {step_p50_us:.0} us at batch {TENANTS}"
+        );
+    } else {
+        eprintln!(
+            "FAIL: step latency p99 {step_p99_us:.0} us > {tail_gate:.0}x p50 \
+             {step_p50_us:.0} us at batch {TENANTS}"
+        );
         failed = true;
     }
     if failed && smoke {

@@ -25,9 +25,9 @@ pub use kv::KvCache;
 pub use model::LlamaConfig;
 pub use pipeline::{DecodeBreakdown, E2eReport, Pipeline, QuantScheme};
 pub use serve::{
-    ContextHandle, ContextStats, DecodeRequest, MultiServer, ProfileConfig, RejectReason,
-    RequestHandle, RequestId, RequestOutput, RequestStatus, ServeConfig, Server, ServerStats,
-    SharedContext, StepReport,
+    ContextHandle, ContextStats, DecodeRequest, FairQueue, MultiServer, ProfileConfig,
+    RejectReason, RequestHandle, RequestId, RequestOutput, RequestStatus, ServeConfig, Server,
+    ServerStats, SharedContext, SloEstimator, StepReport,
 };
 
 /// Error type for pipeline configuration and the serving layer.
@@ -66,6 +66,17 @@ pub enum LlmError {
         /// The unrecognized handle id.
         id: u64,
     },
+    /// The request was cancelled after admission
+    /// ([`MultiServer::cancel`](serve::MultiServer::cancel)).
+    Cancelled,
+    /// SLO-aware admission projected the request cannot meet its deadline
+    /// ([`SloEstimator`](serve::SloEstimator)); retry after the computed
+    /// backoff, or ask for a longer deadline.
+    DeadlineUnmeetable {
+        /// Milliseconds after which the same deadline could be met if the
+        /// queue ahead has drained (always at least 1).
+        retry_after_ms: u64,
+    },
     /// A kernel failed underneath the serving decode loop.
     Kernel(vqllm_kernels::KernelError),
 }
@@ -83,6 +94,13 @@ impl std::fmt::Display for LlmError {
             LlmError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
             LlmError::UnknownContext { id } => {
                 write!(f, "unknown context handle {id} (not issued by this engine)")
+            }
+            LlmError::Cancelled => write!(f, "request cancelled"),
+            LlmError::DeadlineUnmeetable { retry_after_ms } => {
+                write!(
+                    f,
+                    "deadline unmeetable under current load (retry after {retry_after_ms} ms)"
+                )
             }
             LlmError::Kernel(e) => write!(f, "kernel: {e}"),
         }

@@ -41,15 +41,19 @@
 //! [`KvCache`]: crate::KvCache
 //! [`Pipeline`]: crate::Pipeline
 
+pub mod fair;
 pub mod multi;
 pub mod request;
 pub mod scheduler;
+pub mod slo;
 
+pub use fair::FairQueue;
 pub use multi::{ContextHandle, ContextStats, MultiServer, ProfileConfig, REJECTED_TOMBSTONE_CAP};
 pub use request::{
     DecodeRequest, RejectReason, RequestHandle, RequestId, RequestOutput, RequestStatus,
 };
 pub use scheduler::{Server, ServerStats, StepReport};
+pub use slo::SloEstimator;
 
 use crate::{LlmError, Result};
 use std::sync::Arc;

@@ -64,6 +64,17 @@ impl ContextHandle {
     pub fn id(&self) -> u64 {
         self.id as u64
     }
+
+    /// A handle no live scheduler will ever accept (the nonce matches no
+    /// engine) — for tests of layers that carry handles without resolving
+    /// them.
+    #[doc(hidden)]
+    pub fn detached(id: u32) -> ContextHandle {
+        ContextHandle {
+            engine: u32::MAX,
+            id,
+        }
+    }
 }
 
 /// Per-context profile-feedback policy.
@@ -109,6 +120,12 @@ impl ProfileConfig {
 /// Per-context feedback counters, cheap to copy out for reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ContextStats {
+    /// Requests admitted against this context.
+    pub submitted: u64,
+    /// Requests fully decoded against this context.
+    pub completed: u64,
+    /// Requests cancelled after admission against this context.
+    pub cancelled: u64,
     /// Decode steps this context's group participated in.
     pub steps: u64,
     /// Attended-prefix tokens folded into the observed histogram.
@@ -255,8 +272,20 @@ pub struct StepReport {
 pub struct ServerStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
-    /// Requests refused at admission (queue full or invalid).
+    /// Requests refused at admission (sum of the per-reason counters
+    /// below).
     pub rejected: u64,
+    /// Admission refusals because the bounded queue was at `max_queue`.
+    pub rejected_queue_full: u64,
+    /// Admission refusals for malformed/unservable requests.
+    pub rejected_invalid: u64,
+    /// Admission refusals that would outgrow the model's KV window.
+    pub rejected_kv_capacity: u64,
+    /// Admission refusals naming a handle this engine never issued.
+    pub rejected_unknown_context: u64,
+    /// Requests cancelled *after* admission ([`MultiServer::cancel`]) —
+    /// counted separately from `rejected`, which is admission-time only.
+    pub cancelled: u64,
     /// Requests fully decoded.
     pub completed: u64,
     /// Decode steps executed (non-idle).
@@ -502,6 +531,47 @@ impl MultiServer {
         self.finished.remove(&handle.id)
     }
 
+    /// The hidden-state rows a live request has decoded *so far* — the
+    /// streaming seam: a driver can diff the length after each step and
+    /// forward the new rows as they decode. `Some(&[])` for a request
+    /// still waiting in the queue, `None` once it is no longer live
+    /// (finished, rejected, cancelled, or unknown — terminal rows live in
+    /// [`MultiServer::output`]).
+    pub fn partial_output(&self, handle: &RequestHandle) -> Option<&[Vec<f32>]> {
+        if let Some(r) = self.running.iter().find(|r| r.id == handle.id) {
+            Some(&r.steps)
+        } else if self.queue.iter().any(|r| r.id == handle.id) {
+            Some(&[])
+        } else {
+            None
+        }
+    }
+
+    /// Cancels a live request: frees its decode slot or queue entry and
+    /// resolves the handle to [`RequestStatus::Rejected`] with
+    /// [`RejectReason::Cancelled`] (a bounded tombstone, like admission
+    /// rejections). Returns `false` — and changes nothing — when the
+    /// request is not live: already finished (its output stays
+    /// collectable), already rejected, or never submitted. A freed slot is
+    /// re-filled from the queue at the next [`MultiServer::step`].
+    pub fn cancel(&mut self, handle: &RequestHandle) -> bool {
+        let id = handle.id;
+        let removed = if let Some(pos) = self.running.iter().position(|r| r.id == id) {
+            Some(self.running.remove(pos))
+        } else if let Some(pos) = self.queue.iter().position(|r| r.id == id) {
+            self.queue.remove(pos)
+        } else {
+            None
+        };
+        let Some(r) = removed else {
+            return false;
+        };
+        self.stats.cancelled += 1;
+        self.contexts[r.ctx.id as usize].stats.cancelled += 1;
+        self.tombstone(id, RejectReason::Cancelled);
+        true
+    }
+
     // --- admission ---
 
     /// Admits a request against a registered context into the engine-wide
@@ -518,17 +588,24 @@ impl MultiServer {
             Err(e) => {
                 let id = self.next_id;
                 self.next_id += 1;
-                while self.rejected.len() >= REJECTED_TOMBSTONE_CAP {
-                    let Some(old) = self.rejected_order.pop_front() else {
-                        break;
-                    };
-                    self.rejected.remove(&old);
-                }
-                self.rejected.insert(id, RejectReason::from_llm(&e));
-                self.rejected_order.push_back(id);
+                self.tombstone(id, RejectReason::from_llm(&e));
                 RequestHandle { id }
             }
         }
+    }
+
+    /// Records a bounded rejection tombstone so `id` polls as `Rejected`
+    /// with its reason (the oldest age out past
+    /// [`REJECTED_TOMBSTONE_CAP`]).
+    fn tombstone(&mut self, id: RequestId, reason: RejectReason) {
+        while self.rejected.len() >= REJECTED_TOMBSTONE_CAP {
+            let Some(old) = self.rejected_order.pop_front() else {
+                break;
+            };
+            self.rejected.remove(&old);
+        }
+        self.rejected.insert(id, reason);
+        self.rejected_order.push_back(id);
     }
 
     /// Admits a request, erroring on refusal (the rejection still counts
@@ -551,6 +628,13 @@ impl MultiServer {
             }
             Err(e) => {
                 self.stats.rejected += 1;
+                match e {
+                    LlmError::QueueFull { .. } => self.stats.rejected_queue_full += 1,
+                    LlmError::InvalidRequest { .. } => self.stats.rejected_invalid += 1,
+                    LlmError::KvCapacity { .. } => self.stats.rejected_kv_capacity += 1,
+                    LlmError::UnknownContext { .. } => self.stats.rejected_unknown_context += 1,
+                    _ => {}
+                }
                 Err(e)
             }
         }
@@ -606,6 +690,7 @@ impl MultiServer {
                 max_queue: self.config.max_queue,
             });
         }
+        self.contexts[ctx.id as usize].stats.submitted += 1;
         let id = self.next_id;
         self.next_id += 1;
         self.queue.push_back(Active {
@@ -729,6 +814,7 @@ impl MultiServer {
                 let r = self.running.remove(i);
                 finished.push(r.id);
                 self.stats.completed += 1;
+                self.contexts[r.ctx.id as usize].stats.completed += 1;
                 self.finished.insert(
                     r.id,
                     RequestOutput {

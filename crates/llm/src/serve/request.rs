@@ -92,6 +92,17 @@ pub enum RejectReason {
         /// The unrecognized handle id.
         id: u64,
     },
+    /// The request was cancelled after admission
+    /// ([`MultiServer::cancel`](crate::serve::MultiServer::cancel) or the
+    /// protocol's `cancel` verb); its slot or queue entry was freed.
+    Cancelled,
+    /// SLO-aware admission projected the request cannot meet its deadline
+    /// under the current load.
+    Deadline {
+        /// Milliseconds after which the same deadline could be met if the
+        /// queue ahead has drained (always at least 1).
+        retry_after_ms: u64,
+    },
 }
 
 impl RejectReason {
@@ -105,6 +116,10 @@ impl RejectReason {
                 RejectReason::KvCapacity { what, value, limit }
             }
             crate::LlmError::UnknownContext { id } => RejectReason::UnknownContext { id },
+            crate::LlmError::Cancelled => RejectReason::Cancelled,
+            crate::LlmError::DeadlineUnmeetable { retry_after_ms } => {
+                RejectReason::Deadline { retry_after_ms }
+            }
             ref other => unreachable!("admission produced a non-admission error: {other}"),
         }
     }
@@ -119,6 +134,10 @@ impl RejectReason {
                 crate::LlmError::KvCapacity { what, value, limit }
             }
             RejectReason::UnknownContext { id } => crate::LlmError::UnknownContext { id },
+            RejectReason::Cancelled => crate::LlmError::Cancelled,
+            RejectReason::Deadline { retry_after_ms } => {
+                crate::LlmError::DeadlineUnmeetable { retry_after_ms }
+            }
         }
     }
 }

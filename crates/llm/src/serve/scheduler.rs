@@ -133,6 +133,18 @@ impl Server {
         self.inner.take_output(handle)
     }
 
+    /// The rows a live request has decoded so far (see
+    /// [`MultiServer::partial_output`]).
+    pub fn partial_output(&self, handle: &RequestHandle) -> Option<&[Vec<f32>]> {
+        self.inner.partial_output(handle)
+    }
+
+    /// Cancels a live request, freeing its slot or queue entry (see
+    /// [`MultiServer::cancel`]).
+    pub fn cancel(&mut self, handle: &RequestHandle) -> bool {
+        self.inner.cancel(handle)
+    }
+
     // --- admission ---
 
     /// Admits a request into the bounded queue.

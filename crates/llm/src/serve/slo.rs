@@ -1,0 +1,112 @@
+//! Deadline/SLO-aware admission math: the retry-after estimate behind the
+//! network front end's typed rejections.
+//!
+//! The serving queue rejects with a *computed* `retry_after_ms` instead of
+//! a bare refusal: callers (and load balancers) can tell "come back in
+//! 40 ms" apart from "this request can never meet its deadline here". The
+//! estimator is deliberately first-order — it projects from the measured
+//! per-step latency and the decode-slot width, the two quantities the
+//! scheduler actually controls:
+//!
+//! * a request entering behind `tokens_ahead` tokens of queued + in-flight
+//!   work waits roughly `tokens_ahead / max_batch` steps for its slot
+//!   (every non-idle step retires one token per occupied slot);
+//! * once running, it needs exactly `gen_tokens` steps of its own.
+//!
+//! Both phases are priced at the measured step latency, so the estimate
+//! tightens as the metrics warm up. All math is pure and deterministic —
+//! the caller supplies the clock-derived inputs — which keeps the
+//! admission decision unit-testable.
+
+/// First-order completion-time model over the serving scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloEstimator {
+    /// Measured (or prior) wall time of one decode step, microseconds.
+    pub step_latency_us: f64,
+    /// Decode slots per step (`ServeConfig::max_batch`).
+    pub max_batch: usize,
+}
+
+impl SloEstimator {
+    /// An estimator; `max_batch` is clamped to at least 1.
+    pub fn new(step_latency_us: f64, max_batch: usize) -> SloEstimator {
+        SloEstimator {
+            step_latency_us: step_latency_us.max(0.0),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Estimated milliseconds until `tokens_ahead` tokens of queued +
+    /// in-flight work stop blocking a new arrival's slot.
+    pub fn queue_drain_ms(&self, tokens_ahead: u64) -> f64 {
+        let steps = tokens_ahead.div_ceil(self.max_batch as u64);
+        steps as f64 * self.step_latency_us / 1000.0
+    }
+
+    /// Estimated milliseconds from admission to last decoded token for a
+    /// request of `gen_tokens` entering behind `tokens_ahead` tokens.
+    pub fn completion_ms(&self, tokens_ahead: u64, gen_tokens: usize) -> f64 {
+        self.queue_drain_ms(tokens_ahead) + gen_tokens as f64 * self.step_latency_us / 1000.0
+    }
+
+    /// Deadline admission: `Ok` when the projected completion fits inside
+    /// `deadline_ms`, otherwise `Err(retry_after_ms)` — the (at least
+    /// 1 ms) backoff after which the same deadline *could* be met if the
+    /// queue ahead has drained. A deadline shorter than the request's own
+    /// service time is unmeetable at any load; the retry-after then simply
+    /// reports how far off it is, so the caller can tell "retry later"
+    /// from "ask for less".
+    pub fn admit(&self, tokens_ahead: u64, gen_tokens: usize, deadline_ms: u64) -> Result<(), u64> {
+        let projected = self.completion_ms(tokens_ahead, gen_tokens);
+        if projected <= deadline_ms as f64 {
+            Ok(())
+        } else {
+            Err(((projected - deadline_ms as f64).ceil() as u64).max(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_prices_service_time_only() {
+        let est = SloEstimator::new(1000.0, 8);
+        assert_eq!(est.queue_drain_ms(0), 0.0);
+        let ms = est.completion_ms(0, 16);
+        assert!((ms - 16.0).abs() < 1e-9, "16 steps x 1ms = 16ms, got {ms}");
+    }
+
+    #[test]
+    fn queue_ahead_drains_at_batch_width() {
+        let est = SloEstimator::new(500.0, 4);
+        // 10 tokens ahead at 4/step = 3 steps = 1.5 ms.
+        assert!((est.queue_drain_ms(10) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impossible_deadline_rejects_with_positive_retry_after() {
+        let est = SloEstimator::new(200.0, 8);
+        // Even with an empty queue, 8 tokens cost 1.6 ms > 0 ms deadline.
+        let retry = est.admit(0, 8, 0).unwrap_err();
+        assert!(retry >= 1, "retry_after_ms must be positive, got {retry}");
+        // A generous deadline admits.
+        assert!(est.admit(0, 8, 1000).is_ok());
+    }
+
+    #[test]
+    fn retry_after_tracks_the_queue_backlog() {
+        let est = SloEstimator::new(1000.0, 1);
+        // 50 queued tokens at 1 ms each + 5 service = 55 ms vs 10 ms
+        // deadline -> 45 ms short.
+        let retry = est.admit(50, 5, 10).unwrap_err();
+        assert_eq!(retry, 45);
+    }
+
+    #[test]
+    fn zero_latency_prior_admits_everything() {
+        let est = SloEstimator::new(0.0, 8);
+        assert!(est.admit(u64::MAX / 2, 1_000_000, 0).is_ok());
+    }
+}

@@ -1,0 +1,55 @@
+//! A minimal line-protocol client for a running `net_serve` server.
+//!
+//! ```sh
+//! # terminal 1
+//! cargo run --release --example net_serve -- 127.0.0.1:8844
+//! # terminal 2
+//! cargo run --release --example net_client -- 127.0.0.1:8844 [tenant] [gen_tokens]
+//! ```
+//!
+//! Submits one streaming request (query width 32 — the demo server's
+//! `head_dim`), prints every frame as it arrives, then fetches `stats`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use vq_llm::net::proto;
+
+const HEAD_DIM: usize = 32;
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:8844".into());
+    let tenant: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let gen_tokens: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let stream = TcpStream::connect(&addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let query: Vec<f32> = (0..HEAD_DIM)
+        .map(|d| ((tenant as usize * 11 + d) as f32 * 0.17).sin())
+        .collect();
+    let line = proto::submit_line(0, tenant, &query, 100, gen_tokens, 0, None, true);
+    println!("-> {line}");
+    writeln!(writer, "{line}")?;
+
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        reader.read_line(&mut buf)?;
+        let frame = buf.trim();
+        println!("<- {frame}");
+        if frame.contains("\"done\"") || frame.contains("\"rejected\"") {
+            break;
+        }
+    }
+
+    writeln!(writer, "{{\"verb\":\"stats\"}}")?;
+    buf.clear();
+    reader.read_line(&mut buf)?;
+    println!("<- {}", buf.trim());
+    Ok(())
+}

@@ -480,6 +480,21 @@ impl Engine {
         self.server.take_output(handle)
     }
 
+    /// The hidden-state rows a live request has decoded so far — the
+    /// streaming seam the network driver diffs after every step (see
+    /// [`MultiServer::partial_output`](vqllm_llm::MultiServer::partial_output)).
+    pub fn partial_output(&self, handle: &RequestHandle) -> Option<&[Vec<f32>]> {
+        self.server.partial_output(handle)
+    }
+
+    /// Cancels a live request: frees its decode slot or queue entry and
+    /// resolves the handle to [`RequestStatus::Rejected`] with
+    /// [`RejectReason::Cancelled`](vqllm_llm::RejectReason::Cancelled).
+    /// Returns `false` (and changes nothing) when the request is not live.
+    pub fn cancel(&mut self, handle: &RequestHandle) -> bool {
+        self.server.cancel(handle)
+    }
+
     /// One decode step across every live context group.
     ///
     /// # Errors

@@ -58,6 +58,7 @@
 pub mod backend;
 pub mod engine;
 pub mod error;
+pub mod net;
 pub mod session;
 
 pub use vqllm_core as core;
@@ -70,6 +71,7 @@ pub use vqllm_vq as vq;
 pub use backend::{Backend, BackendKind, CpuBackend, PerfModelBackend};
 pub use engine::{Engine, EngineBuilder};
 pub use error::{Result, VqLlmError};
+pub use net::{AdmissionConfig, Client, NetRequest, NetServer, StreamEvent, Ticket, TicketEnd};
 pub use session::{Session, SessionBuilder};
 
 // The vocabulary types a `Session`/`Engine` consumer touches, re-exported

@@ -1,0 +1,318 @@
+//! The front-end admission layer: weighted fair queueing plus SLO-aware
+//! deadline admission, sitting between the network protocol and the
+//! engine's FIFO.
+//!
+//! The engine queue stays strict FIFO (and nearly empty — the driver only
+//! forwards when a decode slot is about to be free), so *this* queue is
+//! where multi-tenant policy lives:
+//!
+//! * ordering comes from [`FairQueue`] — stride-scheduled weighted
+//!   fairness within a priority class, strict preemption across classes;
+//! * admission is bounded ([`AdmissionConfig::max_pending`]) and
+//!   deadline-aware: a request whose projected completion (via
+//!   [`SloEstimator`], priced at the measured step latency) misses its
+//!   deadline is rejected *now* with a computed
+//!   [`retry_after_ms`](AdmitReject::retry_after_ms) rather than admitted
+//!   to fail later, and a full queue also reports when to come back
+//!   instead of a bare `QueueFull`.
+//!
+//! Everything is pure data structure — the driver supplies the measured
+//! step latency and the engine's in-flight token count — so the policy is
+//! deterministic and unit-testable without threads or clocks.
+
+use vqllm_llm::serve::{FairQueue, SloEstimator};
+use vqllm_llm::{ContextHandle, DecodeRequest, RejectReason};
+
+/// Fairness and SLO limits of the network front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Largest number of requests waiting in the fair queue; beyond this,
+    /// submissions are rejected with a computed retry-after.
+    pub max_pending: usize,
+    /// Weight for tenants without an explicit entry in
+    /// [`AdmissionConfig::weights`].
+    pub default_weight: u32,
+    /// Explicit per-tenant `(tenant, weight)` scheduling weights: a
+    /// weight-2 tenant is granted two decode slots for every one a
+    /// weight-1 tenant gets when both are backlogged.
+    pub weights: Vec<(u64, u32)>,
+    /// Step-latency prior (µs) used for deadline math until the metrics
+    /// have measured real steps.
+    pub default_step_us: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_pending: 256,
+            default_weight: 1,
+            weights: Vec::new(),
+            default_step_us: 200.0,
+        }
+    }
+}
+
+/// One request as the network front end carries it: the engine-facing
+/// decode request plus the scheduling envelope (context, priority class,
+/// optional deadline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetRequest {
+    /// The registered context to decode against.
+    pub ctx: ContextHandle,
+    /// The decode work itself (tenant tag, query row, positions).
+    pub req: DecodeRequest,
+    /// Priority class (higher is served strictly first); fairness applies
+    /// within a class.
+    pub priority: u8,
+    /// Optional completion deadline in milliseconds from submission; when
+    /// set, admission projects completion time and rejects unmeetable
+    /// requests immediately.
+    pub deadline_ms: Option<u64>,
+}
+
+impl NetRequest {
+    /// A request with default priority and no deadline.
+    pub fn new(ctx: ContextHandle, req: DecodeRequest) -> NetRequest {
+        NetRequest {
+            ctx,
+            req,
+            priority: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// Sets the priority class.
+    pub fn priority(mut self, priority: u8) -> NetRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a completion deadline (milliseconds from submission).
+    pub fn deadline_ms(mut self, ms: u64) -> NetRequest {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// A typed front-end rejection: the reason plus a backoff the caller can
+/// act on (always at least 1 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitReject {
+    /// The typed reason (also what `poll` reports for the handle).
+    pub reason: RejectReason,
+    /// Computed backoff after which a retry could succeed.
+    pub retry_after_ms: u64,
+}
+
+/// A request waiting in the fair queue, tagged with its driver ticket id.
+#[derive(Debug)]
+pub struct Pending {
+    /// The driver's ticket id (what `cancel` and completion resolve).
+    pub id: u64,
+    /// The queued request.
+    pub net: NetRequest,
+}
+
+/// The admission state machine: a bounded [`FairQueue`] of [`Pending`]
+/// requests with an exact count of queued-but-not-forwarded tokens (the
+/// SLO estimator's backlog input).
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    queue: FairQueue<Pending>,
+    /// Sum of `gen_tokens` across the queue (kept exact by push/pop/
+    /// cancel).
+    pending_tokens: u64,
+    /// Decode slots per engine step, for the drain model.
+    max_batch: usize,
+}
+
+impl Admission {
+    /// An empty admission queue for an engine of `max_batch` decode slots.
+    pub fn new(cfg: AdmissionConfig, max_batch: usize) -> Admission {
+        let mut queue = FairQueue::new(cfg.default_weight);
+        for &(tenant, weight) in &cfg.weights {
+            queue.set_weight(tenant, weight);
+        }
+        Admission {
+            cfg,
+            queue,
+            pending_tokens: 0,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Requests waiting in the fair queue.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the fair queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Tokens of queued (not yet forwarded) work.
+    pub fn pending_tokens(&self) -> u64 {
+        self.pending_tokens
+    }
+
+    /// The estimator currently pricing admission: the measured step
+    /// latency when available, the configured prior before that.
+    pub fn estimator(&self, measured_step_us: Option<f64>) -> SloEstimator {
+        SloEstimator::new(
+            measured_step_us.unwrap_or(self.cfg.default_step_us),
+            self.max_batch,
+        )
+    }
+
+    /// Admits `net` (tagged with driver ticket `id`) into the fair queue,
+    /// or rejects it with a typed reason and a computed retry-after.
+    ///
+    /// `engine_tokens` is the engine-side backlog (tokens still owed by
+    /// running + forwarded requests); `measured_step_us` is the metrics'
+    /// current mean step latency, if any steps have run.
+    pub fn admit(
+        &mut self,
+        id: u64,
+        net: NetRequest,
+        engine_tokens: u64,
+        measured_step_us: Option<f64>,
+    ) -> Result<(), AdmitReject> {
+        let est = self.estimator(measured_step_us);
+        let tokens_ahead = self.pending_tokens + engine_tokens;
+        if self.queue.len() >= self.cfg.max_pending {
+            // Full queue: come back once one average queued request's
+            // worth of backlog has drained.
+            let avg = self.pending_tokens / self.queue.len().max(1) as u64;
+            let retry = (est.queue_drain_ms(avg.max(1)).ceil() as u64).max(1);
+            return Err(AdmitReject {
+                reason: RejectReason::QueueFull {
+                    max_queue: self.cfg.max_pending,
+                },
+                retry_after_ms: retry,
+            });
+        }
+        if let Some(deadline_ms) = net.deadline_ms {
+            if let Err(retry_after_ms) = est.admit(tokens_ahead, net.req.gen_tokens, deadline_ms) {
+                return Err(AdmitReject {
+                    reason: RejectReason::Deadline { retry_after_ms },
+                    retry_after_ms,
+                });
+            }
+        }
+        self.pending_tokens += net.req.gen_tokens as u64;
+        let (tenant, priority) = (net.req.tenant, net.priority);
+        self.queue.push(tenant, priority, Pending { id, net });
+        Ok(())
+    }
+
+    /// Dequeues the next request in fair-scheduling order.
+    pub fn pop(&mut self) -> Option<Pending> {
+        let p = self.queue.pop()?;
+        self.pending_tokens -= p.net.req.gen_tokens as u64;
+        Some(p)
+    }
+
+    /// Removes a queued request by ticket id (the cancellation path).
+    pub fn cancel(&mut self, id: u64) -> Option<Pending> {
+        let p = self.queue.remove_where(|p| p.id == id)?;
+        self.pending_tokens -= p.net.req.gen_tokens as u64;
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vqllm_llm::DecodeRequest;
+
+    fn req(tenant: u64, gen_tokens: usize) -> NetRequest {
+        NetRequest::new(
+            ContextHandle::detached(0),
+            DecodeRequest::new(tenant, vec![0.0; 8], 4, gen_tokens),
+        )
+    }
+
+    #[test]
+    fn admits_in_weighted_fair_order() {
+        let cfg = AdmissionConfig {
+            weights: vec![(1, 2)],
+            ..AdmissionConfig::default()
+        };
+        let mut adm = Admission::new(cfg, 8);
+        for i in 0..6 {
+            adm.admit(i, req(1, 4), 0, None).expect("admit");
+            adm.admit(100 + i, req(2, 4), 0, None).expect("admit");
+        }
+        assert_eq!(adm.pending_tokens(), 48);
+        let order: Vec<u64> = (0..9)
+            .map(|_| adm.pop().expect("queued").net.req.tenant)
+            .collect();
+        let ones = order.iter().filter(|&&t| t == 1).count();
+        assert_eq!(ones, 6, "weight-2 tenant takes 6 of the first 9 grants");
+    }
+
+    #[test]
+    fn impossible_deadline_rejects_with_retry_after() {
+        let mut adm = Admission::new(AdmissionConfig::default(), 8);
+        // 200 µs prior × 32 steps = 6.4 ms > 0 ms deadline.
+        let err = adm
+            .admit(1, req(1, 32).deadline_ms(0), 0, None)
+            .expect_err("unmeetable");
+        assert!(matches!(err.reason, RejectReason::Deadline { .. }));
+        assert!(err.retry_after_ms >= 1);
+        assert!(adm.is_empty(), "rejected requests never enter the queue");
+        // The same request with a generous deadline admits.
+        adm.admit(2, req(1, 32).deadline_ms(10_000), 0, None)
+            .expect("meetable");
+    }
+
+    #[test]
+    fn full_queue_rejects_with_computed_backoff() {
+        let cfg = AdmissionConfig {
+            max_pending: 2,
+            ..AdmissionConfig::default()
+        };
+        let mut adm = Admission::new(cfg, 8);
+        adm.admit(1, req(1, 16), 0, None).expect("admit");
+        adm.admit(2, req(1, 16), 0, None).expect("admit");
+        let err = adm.admit(3, req(1, 16), 0, None).expect_err("full");
+        assert!(matches!(
+            err.reason,
+            RejectReason::QueueFull { max_queue: 2 }
+        ));
+        assert!(err.retry_after_ms >= 1);
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_and_rebalances_tokens() {
+        let mut adm = Admission::new(AdmissionConfig::default(), 8);
+        adm.admit(1, req(1, 10), 0, None).expect("admit");
+        adm.admit(2, req(1, 20), 0, None).expect("admit");
+        assert_eq!(adm.pending_tokens(), 30);
+        let cancelled = adm.cancel(1).expect("queued");
+        assert_eq!(cancelled.id, 1);
+        assert_eq!(adm.pending_tokens(), 20);
+        assert!(adm.cancel(1).is_none(), "already removed");
+        assert_eq!(adm.pop().expect("remaining").id, 2);
+    }
+
+    #[test]
+    fn engine_backlog_tightens_the_deadline_check() {
+        let mut adm = Admission::new(AdmissionConfig::default(), 1);
+        // 1 token/step at 1000 µs/step: 10 engine tokens ahead = 10 ms.
+        let measured = Some(1000.0);
+        adm.admit(1, req(1, 5).deadline_ms(20), 10, measured)
+            .expect("15 ms projected fits 20 ms");
+        let err = adm
+            .admit(2, req(1, 5).deadline_ms(12), 15, measured)
+            .expect_err("25 ms projected misses 12 ms");
+        assert!(matches!(err.reason, RejectReason::Deadline { .. }));
+    }
+}

@@ -1,0 +1,723 @@
+//! The engine driver: a dedicated thread that owns an [`Engine`] and
+//! steps it whenever work is pending, behind a thread-safe [`Client`]
+//! handle.
+//!
+//! The engine's API is deliberately synchronous and single-threaded —
+//! `submit`/`step`/`poll` on one `&mut Engine` — which keeps the
+//! scheduler deterministic and testable. The driver is the seam that
+//! turns it into a service:
+//!
+//! * **one owner** — the driver thread holds the `Engine`; everything
+//!   else talks to it through an mpsc command channel, so there is no
+//!   lock around the scheduler and no step ever waits on a client;
+//! * **work-conserving, never spinning** — the loop blocks on the
+//!   channel when the engine is idle and drains commands between steps
+//!   when it is not; a submit wakes it by virtue of the channel recv;
+//! * **fairness in front, FIFO behind** — submissions enter the
+//!   [`Admission`] fair queue (weighted stride scheduling + deadline
+//!   admission) and are forwarded to the engine only while a decode slot
+//!   is free, so the engine's own FIFO never holds more than a batch and
+//!   cannot reorder the fairness decisions;
+//! * **completion without polling** — every submission returns a
+//!   [`Ticket`] holding a private wait cell the driver resolves when the
+//!   request finishes or is rejected; [`Client::wait`] and
+//!   [`Client::wait_timeout`] block on that cell directly, no driver
+//!   round-trip;
+//! * **streaming** — a [`StreamSink`] submitted with the request is
+//!   called *from the driver thread* after every step with the newly
+//!   decoded rows ([`StreamEvent::Token`]), so frame order is exactly
+//!   decode order: `Accepted`, then one `Token` per decoded row, then
+//!   `Done` (or `Rejected` at any point before completion);
+//! * **measured admission** — every step's wall time feeds the shared
+//!   [`Metrics`], and the admission deadline math prices new arrivals at
+//!   the measured mean step latency (falling back to the configured
+//!   prior while cold).
+//!
+//! Determinism note: the decode bytes themselves stay bitwise identical
+//! to a solo drain — the driver only decides *when* requests enter the
+//! engine, and the scheduler is numerically invisible (`tests/serving.rs`
+//! pins that; `tests/net_serving.rs` re-pins it through a TCP socket).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use vqllm_llm::{RejectReason, RequestHandle, RequestOutput, RequestStatus, ServerStats};
+
+use crate::engine::Engine;
+use crate::net::admission::{Admission, AdmissionConfig, NetRequest};
+use crate::net::metrics::{Metrics, MetricsSnapshot};
+
+/// How a driven request ends: the terminal state a [`Ticket`]'s wait
+/// resolves to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TicketEnd {
+    /// All requested tokens decoded; the full output is attached (for
+    /// streamed requests the rows were also delivered incrementally).
+    Finished(RequestOutput),
+    /// Refused — at admission, at forwarding, or by cancellation.
+    Rejected {
+        /// The typed reason.
+        reason: RejectReason,
+        /// Computed backoff when retrying could help; `0` when it cannot
+        /// (invalid request, cancelled, driver stopped).
+        retry_after_ms: u64,
+    },
+}
+
+impl TicketEnd {
+    /// The finished output, if this end is a completion.
+    pub fn into_output(self) -> Option<RequestOutput> {
+        match self {
+            TicketEnd::Finished(out) => Some(out),
+            TicketEnd::Rejected { .. } => None,
+        }
+    }
+}
+
+/// What the driver pushes through a [`StreamSink`], in guaranteed order:
+/// `Accepted`, then `Token` per decoded row (ascending `index`), then
+/// exactly one terminal `Done` or `Rejected`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// The request passed admission and entered the fair queue.
+    Accepted {
+        /// The ticket id.
+        id: u64,
+    },
+    /// One newly decoded hidden-state row.
+    Token {
+        /// The ticket id.
+        id: u64,
+        /// Zero-based decode step of this row.
+        index: usize,
+        /// The row (`head_dim` wide), bitwise as the engine produced it.
+        value: Vec<f32>,
+    },
+    /// All rows decoded.
+    Done {
+        /// The ticket id.
+        id: u64,
+        /// Total rows decoded.
+        tokens: usize,
+    },
+    /// The request will produce no further events.
+    Rejected {
+        /// The ticket id.
+        id: u64,
+        /// The typed reason.
+        reason: RejectReason,
+        /// Computed backoff (0 when retrying cannot help).
+        retry_after_ms: u64,
+    },
+}
+
+/// A per-request event callback, invoked from the driver thread.
+pub type StreamSink = Box<dyn FnMut(StreamEvent) + Send + 'static>;
+
+/// The one-shot completion cell a ticket blocks on.
+#[derive(Debug)]
+struct WaitCell {
+    state: Mutex<Option<TicketEnd>>,
+    cv: Condvar,
+}
+
+impl WaitCell {
+    fn new() -> WaitCell {
+        WaitCell {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, end: TicketEnd) {
+        let mut s = self.state.lock().expect("wait cell lock");
+        if s.is_none() {
+            *s = Some(end);
+            self.cv.notify_all();
+        }
+    }
+
+    fn peek(&self) -> Option<TicketEnd> {
+        self.state.lock().expect("wait cell lock").clone()
+    }
+
+    fn wait(&self) -> TicketEnd {
+        let mut s = self.state.lock().expect("wait cell lock");
+        loop {
+            if let Some(end) = s.as_ref() {
+                return end.clone();
+            }
+            s = self.cv.wait(s).expect("wait cell lock");
+        }
+    }
+
+    fn wait_timeout(&self, dur: Duration) -> Option<TicketEnd> {
+        let deadline = Instant::now() + dur;
+        let mut s = self.state.lock().expect("wait cell lock");
+        loop {
+            if let Some(end) = s.as_ref() {
+                return Some(end.clone());
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, left).expect("wait cell lock");
+            s = guard;
+        }
+    }
+}
+
+/// A submitted request's handle: the driver-assigned id plus the wait
+/// cell its completion resolves. Waiting never round-trips through the
+/// driver, so a resolved ticket is observable even after the driver
+/// stopped.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    id: u64,
+    cell: Arc<WaitCell>,
+}
+
+impl Ticket {
+    /// The driver-assigned id (what the line protocol's `poll`/`cancel`
+    /// verbs reference).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Where a request currently queues, as the driver tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// In the front-end fair queue.
+    Queued,
+    /// Handed to the engine (holding or about to hold a decode slot).
+    Running,
+}
+
+struct SubmitCmd {
+    id: u64,
+    net: NetRequest,
+    sink: Option<StreamSink>,
+    cell: Arc<WaitCell>,
+}
+
+enum Cmd {
+    Submit(Box<SubmitCmd>),
+    Cancel { id: u64 },
+    Stats { reply: Sender<DriverStats> },
+    Shutdown,
+}
+
+/// A point-in-time view of the serving stack's queues (the `stats`
+/// verb's payload, next to the metrics snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverStats {
+    /// The engine scheduler's cumulative counters.
+    pub server: ServerStats,
+    /// Requests waiting in the front-end fair queue.
+    pub front_queued: usize,
+    /// Requests waiting in the engine's (intentionally shallow) FIFO.
+    pub engine_queued: usize,
+    /// Requests holding a decode slot.
+    pub running: usize,
+}
+
+/// The thread-safe handle to a driven engine. Cheap to clone; every
+/// clone talks to the same driver thread.
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<Cmd>,
+    metrics: Arc<Metrics>,
+    phases: Arc<Mutex<HashMap<u64, Phase>>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Submits a request; never blocks and never fails. A refused
+    /// request's ticket resolves to [`TicketEnd::Rejected`] (immediately,
+    /// when the driver has stopped).
+    pub fn submit(&self, net: NetRequest) -> Ticket {
+        self.submit_inner(net, None)
+    }
+
+    /// Submits a request with a streaming sink: the driver calls it with
+    /// every [`StreamEvent`] in decode order, from the driver thread.
+    pub fn submit_streaming(&self, net: NetRequest, sink: StreamSink) -> Ticket {
+        self.submit_inner(net, Some(sink))
+    }
+
+    fn submit_inner(&self, net: NetRequest, sink: Option<StreamSink>) -> Ticket {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(WaitCell::new());
+        let ticket = Ticket {
+            id,
+            cell: Arc::clone(&cell),
+        };
+        let cmd = Cmd::Submit(Box::new(SubmitCmd {
+            id,
+            net,
+            sink,
+            cell,
+        }));
+        if let Err(mpsc::SendError(Cmd::Submit(mut boxed))) = self.tx.send(cmd) {
+            let reason = RejectReason::Invalid {
+                what: "driver stopped",
+            };
+            if let Some(s) = boxed.sink.as_mut() {
+                s(StreamEvent::Rejected {
+                    id,
+                    reason,
+                    retry_after_ms: 0,
+                });
+            }
+            boxed.cell.resolve(TicketEnd::Rejected {
+                reason,
+                retry_after_ms: 0,
+            });
+        }
+        ticket
+    }
+
+    /// Where the ticket currently is: `Queued` (front-end fair queue, or
+    /// still in flight to the driver), `Running` (handed to the engine),
+    /// `Finished`, or `Rejected`.
+    pub fn poll(&self, ticket: &Ticket) -> RequestStatus {
+        match ticket.cell.peek() {
+            Some(TicketEnd::Finished(out)) => RequestStatus::Finished {
+                tokens: out.steps.len(),
+            },
+            Some(TicketEnd::Rejected { reason, .. }) => RequestStatus::Rejected { reason },
+            None => match self.phases.lock().expect("phase map lock").get(&ticket.id) {
+                Some(Phase::Running) => RequestStatus::Running,
+                _ => RequestStatus::Queued,
+            },
+        }
+    }
+
+    /// Blocks until the ticket resolves.
+    pub fn wait(&self, ticket: &Ticket) -> TicketEnd {
+        ticket.cell.wait()
+    }
+
+    /// Blocks until the ticket resolves or the deadline passes.
+    pub fn wait_timeout(&self, ticket: &Ticket, dur: Duration) -> Option<TicketEnd> {
+        ticket.cell.wait_timeout(dur)
+    }
+
+    /// Requests cancellation: a queued or running request frees its
+    /// entry/slot and the ticket resolves to
+    /// [`RejectReason::Cancelled`]; a ticket that already resolved is
+    /// unaffected.
+    pub fn cancel(&self, ticket: &Ticket) {
+        let _ = self.tx.send(Cmd::Cancel { id: ticket.id });
+    }
+
+    /// Queue/scheduler counters, fetched from the driver thread (`None`
+    /// when the driver has stopped).
+    pub fn stats(&self) -> Option<DriverStats> {
+        let (tx, rx) = mpsc::channel();
+        self.tx.send(Cmd::Stats { reply: tx }).ok()?;
+        rx.recv().ok()
+    }
+
+    /// A point-in-time copy of the driver's metrics (lock-free reads; no
+    /// driver round-trip).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+/// The handle that owns the driver thread: keep it alive for as long as
+/// the engine should serve, then [`DriverHandle::shutdown`].
+#[derive(Debug)]
+pub struct DriverHandle {
+    tx: Sender<Cmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl DriverHandle {
+    /// Stops the driver: every unresolved ticket resolves to
+    /// [`RejectReason::Cancelled`] and the thread exits. Idempotent with
+    /// respect to a driver that already stopped.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for DriverHandle {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Spawns the driver thread for a (pre-configured, contexts already
+/// registered) engine and returns the client handle plus the thread's
+/// owner.
+pub fn spawn(engine: Engine, cfg: AdmissionConfig) -> (Client, DriverHandle) {
+    let (tx, rx) = mpsc::channel();
+    let metrics = Arc::new(Metrics::new());
+    let phases = Arc::new(Mutex::new(HashMap::new()));
+    let max_batch = engine.serve_config().max_batch;
+    let admission = Admission::new(cfg, max_batch);
+    let state = DriverState {
+        engine,
+        admission,
+        rx,
+        metrics: Arc::clone(&metrics),
+        phases: Arc::clone(&phases),
+        tickets: HashMap::new(),
+        inflight_tokens: 0,
+    };
+    let join = thread::Builder::new()
+        .name("vq-llm-driver".into())
+        .spawn(move || state.run())
+        .expect("spawn driver thread");
+    let client = Client {
+        tx: tx.clone(),
+        metrics,
+        phases,
+        next_id: Arc::new(AtomicU64::new(1)),
+    };
+    (
+        client,
+        DriverHandle {
+            tx,
+            join: Some(join),
+        },
+    )
+}
+
+/// One live ticket's driver-side record, from admission to resolution.
+struct TicketRec {
+    cell: Arc<WaitCell>,
+    sink: Option<StreamSink>,
+    tenant: u64,
+    gen_tokens: usize,
+    /// Engine handle once forwarded.
+    handle: Option<RequestHandle>,
+    /// Rows already observed/streamed.
+    streamed: usize,
+}
+
+struct DriverState {
+    engine: Engine,
+    admission: Admission,
+    rx: Receiver<Cmd>,
+    metrics: Arc<Metrics>,
+    phases: Arc<Mutex<HashMap<u64, Phase>>>,
+    tickets: HashMap<u64, TicketRec>,
+    /// Tokens still owed by requests handed to the engine (grows by
+    /// `gen_tokens` at forward, shrinks by the decoded batch per step) —
+    /// the engine-side term of the SLO backlog.
+    inflight_tokens: u64,
+}
+
+impl DriverState {
+    fn idle(&self) -> bool {
+        self.engine.is_idle() && self.admission.is_empty()
+    }
+
+    fn run(mut self) {
+        loop {
+            if self.idle() {
+                // Nothing to decode: park on the channel.
+                match self.rx.recv() {
+                    Ok(Cmd::Shutdown) | Err(_) => return self.shutdown_now(),
+                    Ok(cmd) => self.handle_cmd(cmd),
+                }
+            }
+            // Drain whatever arrived while stepping.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Cmd::Shutdown) => return self.shutdown_now(),
+                    Ok(cmd) => self.handle_cmd(cmd),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        if self.idle() {
+                            return;
+                        }
+                        break;
+                    }
+                }
+            }
+            self.forward();
+            if !self.engine.is_idle() {
+                let depth = self.admission.len() + self.engine.queued();
+                let t0 = Instant::now();
+                match self.engine.step() {
+                    Ok(report) => {
+                        let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        self.metrics.record_step(us, report.batch, depth);
+                        self.inflight_tokens =
+                            self.inflight_tokens.saturating_sub(report.batch as u64);
+                        self.after_step();
+                    }
+                    Err(_) => {
+                        // The admission invariants make step errors
+                        // unreachable in normal use; if one happens the
+                        // engine state is suspect, so fail every ticket
+                        // loudly and stop driving.
+                        self.fail_all("engine step failed");
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_cmd(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::Submit(boxed) => self.handle_submit(*boxed),
+            Cmd::Cancel { id } => self.handle_cancel(id),
+            Cmd::Stats { reply } => {
+                let _ = reply.send(DriverStats {
+                    server: self.engine.stats(),
+                    front_queued: self.admission.len(),
+                    engine_queued: self.engine.queued(),
+                    running: self.engine.running(),
+                });
+            }
+            Cmd::Shutdown => unreachable!("shutdown is handled by the loop"),
+        }
+    }
+
+    fn handle_submit(&mut self, cmd: SubmitCmd) {
+        let SubmitCmd {
+            id,
+            net,
+            mut sink,
+            cell,
+        } = cmd;
+        let measured =
+            (self.metrics.step_latency.count() > 0).then(|| self.metrics.step_latency.mean());
+        let tenant = net.req.tenant;
+        let gen_tokens = net.req.gen_tokens;
+        match self
+            .admission
+            .admit(id, net, self.inflight_tokens, measured)
+        {
+            Ok(()) => {
+                self.metrics.record_admitted();
+                self.phases
+                    .lock()
+                    .expect("phase map lock")
+                    .insert(id, Phase::Queued);
+                if let Some(s) = sink.as_mut() {
+                    s(StreamEvent::Accepted { id });
+                }
+                self.tickets.insert(
+                    id,
+                    TicketRec {
+                        cell,
+                        sink,
+                        tenant,
+                        gen_tokens,
+                        handle: None,
+                        streamed: 0,
+                    },
+                );
+            }
+            Err(rej) => {
+                self.metrics.record_rejection(&rej.reason);
+                if let Some(s) = sink.as_mut() {
+                    s(StreamEvent::Rejected {
+                        id,
+                        reason: rej.reason,
+                        retry_after_ms: rej.retry_after_ms,
+                    });
+                }
+                cell.resolve(TicketEnd::Rejected {
+                    reason: rej.reason,
+                    retry_after_ms: rej.retry_after_ms,
+                });
+            }
+        }
+    }
+
+    fn handle_cancel(&mut self, id: u64) {
+        if self.admission.cancel(id).is_some() {
+            // Still in the fair queue: never reached the engine.
+            self.metrics.record_rejection(&RejectReason::Cancelled);
+            self.resolve(id, RejectReason::Cancelled);
+            return;
+        }
+        let Some((handle, owed)) = self.tickets.get(&id).and_then(|r| {
+            r.handle
+                .map(|h| (h, r.gen_tokens.saturating_sub(r.streamed) as u64))
+        }) else {
+            return; // already resolved (or never existed)
+        };
+        if self.engine.cancel(&handle) {
+            self.inflight_tokens = self.inflight_tokens.saturating_sub(owed);
+            self.metrics.record_rejection(&RejectReason::Cancelled);
+            self.resolve(id, RejectReason::Cancelled);
+        }
+    }
+
+    /// Resolves a ticket to a rejection, emitting the terminal sink
+    /// event.
+    fn resolve(&mut self, id: u64, reason: RejectReason) {
+        self.phases.lock().expect("phase map lock").remove(&id);
+        if let Some(mut rec) = self.tickets.remove(&id) {
+            let retry_after_ms = match reason {
+                RejectReason::Deadline { retry_after_ms } => retry_after_ms,
+                _ => 0,
+            };
+            if let Some(s) = rec.sink.as_mut() {
+                s(StreamEvent::Rejected {
+                    id,
+                    reason,
+                    retry_after_ms,
+                });
+            }
+            rec.cell.resolve(TicketEnd::Rejected {
+                reason,
+                retry_after_ms,
+            });
+        }
+    }
+
+    /// Moves fair-queue requests into the engine while a decode slot is
+    /// free. The engine queue therefore never holds more than one
+    /// batch's worth of requests, so the engine's FIFO cannot reorder
+    /// the fair queue's grants.
+    fn forward(&mut self) {
+        let max_batch = self.engine.serve_config().max_batch;
+        while self.engine.running() + self.engine.queued() < max_batch {
+            let Some(p) = self.admission.pop() else { break };
+            let gen = p.net.req.gen_tokens as u64;
+            let handle = self.engine.submit(p.net.ctx, p.net.req);
+            if let RequestStatus::Rejected { reason } = self.engine.poll(&handle) {
+                // The engine refused what admission let through (bad
+                // query shape, unknown context, KV overflow): surface
+                // the typed reason on the ticket.
+                self.metrics.record_rejection(&reason);
+                self.resolve(p.id, reason);
+                continue;
+            }
+            self.inflight_tokens += gen;
+            if let Some(rec) = self.tickets.get_mut(&p.id) {
+                rec.handle = Some(handle);
+                self.phases
+                    .lock()
+                    .expect("phase map lock")
+                    .insert(p.id, Phase::Running);
+            } else {
+                // The ticket record vanished (cannot happen outside a
+                // cancel race): don't decode for nobody.
+                self.engine.cancel(&handle);
+                self.inflight_tokens = self.inflight_tokens.saturating_sub(gen);
+            }
+        }
+    }
+
+    /// Streams newly decoded rows and resolves finished requests, in
+    /// ticket-id order (stable across runs).
+    fn after_step(&mut self) {
+        let mut live: Vec<(u64, RequestHandle)> = self
+            .tickets
+            .iter()
+            .filter_map(|(&id, r)| r.handle.map(|h| (id, h)))
+            .collect();
+        live.sort_unstable_by_key(|&(id, _)| id);
+        for (id, handle) in live {
+            let streamed = self.tickets[&id].streamed;
+            let new_rows: Vec<Vec<f32>> = self
+                .engine
+                .partial_output(&handle)
+                .map(|rows| rows[streamed.min(rows.len())..].to_vec())
+                .unwrap_or_default();
+            if !new_rows.is_empty() {
+                let rec = self.tickets.get_mut(&id).expect("live ticket");
+                for (k, row) in new_rows.iter().enumerate() {
+                    if let Some(s) = rec.sink.as_mut() {
+                        s(StreamEvent::Token {
+                            id,
+                            index: streamed + k,
+                            value: row.clone(),
+                        });
+                    }
+                }
+                rec.streamed += new_rows.len();
+                self.metrics
+                    .add_tenant_tokens(rec.tenant, new_rows.len() as u64);
+            }
+            match self.engine.poll(&handle) {
+                RequestStatus::Finished { .. } => {
+                    let out = self.engine.take_output(&handle).expect("finished output");
+                    self.phases.lock().expect("phase map lock").remove(&id);
+                    let mut rec = self.tickets.remove(&id).expect("live ticket");
+                    // Rows decoded in the finishing step are no longer
+                    // visible via partial_output; deliver them from the
+                    // collected output.
+                    let tail = &out.steps[rec.streamed.min(out.steps.len())..];
+                    if !tail.is_empty() {
+                        for (k, row) in tail.iter().enumerate() {
+                            if let Some(s) = rec.sink.as_mut() {
+                                s(StreamEvent::Token {
+                                    id,
+                                    index: rec.streamed + k,
+                                    value: row.clone(),
+                                });
+                            }
+                        }
+                        self.metrics
+                            .add_tenant_tokens(rec.tenant, tail.len() as u64);
+                    }
+                    if let Some(s) = rec.sink.as_mut() {
+                        s(StreamEvent::Done {
+                            id,
+                            tokens: out.steps.len(),
+                        });
+                    }
+                    rec.cell.resolve(TicketEnd::Finished(out));
+                }
+                RequestStatus::Rejected { reason } => {
+                    // Reachable only through external cancellation paths;
+                    // keep the ticket's contract either way.
+                    self.metrics.record_rejection(&reason);
+                    self.resolve(id, reason);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Fails every unresolved ticket with an `Invalid` reason (the
+    /// driver-is-broken path).
+    fn fail_all(&mut self, what: &'static str) {
+        let ids: Vec<u64> = self.tickets.keys().copied().collect();
+        for id in ids {
+            self.resolve(id, RejectReason::Invalid { what });
+        }
+        self.phases.lock().expect("phase map lock").clear();
+    }
+
+    /// Resolves every unresolved ticket as cancelled and drops the
+    /// engine (the shutdown path).
+    fn shutdown_now(&mut self) {
+        let ids: Vec<u64> = self.tickets.keys().copied().collect();
+        for id in ids {
+            self.metrics.record_rejection(&RejectReason::Cancelled);
+            self.resolve(id, RejectReason::Cancelled);
+        }
+        self.phases.lock().expect("phase map lock").clear();
+    }
+}

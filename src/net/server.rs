@@ -1,0 +1,299 @@
+//! The TCP front end: a line-protocol server over `std::net` that
+//! exposes a driven engine to remote clients.
+//!
+//! Threading model (all plain `std` threads, no async runtime):
+//!
+//! * one **accept** thread owns the `TcpListener` and spawns a pair of
+//!   threads per connection;
+//! * each connection's **reader** thread parses one frame per line
+//!   ([`proto::parse_frame`]) and acts on the shared [`Client`] — submit
+//!   into the fair queue, poll, cancel, stats;
+//! * each connection's **writer** thread drains an mpsc channel of
+//!   pre-rendered frames. The driver thread pushes streaming events into
+//!   that channel through the request's [`StreamSink`], and the reader
+//!   pushes verb replies; the channel serializes them, so a client sees
+//!   `accepted`, then `token`s in decode order, then `done`.
+//!
+//! Shutdown is cooperative: readers use a short socket read timeout to
+//! observe the stop flag, the accept thread is woken by a loopback
+//! connection, and the driver resolves every in-flight ticket as
+//! cancelled ([`DriverHandle::shutdown`]).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use vqllm_llm::serve::ContextHandle;
+use vqllm_llm::DecodeRequest;
+
+use crate::engine::Engine;
+use crate::net::admission::{AdmissionConfig, NetRequest};
+use crate::net::driver::{self, Client, DriverHandle, StreamEvent, Ticket};
+use crate::net::proto::{self, ClientFrame};
+
+/// How long a connection reader blocks before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A serving engine bound to a TCP address.
+///
+/// Construction takes ownership of a configured [`Engine`] (contexts
+/// already registered — the handles, in order, become the protocol's
+/// `ctx` indices), spawns the driver thread, and starts accepting
+/// connections. [`NetServer::shutdown`] (or drop) stops everything.
+pub struct NetServer {
+    addr: SocketAddr,
+    client: Client,
+    driver: Option<DriverHandle>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving `engine` over the line protocol. `contexts` maps the
+    /// protocol's `ctx` index to registered context handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `TcpListener` bind error.
+    pub fn bind(
+        engine: Engine,
+        contexts: Vec<ContextHandle>,
+        cfg: AdmissionConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (client, driver) = driver::spawn(engine, cfg);
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let client = client.clone();
+            let stop = Arc::clone(&stop);
+            let contexts = Arc::new(contexts);
+            thread::Builder::new()
+                .name("vq-llm-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let client = client.clone();
+                        let stop = Arc::clone(&stop);
+                        let contexts = Arc::clone(&contexts);
+                        let _ =
+                            thread::Builder::new()
+                                .name("vq-llm-conn".into())
+                                .spawn(move || {
+                                    serve_connection(stream, client, contexts, stop);
+                                });
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            addr,
+            client,
+            driver: Some(driver),
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to
+    /// port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The in-process client handle to the same driver the socket
+    /// clients reach — for embedding a server and local submissions in
+    /// one process.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Stops accepting, stops the driver (unresolved tickets resolve as
+    /// cancelled), and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.accept.take() {
+            let _ = join.join();
+        }
+        if let Some(driver) = self.driver.take() {
+            driver.shutdown();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One connection: reader loop here, writer thread alongside.
+fn serve_connection(
+    stream: TcpStream,
+    client: Client,
+    contexts: Arc<Vec<ContextHandle>>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (out_tx, out_rx) = mpsc::channel::<String>();
+    let writer = thread::Builder::new()
+        .name("vq-llm-conn-writer".into())
+        .spawn(move || {
+            let mut w = write_half;
+            while let Ok(line) = out_rx.recv() {
+                if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+                    break;
+                }
+                let _ = w.flush();
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    let mut tickets: HashMap<u64, Ticket> = HashMap::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                let line = line.trim();
+                if !line.is_empty() {
+                    handle_line(line, &client, &contexts, &out_tx, &mut tickets);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial data (if any) stays accumulated in `buf`.
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// Parses and executes one request line, pushing replies (and, for
+/// submits, wiring the streaming sink) into the writer channel.
+fn handle_line(
+    line: &str,
+    client: &Client,
+    contexts: &Arc<Vec<ContextHandle>>,
+    out_tx: &mpsc::Sender<String>,
+    tickets: &mut HashMap<u64, Ticket>,
+) {
+    let frame = match proto::parse_frame(line) {
+        Ok(f) => f,
+        Err(msg) => {
+            let _ = out_tx.send(proto::error_frame(&msg));
+            return;
+        }
+    };
+    match frame {
+        ClientFrame::Submit {
+            ctx,
+            tenant,
+            query,
+            context_len,
+            gen_tokens,
+            priority,
+            deadline_ms,
+            stream,
+        } => {
+            let Some(&handle) = contexts.get(ctx) else {
+                let _ = out_tx.send(proto::error_frame(&format!(
+                    "unknown ctx index {ctx} (have {})",
+                    contexts.len()
+                )));
+                return;
+            };
+            let mut net = NetRequest::new(
+                handle,
+                DecodeRequest::new(tenant, query, context_len, gen_tokens),
+            )
+            .priority(priority);
+            if let Some(ms) = deadline_ms {
+                net = net.deadline_ms(ms);
+            }
+            // Every submission streams its lifecycle events; the sink
+            // drops per-token frames unless the client asked for them.
+            let sink_tx = out_tx.clone();
+            let ticket = client.submit_streaming(
+                net,
+                Box::new(move |ev: StreamEvent| {
+                    if !stream && matches!(ev, StreamEvent::Token { .. }) {
+                        return;
+                    }
+                    let _ = sink_tx.send(proto::event_frame(&ev));
+                }),
+            );
+            tickets.insert(ticket.id(), ticket);
+        }
+        ClientFrame::Poll { id } => {
+            let reply = match tickets.get(&id) {
+                Some(ticket) => {
+                    let status = client.poll(ticket);
+                    let end = client.wait_timeout(ticket, Duration::ZERO);
+                    proto::status_frame(id, &status, end.as_ref())
+                }
+                None => proto::status_frame(id, &vqllm_llm::RequestStatus::Unknown, None),
+            };
+            let _ = out_tx.send(reply);
+        }
+        ClientFrame::Cancel { id } => {
+            if let Some(ticket) = tickets.get(&id) {
+                client.cancel(ticket);
+            }
+            // The terminal `rejected` event arrives through the sink.
+        }
+        ClientFrame::Stats => {
+            let reply = match client.stats() {
+                Some(stats) => proto::stats_frame(&stats, &client.metrics()),
+                None => proto::error_frame("driver stopped"),
+            };
+            let _ = out_tx.send(reply);
+        }
+    }
+}
+
+/// Convenience constructor used by the examples and tests: binds the
+/// engine to a loopback address with an OS-assigned port.
+pub fn loopback(
+    engine: Engine,
+    contexts: Vec<ContextHandle>,
+    cfg: AdmissionConfig,
+) -> std::io::Result<NetServer> {
+    NetServer::bind(engine, contexts, cfg, ("127.0.0.1", 0))
+}

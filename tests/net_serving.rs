@@ -1,0 +1,395 @@
+//! End-to-end tests of the network serving front end (`vq_llm::net`):
+//! driver-thread lifecycle, weighted fairness under contention, SLO
+//! deadline rejection, cancellation, and — the acceptance pin — a
+//! loopback TCP client whose streamed token frames are **bitwise**
+//! identical to a solo in-process `Session` drain of the same requests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use vq_llm::net::json::{self, Json};
+use vq_llm::net::{proto, spawn_driver};
+use vq_llm::tensor::synth;
+use vq_llm::{
+    AdmissionConfig, ContextHandle, DecodeRequest, Engine, NetRequest, NetServer, ProfileConfig,
+    RejectReason, RequestStatus, ServeConfig, Session, SharedContext, StreamEvent, TicketEnd,
+    VqAlgorithm,
+};
+
+const SEQ: usize = 256;
+const HEAD_DIM: usize = 32;
+
+/// One shared (session, quantized context) pair for the whole file —
+/// quantization is the expensive part.
+fn harness() -> &'static (Session, SharedContext) {
+    static HARNESS: OnceLock<(Session, SharedContext)> = OnceLock::new();
+    HARNESS.get_or_init(|| {
+        let session = Session::builder()
+            .cpu_threads(2)
+            .weight_algo(VqAlgorithm::Gptvq2)
+            .kv_algo(VqAlgorithm::Cq4)
+            .build()
+            .expect("valid session");
+        let k = synth::kv_stream(SEQ, HEAD_DIM, 0.85, 31);
+        let v = synth::kv_stream(SEQ, HEAD_DIM, 0.85, 32);
+        let w = synth::correlated_channels(HEAD_DIM, HEAD_DIM, 4, 0.9, 33);
+        let ctx = SharedContext::new(
+            session.quantize_kv(&k, 1).expect("quantize K"),
+            session.quantize_kv(&v, 2).expect("quantize V"),
+            session.quantize_weights(&w, 3).expect("quantize W"),
+        )
+        .expect("valid context");
+        (session, ctx)
+    })
+}
+
+/// A fresh engine over the harness context, sharing the harness backend
+/// so decode bytes are comparable with solo session drains.
+fn engine(max_batch: usize, max_queue: usize) -> (Engine, ContextHandle) {
+    let (session, ctx) = harness();
+    let mut engine = Engine::builder()
+        .backend(std::sync::Arc::clone(session.backend()))
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .serve_config(ServeConfig::new(max_batch, max_queue))
+        .profile_config(ProfileConfig::default())
+        .build()
+        .expect("valid engine");
+    let handle = engine.register_context(ctx.clone()).expect("register");
+    (engine, handle)
+}
+
+fn query(tenant: u64) -> Vec<f32> {
+    (0..HEAD_DIM)
+        .map(|d| ((tenant as usize * 13 + d) as f32 * 0.21).sin())
+        .collect()
+}
+
+/// Drains one request alone through `Session::serve` — the solo
+/// reference the driven/TCP paths must reproduce bitwise.
+fn solo_reference(req: DecodeRequest) -> Vec<Vec<f32>> {
+    let (session, ctx) = harness();
+    let mut srv = session
+        .serve(ctx.clone(), ServeConfig::new(1, 1))
+        .expect("solo server");
+    let handle = srv.submit(req).expect("admitted");
+    srv.run_until_drained().expect("drained");
+    srv.take_output(&handle).expect("finished").steps
+}
+
+/// The driver completes work submitted through the thread-safe client,
+/// resolves waits, streams tokens in order, and its decode bytes match a
+/// solo session drain.
+#[test]
+fn driver_completes_streams_and_matches_solo() {
+    let (engine, h) = engine(2, 16);
+    let (client, driver) = spawn_driver(engine, AdmissionConfig::default());
+
+    let req = DecodeRequest::new(7, query(7), 20, 3);
+    let (ev_tx, ev_rx) = std::sync::mpsc::channel();
+    let ticket = client.submit_streaming(
+        NetRequest::new(h, req.clone()),
+        Box::new(move |ev: StreamEvent| {
+            let _ = ev_tx.send(ev);
+        }),
+    );
+    let plain = client.submit(NetRequest::new(h, DecodeRequest::new(8, query(8), 50, 2)));
+
+    let end = client.wait(&ticket);
+    let TicketEnd::Finished(out) = end else {
+        panic!("streamed request did not finish: {end:?}");
+    };
+    assert_eq!(out.steps.len(), 3);
+    assert_eq!(out.steps, solo_reference(req), "driver diverged from solo");
+
+    // Sink saw: accepted, token 0..3 (ascending, bitwise equal), done.
+    let events: Vec<StreamEvent> = ev_rx.try_iter().collect();
+    assert!(matches!(events[0], StreamEvent::Accepted { .. }));
+    let tokens: Vec<(usize, Vec<f32>)> = events
+        .iter()
+        .filter_map(|e| match e {
+            StreamEvent::Token { index, value, .. } => Some((*index, value.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tokens.len(), 3);
+    for (i, (index, value)) in tokens.iter().enumerate() {
+        assert_eq!(*index, i, "tokens arrive in decode order");
+        assert_eq!(value, &out.steps[i], "streamed row differs from output");
+    }
+    assert!(matches!(
+        events.last(),
+        Some(StreamEvent::Done { tokens: 3, .. })
+    ));
+
+    let plain_end = client
+        .wait_timeout(&plain, Duration::from_secs(30))
+        .expect("resolves well before the deadline");
+    assert!(matches!(plain_end, TicketEnd::Finished(_)));
+    assert_eq!(client.poll(&plain), RequestStatus::Finished { tokens: 2 });
+
+    let stats = client.stats().expect("driver alive");
+    assert_eq!(stats.server.completed, 2);
+    let m = client.metrics();
+    assert_eq!(m.admitted, 2);
+    assert_eq!(m.decoded_tokens, 5);
+    assert!(m.steps > 0);
+    driver.shutdown();
+}
+
+/// Weighted fairness under contention: a weight-2 tenant backlogged
+/// against a weight-1 tenant is served ~2:1. A long blocker request pins
+/// the engine's single slot while both tenants queue, so the service
+/// order is decided entirely by the fair queue.
+#[test]
+fn weighted_tenants_are_served_two_to_one() {
+    let (engine, h) = engine(1, 4);
+    let cfg = AdmissionConfig {
+        weights: vec![(1, 2), (2, 1)],
+        ..AdmissionConfig::default()
+    };
+    let (client, driver) = spawn_driver(engine, cfg);
+
+    // The blocker holds the only decode slot for 64 steps — long enough
+    // for every contended submission below to be queued behind it.
+    let blocker = client.submit(NetRequest::new(h, DecodeRequest::new(99, query(99), 8, 64)));
+
+    let mut tickets = Vec::new();
+    for i in 0..12 {
+        for tenant in [1u64, 2] {
+            let req = DecodeRequest::new(tenant, query(tenant), 10 + i, 2);
+            tickets.push((tenant, client.submit(NetRequest::new(h, req))));
+        }
+    }
+
+    assert!(matches!(client.wait(&blocker), TicketEnd::Finished(_)));
+    let mut served: Vec<(u64, u64)> = Vec::new(); // (finished_step, tenant)
+    for (tenant, ticket) in &tickets {
+        match client.wait(ticket) {
+            TicketEnd::Finished(out) => served.push((out.finished_step, *tenant)),
+            other => panic!("tenant {tenant} did not finish: {other:?}"),
+        }
+    }
+    served.sort_unstable();
+
+    // With one slot, completion order == grant order. Every prefix of the
+    // grant order stays within one grant of the ideal 2:1 share, so check
+    // a mid-drain window: of the first 9 grants, tenant 1 gets 6 ± 1.
+    let first9: Vec<u64> = served.iter().take(9).map(|&(_, t)| t).collect();
+    let ones = first9.iter().filter(|&&t| t == 1).count();
+    assert!(
+        (5..=7).contains(&ones),
+        "weight-2 tenant got {ones}/9 early grants (expected ~6): {first9:?}"
+    );
+    // Everyone finishes — weighted fairness never starves the light
+    // tenant.
+    assert_eq!(served.len(), 24);
+
+    let m = client.metrics();
+    let t1 = m.tenants.iter().find(|t| t.tenant == 1).expect("tenant 1");
+    let t2 = m.tenants.iter().find(|t| t.tenant == 2).expect("tenant 2");
+    assert_eq!(t1.tokens, 24);
+    assert_eq!(t2.tokens, 24);
+    driver.shutdown();
+}
+
+/// SLO admission: an impossible deadline rejects immediately — typed,
+/// with a positive computed retry-after — and never enters the queue.
+#[test]
+fn impossible_deadline_rejects_immediately_with_retry_after() {
+    let (engine, h) = engine(8, 64);
+    let (client, driver) = spawn_driver(engine, AdmissionConfig::default());
+
+    let req = DecodeRequest::new(1, query(1), 10, 64);
+    let ticket = client.submit(NetRequest::new(h, req).deadline_ms(0));
+    // Resolution is immediate (no decode work pending), so a short wait
+    // is generous.
+    let end = client
+        .wait_timeout(&ticket, Duration::from_secs(10))
+        .expect("deadline rejections resolve immediately");
+    match end {
+        TicketEnd::Rejected {
+            reason: RejectReason::Deadline { retry_after_ms },
+            retry_after_ms: retry,
+        } => {
+            assert!(retry_after_ms >= 1, "retry_after_ms must be positive");
+            assert_eq!(retry, retry_after_ms);
+        }
+        other => panic!("expected a typed deadline rejection, got {other:?}"),
+    }
+    assert!(matches!(
+        client.poll(&ticket),
+        RequestStatus::Rejected {
+            reason: RejectReason::Deadline { .. }
+        }
+    ));
+
+    // A generous deadline admits and completes.
+    let ok = client
+        .submit(NetRequest::new(h, DecodeRequest::new(2, query(2), 10, 2)).deadline_ms(60_000));
+    assert!(matches!(client.wait(&ok), TicketEnd::Finished(_)));
+
+    let m = client.metrics();
+    assert_eq!(
+        m.rejected.iter().find(|(c, _)| *c == "deadline"),
+        Some(&("deadline", 1))
+    );
+    assert_eq!(m.admitted, 1);
+    driver.shutdown();
+}
+
+/// Cancellation through the driver: a queued request resolves to the
+/// typed `Cancelled` tombstone and frees its fair-queue entry.
+#[test]
+fn cancel_through_the_driver_resolves_typed() {
+    let (engine, h) = engine(1, 8);
+    let (client, driver) = spawn_driver(engine, AdmissionConfig::default());
+
+    let blocker = client.submit(NetRequest::new(h, DecodeRequest::new(9, query(9), 8, 32)));
+    let victim = client.submit(NetRequest::new(h, DecodeRequest::new(1, query(1), 10, 4)));
+    client.cancel(&victim);
+    let end = client.wait(&victim);
+    assert!(
+        matches!(
+            end,
+            TicketEnd::Rejected {
+                reason: RejectReason::Cancelled,
+                ..
+            }
+        ),
+        "{end:?}"
+    );
+    assert!(matches!(client.wait(&blocker), TicketEnd::Finished(_)));
+    driver.shutdown();
+}
+
+/// The acceptance pin: tokens streamed over a real TCP socket are
+/// bitwise identical to a solo `Session` drain of the same request. Also
+/// exercises the `poll`, `cancel`, and `stats` verbs end to end.
+#[test]
+fn loopback_tcp_streamed_tokens_are_bitwise_equal_to_solo_session() {
+    let (engine, h) = engine(2, 16);
+    let server = NetServer::bind(
+        engine,
+        vec![h],
+        AdmissionConfig::default(),
+        ("127.0.0.1", 0),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    let read_frame = |reader: &mut BufReader<TcpStream>| -> Json {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("server frame");
+        json::parse(line.trim()).unwrap_or_else(|e| panic!("bad frame {line:?}: {e}"))
+    };
+
+    // Three ragged streaming requests on one connection.
+    let specs: [(u64, usize, usize); 3] = [(1, 30, 4), (2, 150, 2), (3, 77, 5)];
+    for &(tenant, context_len, gen) in &specs {
+        let line = proto::submit_line(0, tenant, &query(tenant), context_len, gen, 0, None, true);
+        writeln!(writer, "{line}").expect("send submit");
+    }
+
+    // Collect frames until every request is done. Ids are assigned in
+    // submission order; `accepted` events confirm the mapping.
+    let mut accepted_ids: Vec<u64> = Vec::new();
+    let mut tokens: std::collections::HashMap<u64, Vec<(usize, Vec<f32>)>> =
+        std::collections::HashMap::new();
+    let mut done = std::collections::HashSet::new();
+    while done.len() < specs.len() {
+        let v = read_frame(&mut reader);
+        let event = v.get("event").and_then(Json::as_str).expect("event");
+        let id = v.get("id").and_then(Json::as_u64).expect("id");
+        match event {
+            "accepted" => accepted_ids.push(id),
+            "token" => {
+                let index = v.get("index").and_then(Json::as_usize).expect("index");
+                let value = v.get("value").and_then(Json::as_f32s).expect("value");
+                tokens.entry(id).or_default().push((index, value));
+            }
+            "done" => {
+                assert!(done.insert(id), "duplicate done for {id}");
+            }
+            other => panic!("unexpected event {other:?}: {v:?}"),
+        }
+    }
+    assert_eq!(accepted_ids.len(), specs.len());
+
+    for (&(tenant, context_len, gen), &id) in specs.iter().zip(&accepted_ids) {
+        let got = tokens.remove(&id).unwrap_or_default();
+        assert_eq!(got.len(), gen, "tenant {tenant}: token frame count");
+        for (i, (index, _)) in got.iter().enumerate() {
+            assert_eq!(*index, i, "tenant {tenant}: frames in decode order");
+        }
+        let rows: Vec<Vec<f32>> = got.into_iter().map(|(_, v)| v).collect();
+        let solo = solo_reference(DecodeRequest::new(tenant, query(tenant), context_len, gen));
+        assert_eq!(
+            rows, solo,
+            "tenant {tenant}: TCP-streamed tokens diverged bitwise from solo session"
+        );
+    }
+
+    // poll: a finished request reports its state and decoded rows.
+    let first = accepted_ids[0];
+    writeln!(writer, "{{\"verb\":\"poll\",\"id\":{first}}}").expect("send poll");
+    let status = read_frame(&mut reader);
+    assert_eq!(status.get("event").and_then(Json::as_str), Some("status"));
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("finished"));
+    assert_eq!(
+        status.get("tokens").and_then(Json::as_usize),
+        Some(specs[0].2)
+    );
+    let steps = status.get("steps").expect("finished poll carries rows");
+    match steps {
+        Json::Arr(rows) => assert_eq!(rows.len(), specs[0].2),
+        other => panic!("steps not an array: {other:?}"),
+    }
+
+    // poll of an unknown id is typed, not an error.
+    writeln!(writer, "{{\"verb\":\"poll\",\"id\":999}}").expect("send poll");
+    let unknown = read_frame(&mut reader);
+    assert_eq!(unknown.get("state").and_then(Json::as_str), Some("unknown"));
+
+    // deadline rejection over the wire: typed, with retry_after_ms > 0.
+    let line = proto::submit_line(0, 5, &query(5), 10, 64, 0, Some(0), false);
+    writeln!(writer, "{line}").expect("send submit");
+    let rej = read_frame(&mut reader);
+    assert_eq!(rej.get("event").and_then(Json::as_str), Some("rejected"));
+    assert_eq!(rej.get("reason").and_then(Json::as_str), Some("deadline"));
+    assert!(
+        rej.get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .expect("retry")
+            >= 1,
+        "{rej:?}"
+    );
+
+    // stats: scheduler counters + metrics snapshot, all JSON.
+    writeln!(writer, "{{\"verb\":\"stats\"}}").expect("send stats");
+    let stats = read_frame(&mut reader);
+    assert_eq!(stats.get("event").and_then(Json::as_str), Some("stats"));
+    let srv = stats.get("server").expect("server object");
+    assert_eq!(srv.get("completed").and_then(Json::as_u64), Some(3));
+    let metrics = stats.get("metrics").expect("metrics object");
+    assert_eq!(
+        metrics.get("rejected_deadline").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert!(metrics.get("step_latency_p99_us").is_some());
+
+    // malformed frames get an error event, and the connection survives.
+    writeln!(writer, "not json").expect("send garbage");
+    let err = read_frame(&mut reader);
+    assert_eq!(err.get("event").and_then(Json::as_str), Some("error"));
+
+    server.shutdown();
+}

@@ -434,6 +434,108 @@ fn engine_rejections_are_typed_and_polled() {
     );
 }
 
+/// Per-reason rejection counters partition the aggregate, and each
+/// context accounts for its own submitted/completed requests.
+#[test]
+fn per_reason_rejection_counters_and_per_context_accounting() {
+    let (mut engine, ha, hb) = two_ctx_engine(1, 2, ProfileConfig::default());
+    engine.submit(ha, DecodeRequest::new(1, query(1), 10, 2));
+    engine.submit(hb, DecodeRequest::new(2, query_b(2), 10, 2));
+    // One rejection of each reachable kind.
+    engine.submit(hb, DecodeRequest::new(3, query_b(3), 10, 2)); // queue full
+    let (other, foreign, _) = two_ctx_engine(2, 4, ProfileConfig::default());
+    drop(other);
+    engine.submit(foreign, DecodeRequest::new(4, query(4), 10, 2)); // unknown ctx
+
+    let mid = engine.stats();
+    assert_eq!(mid.rejected_queue_full, 1);
+    assert_eq!(mid.rejected_unknown_context, 1);
+    assert_eq!(mid.rejected_invalid, 0);
+
+    engine.run_until_drained().expect("drained");
+    // Queue space is free now: invalid requests classify separately.
+    engine.submit(hb, DecodeRequest::new(5, query(5), 10, 2)); // wrong width
+
+    let stats = engine.stats();
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.rejected_invalid, 1);
+    assert_eq!(stats.rejected_unknown_context, 1);
+    assert_eq!(stats.rejected_kv_capacity, 0);
+    assert_eq!(
+        stats.rejected,
+        stats.rejected_queue_full
+            + stats.rejected_invalid
+            + stats.rejected_kv_capacity
+            + stats.rejected_unknown_context,
+        "per-reason counters partition the aggregate"
+    );
+    assert_eq!(stats.cancelled, 0);
+
+    let ca = engine.context_stats(ha).expect("context A");
+    assert_eq!((ca.submitted, ca.completed, ca.cancelled), (1, 1, 0));
+    let cb = engine.context_stats(hb).expect("context B");
+    assert_eq!((cb.submitted, cb.completed, cb.cancelled), (1, 1, 0));
+}
+
+/// `Engine::cancel`: a queued request leaves the queue, a running request
+/// frees its slot for the next queued one, the handle resolves to a typed
+/// `Cancelled` tombstone, and finished/collected requests are unaffected.
+#[test]
+fn cancel_frees_slots_and_queue_entries_with_typed_tombstones() {
+    let (mut engine, ha, _) = two_ctx_engine(1, 8, ProfileConfig::default());
+    let a = engine.submit(ha, DecodeRequest::new(1, query(1), 30, 4));
+    let b = engine.submit(ha, DecodeRequest::new(2, query(2), 40, 6));
+    engine.step().expect("step");
+    assert_eq!(engine.poll(&a), RequestStatus::Running);
+    assert_eq!(engine.poll(&b), RequestStatus::Queued);
+    assert_eq!(
+        engine.partial_output(&a).map(<[Vec<f32>]>::len),
+        Some(1),
+        "one row decoded so far"
+    );
+    assert_eq!(
+        engine.partial_output(&b).map(<[Vec<f32>]>::len),
+        Some(0),
+        "queued requests expose an empty partial output"
+    );
+
+    // Cancelling the running request frees the slot mid-decode…
+    assert!(engine.cancel(&a));
+    assert_eq!(engine.running(), 0);
+    assert_eq!(
+        engine.poll(&a),
+        RequestStatus::Rejected {
+            reason: RejectReason::Cancelled
+        }
+    );
+    assert_eq!(engine.partial_output(&a), None, "cancelled = not live");
+
+    // …and the queued request takes it on the next step.
+    let r = engine.step().expect("step");
+    assert_eq!(r.admitted, vec![b.id()]);
+    assert_eq!(engine.poll(&b), RequestStatus::Running);
+
+    // Cancelling the (now running) b empties the engine.
+    assert!(engine.cancel(&b));
+    assert!(engine.is_idle());
+
+    // Cancel is not retroactive: finished requests keep their output, and
+    // double-cancel / unknown handles return false.
+    let c = engine.submit(ha, DecodeRequest::new(3, query(3), 50, 2));
+    engine.run_until_drained().expect("drained");
+    assert_eq!(engine.poll(&c), RequestStatus::Finished { tokens: 2 });
+    assert!(!engine.cancel(&c), "finished requests cannot be cancelled");
+    assert_eq!(engine.poll(&c), RequestStatus::Finished { tokens: 2 });
+    assert!(!engine.cancel(&a), "already-cancelled handle is a no-op");
+
+    let stats = engine.stats();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.rejected, 0, "cancellations are not admission rejects");
+    let cs = engine.context_stats(ha).expect("context A");
+    assert_eq!((cs.submitted, cs.completed, cs.cancelled), (3, 1, 2));
+}
+
 /// Splitmix-style hash for deriving deterministic schedules from a seed.
 fn mix(seed: u64, i: u64) -> u64 {
     let mut z = seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15));
