@@ -77,6 +77,20 @@ pub enum LlmError {
         /// queue ahead has drained (always at least 1).
         retry_after_ms: u64,
     },
+    /// The tenant exhausted its token budget for the current rate-limit
+    /// window; retry once the window slides past the oldest charge.
+    RateLimited {
+        /// Milliseconds until enough of the window has slid for the same
+        /// request to fit the budget (always at least 1).
+        retry_after_ms: u64,
+    },
+    /// The server is draining for shutdown: in-flight requests finish,
+    /// but no new work is admitted. Retry against another replica, or
+    /// after the suggested backoff if the drain is a rolling restart.
+    Draining {
+        /// Estimated milliseconds until the drain completes.
+        retry_after_ms: u64,
+    },
     /// A kernel failed underneath the serving decode loop.
     Kernel(vqllm_kernels::KernelError),
 }
@@ -100,6 +114,18 @@ impl std::fmt::Display for LlmError {
                 write!(
                     f,
                     "deadline unmeetable under current load (retry after {retry_after_ms} ms)"
+                )
+            }
+            LlmError::RateLimited { retry_after_ms } => {
+                write!(
+                    f,
+                    "tenant rate limit exhausted (retry after {retry_after_ms} ms)"
+                )
+            }
+            LlmError::Draining { retry_after_ms } => {
+                write!(
+                    f,
+                    "server draining, not admitting (retry after {retry_after_ms} ms)"
                 )
             }
             LlmError::Kernel(e) => write!(f, "kernel: {e}"),

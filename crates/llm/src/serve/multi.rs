@@ -572,6 +572,23 @@ impl MultiServer {
         true
     }
 
+    /// Cancels every live request — queued or holding a slot — in one
+    /// sweep (the deadline-escalation path of a graceful drain). Returns
+    /// how many requests were cancelled; already-finished outputs stay
+    /// collectable.
+    pub fn cancel_all(&mut self) -> usize {
+        let ids: Vec<u64> = self
+            .running
+            .iter()
+            .map(|r| r.id)
+            .chain(self.queue.iter().map(|r| r.id))
+            .collect();
+        for &id in &ids {
+            self.cancel(&RequestHandle { id });
+        }
+        ids.len()
+    }
+
     // --- admission ---
 
     /// Admits a request against a registered context into the engine-wide

@@ -103,6 +103,19 @@ pub enum RejectReason {
         /// queue ahead has drained (always at least 1).
         retry_after_ms: u64,
     },
+    /// The tenant exhausted its token budget for the current rate-limit
+    /// window (a budget layered on top of the fair-queue weights).
+    RateLimited {
+        /// Milliseconds until enough of the sliding window has passed for
+        /// the same request to fit the budget (always at least 1).
+        retry_after_ms: u64,
+    },
+    /// The server is draining for shutdown: in-flight requests finish,
+    /// but nothing new is admitted.
+    Draining {
+        /// Estimated milliseconds until the drain completes.
+        retry_after_ms: u64,
+    },
 }
 
 impl RejectReason {
@@ -119,6 +132,12 @@ impl RejectReason {
             crate::LlmError::Cancelled => RejectReason::Cancelled,
             crate::LlmError::DeadlineUnmeetable { retry_after_ms } => {
                 RejectReason::Deadline { retry_after_ms }
+            }
+            crate::LlmError::RateLimited { retry_after_ms } => {
+                RejectReason::RateLimited { retry_after_ms }
+            }
+            crate::LlmError::Draining { retry_after_ms } => {
+                RejectReason::Draining { retry_after_ms }
             }
             ref other => unreachable!("admission produced a non-admission error: {other}"),
         }
@@ -138,6 +157,24 @@ impl RejectReason {
             RejectReason::Deadline { retry_after_ms } => {
                 crate::LlmError::DeadlineUnmeetable { retry_after_ms }
             }
+            RejectReason::RateLimited { retry_after_ms } => {
+                crate::LlmError::RateLimited { retry_after_ms }
+            }
+            RejectReason::Draining { retry_after_ms } => {
+                crate::LlmError::Draining { retry_after_ms }
+            }
+        }
+    }
+
+    /// The computed backoff this rejection carries, if retrying later
+    /// could help (`None` for rejections where a retry cannot succeed:
+    /// invalid requests, cancellations, unknown contexts).
+    pub fn retry_hint_ms(&self) -> Option<u64> {
+        match *self {
+            RejectReason::Deadline { retry_after_ms }
+            | RejectReason::RateLimited { retry_after_ms }
+            | RejectReason::Draining { retry_after_ms } => Some(retry_after_ms),
+            _ => None,
         }
     }
 }

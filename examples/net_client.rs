@@ -7,8 +7,10 @@
 //! cargo run --release --example net_client -- 127.0.0.1:8844 [tenant] [gen_tokens]
 //! ```
 //!
-//! Submits one streaming request (query width 32 — the demo server's
-//! `head_dim`), prints every frame as it arrives, then fetches `stats`.
+//! Reads the server's `hello` handshake (protocol version + line cap),
+//! round-trips a `ping`, submits one streaming request (query width 32 —
+//! the demo server's `head_dim`), prints every frame as it arrives, then
+//! fetches `stats`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -28,6 +30,10 @@ fn main() -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+
+    // The handshake and a keepalive round-trip come first; both frames
+    // are printed by the read loop below along with everything else.
+    writeln!(writer, "{{\"verb\":\"ping\"}}")?;
 
     let query: Vec<f32> = (0..HEAD_DIM)
         .map(|d| ((tenant as usize * 11 + d) as f32 * 0.17).sin())

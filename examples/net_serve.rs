@@ -3,9 +3,12 @@
 //! Builds a CPU-backed `Engine`, registers a quantized shared context,
 //! and binds a [`NetServer`] — driver thread, weighted fair queue,
 //! SLO-aware admission, line protocol. Then it plays the client side
-//! over a real loopback socket: streams two tenants' tokens, shows a
-//! typed deadline rejection with its computed `retry_after_ms`, and
-//! fetches the `stats` frame (scheduler counters + latency histograms).
+//! over a real loopback socket: reads the `hello` handshake, streams two
+//! tenants' tokens, shows a typed deadline rejection with its computed
+//! `retry_after_ms`, fetches the `stats` frame (scheduler counters +
+//! latency histograms), and finishes with a **graceful drain** — the
+//! last in-flight stream flushes to completion while the drain report
+//! counts what finished vs what had to be cancelled.
 //!
 //! ```sh
 //! cargo run --release --example net_serve
@@ -115,11 +118,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("<- {}", recv(&mut reader));
 
     // Scheduler counters + metrics snapshot (step latency p50/p99, queue
-    // depth, per-reason rejections, per-tenant tokens/s).
+    // depth, per-reason rejections, per-tenant tokens/s, connection
+    // lifecycle counters).
     writeln!(writer, "{{\"verb\":\"stats\"}}")?;
     println!("<- {}", recv(&mut reader));
 
-    server.shutdown();
-    println!("server stopped");
+    // Graceful drain: submit one more stream, then drain the server
+    // while this client is still reading. The in-flight stream flushes
+    // to completion (bitwise identical to a solo decode), new work
+    // would be rejected typed as `draining` with a computed
+    // `retry_after_ms`, and the report counts the outcome.
+    writeln!(
+        writer,
+        "{}",
+        proto::submit_line(0, 1, &query(1), 100, 3, 0, None, true)
+    )?;
+    loop {
+        let frame = recv(&mut reader);
+        println!("<- {frame}");
+        if frame.contains("\"accepted\"") {
+            break;
+        }
+    }
+    let drainer = std::thread::spawn(move || server.drain(Duration::from_secs(30)));
+    loop {
+        let frame = recv(&mut reader);
+        println!("<- {frame}");
+        if frame.contains("\"done\"") {
+            break;
+        }
+    }
+    let report = drainer.join().expect("drain thread");
+    println!(
+        "drained: {} completed, {} cancelled",
+        report.completed, report.cancelled
+    );
     Ok(())
 }

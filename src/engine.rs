@@ -495,6 +495,14 @@ impl Engine {
         self.server.cancel(handle)
     }
 
+    /// Cancels every live request in one sweep — the escalation a
+    /// graceful drain applies when its deadline passes with work still in
+    /// flight. Returns how many queued or running requests were
+    /// cancelled; finished outputs stay collectable.
+    pub fn cancel_all(&mut self) -> usize {
+        self.server.cancel_all()
+    }
+
     /// One decode step across every live context group.
     ///
     /// # Errors

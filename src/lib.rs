@@ -71,7 +71,10 @@ pub use vqllm_vq as vq;
 pub use backend::{Backend, BackendKind, CpuBackend, PerfModelBackend};
 pub use engine::{Engine, EngineBuilder};
 pub use error::{Result, VqLlmError};
-pub use net::{AdmissionConfig, Client, NetRequest, NetServer, StreamEvent, Ticket, TicketEnd};
+pub use net::{
+    AdmissionConfig, Client, DrainReport, NetConfig, NetRequest, NetServer, RateLimitConfig,
+    StreamEvent, Ticket, TicketEnd,
+};
 pub use session::{Session, SessionBuilder};
 
 // The vocabulary types a `Session`/`Engine` consumer touches, re-exported

@@ -20,6 +20,8 @@
 //! step latency and the engine's in-flight token count — so the policy is
 //! deterministic and unit-testable without threads or clocks.
 
+use std::collections::VecDeque;
+
 use vqllm_llm::serve::{FairQueue, SloEstimator};
 use vqllm_llm::{ContextHandle, DecodeRequest, RejectReason};
 
@@ -39,6 +41,11 @@ pub struct AdmissionConfig {
     /// Step-latency prior (µs) used for deadline math until the metrics
     /// have measured real steps.
     pub default_step_us: f64,
+    /// Optional per-tenant token budgets per sliding window, layered on
+    /// top of the fairness weights: weights decide *who goes first* among
+    /// admitted work, budgets decide *how much* a tenant may admit at
+    /// all.
+    pub rate_limit: Option<RateLimitConfig>,
 }
 
 impl Default for AdmissionConfig {
@@ -48,7 +55,126 @@ impl Default for AdmissionConfig {
             default_weight: 1,
             weights: Vec::new(),
             default_step_us: 200.0,
+            rate_limit: None,
         }
+    }
+}
+
+/// Per-tenant token budgets over a sliding window.
+///
+/// A request is charged its `gen_tokens` at admission (cancelling later
+/// does not refund the charge — the policy bounds *admitted* work).
+/// When a charge would push the tenant's total over its budget inside
+/// the window, the request is rejected as
+/// [`RejectReason::RateLimited`] with `retry_after_ms` set to when
+/// enough of the window will have slid for the same request to fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateLimitConfig {
+    /// Sliding-window length in milliseconds.
+    pub window_ms: u64,
+    /// Token budget per window for tenants without an explicit entry in
+    /// [`RateLimitConfig::budgets`] (`u64::MAX` = unlimited).
+    pub default_budget: u64,
+    /// Explicit per-tenant `(tenant, tokens-per-window)` budgets.
+    pub budgets: Vec<(u64, u64)>,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        RateLimitConfig {
+            window_ms: 1_000,
+            default_budget: u64::MAX,
+            budgets: Vec::new(),
+        }
+    }
+}
+
+impl RateLimitConfig {
+    /// The budget applying to `tenant`.
+    pub fn budget(&self, tenant: u64) -> u64 {
+        self.budgets
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(self.default_budget, |&(_, b)| b)
+    }
+}
+
+/// The sliding-window charge ledger backing [`RateLimitConfig`]. Pure
+/// data structure: the caller supplies a monotonic `now_ms`, so the
+/// policy is deterministic and testable without clocks.
+#[derive(Debug, Default)]
+pub struct RateLimiter {
+    /// tenant -> charges still inside the window, oldest first.
+    ledgers: Vec<(u64, VecDeque<(u64, u64)>)>,
+}
+
+impl RateLimiter {
+    /// An empty ledger.
+    pub fn new() -> RateLimiter {
+        RateLimiter::default()
+    }
+
+    /// Charges `tokens` to `tenant` at `now_ms`, or reports how many
+    /// milliseconds to wait for the charge to fit the budget.
+    ///
+    /// A request larger than the whole budget can never fit; it reports
+    /// one full window as its (honest, if hopeless) backoff.
+    pub fn try_charge(
+        &mut self,
+        cfg: &RateLimitConfig,
+        tenant: u64,
+        tokens: u64,
+        now_ms: u64,
+    ) -> Result<(), u64> {
+        let budget = cfg.budget(tenant);
+        if tokens > budget {
+            return Err(cfg.window_ms.max(1));
+        }
+        let ledger = match self.ledgers.iter_mut().find(|(t, _)| *t == tenant) {
+            Some((_, l)) => l,
+            None => {
+                self.ledgers.push((tenant, VecDeque::new()));
+                &mut self.ledgers.last_mut().expect("just pushed").1
+            }
+        };
+        // Slide the window: drop charges older than window_ms.
+        while let Some(&(t, _)) = ledger.front() {
+            if now_ms.saturating_sub(t) >= cfg.window_ms {
+                ledger.pop_front();
+            } else {
+                break;
+            }
+        }
+        let spent: u64 = ledger.iter().map(|&(_, n)| n).sum();
+        if spent + tokens > budget {
+            // Walk the ledger oldest-first until enough has expired for
+            // the new charge to fit; the retry is when that happens.
+            let mut freed = 0u64;
+            for &(t, n) in ledger.iter() {
+                freed += n;
+                if spent - freed + tokens <= budget {
+                    let expires = t + cfg.window_ms;
+                    return Err(expires.saturating_sub(now_ms).max(1));
+                }
+            }
+            return Err(cfg.window_ms.max(1));
+        }
+        ledger.push_back((now_ms, tokens));
+        Ok(())
+    }
+
+    /// Tokens currently charged to `tenant` inside the window ending at
+    /// `now_ms`.
+    pub fn spent(&self, tenant: u64, window_ms: u64, now_ms: u64) -> u64 {
+        self.ledgers
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map_or(0, |(_, l)| {
+                l.iter()
+                    .filter(|&&(t, _)| now_ms.saturating_sub(t) < window_ms)
+                    .map(|&(_, n)| n)
+                    .sum()
+            })
     }
 }
 
@@ -125,6 +251,8 @@ pub struct Admission {
     pending_tokens: u64,
     /// Decode slots per engine step, for the drain model.
     max_batch: usize,
+    /// Sliding-window charge ledger (empty when rate limits are off).
+    limiter: RateLimiter,
 }
 
 impl Admission {
@@ -139,6 +267,7 @@ impl Admission {
             queue,
             pending_tokens: 0,
             max_batch: max_batch.max(1),
+            limiter: RateLimiter::new(),
         }
     }
 
@@ -176,13 +305,16 @@ impl Admission {
     ///
     /// `engine_tokens` is the engine-side backlog (tokens still owed by
     /// running + forwarded requests); `measured_step_us` is the metrics'
-    /// current mean step latency, if any steps have run.
+    /// current mean step latency, if any steps have run; `now_ms` is a
+    /// monotonic millisecond clock (the driver's uptime) that positions
+    /// the rate-limit window.
     pub fn admit(
         &mut self,
         id: u64,
         net: NetRequest,
         engine_tokens: u64,
         measured_step_us: Option<f64>,
+        now_ms: u64,
     ) -> Result<(), AdmitReject> {
         let est = self.estimator(measured_step_us);
         let tokens_ahead = self.pending_tokens + engine_tokens;
@@ -202,6 +334,19 @@ impl Admission {
             if let Err(retry_after_ms) = est.admit(tokens_ahead, net.req.gen_tokens, deadline_ms) {
                 return Err(AdmitReject {
                     reason: RejectReason::Deadline { retry_after_ms },
+                    retry_after_ms,
+                });
+            }
+        }
+        // The budget check runs last so only otherwise-admittable
+        // requests spend window budget.
+        if let Some(rl) = &self.cfg.rate_limit {
+            if let Err(retry_after_ms) =
+                self.limiter
+                    .try_charge(rl, net.req.tenant, net.req.gen_tokens as u64, now_ms)
+            {
+                return Err(AdmitReject {
+                    reason: RejectReason::RateLimited { retry_after_ms },
                     retry_after_ms,
                 });
             }
@@ -247,8 +392,8 @@ mod tests {
         };
         let mut adm = Admission::new(cfg, 8);
         for i in 0..6 {
-            adm.admit(i, req(1, 4), 0, None).expect("admit");
-            adm.admit(100 + i, req(2, 4), 0, None).expect("admit");
+            adm.admit(i, req(1, 4), 0, None, 0).expect("admit");
+            adm.admit(100 + i, req(2, 4), 0, None, 0).expect("admit");
         }
         assert_eq!(adm.pending_tokens(), 48);
         let order: Vec<u64> = (0..9)
@@ -263,13 +408,13 @@ mod tests {
         let mut adm = Admission::new(AdmissionConfig::default(), 8);
         // 200 µs prior × 32 steps = 6.4 ms > 0 ms deadline.
         let err = adm
-            .admit(1, req(1, 32).deadline_ms(0), 0, None)
+            .admit(1, req(1, 32).deadline_ms(0), 0, None, 0)
             .expect_err("unmeetable");
         assert!(matches!(err.reason, RejectReason::Deadline { .. }));
         assert!(err.retry_after_ms >= 1);
         assert!(adm.is_empty(), "rejected requests never enter the queue");
         // The same request with a generous deadline admits.
-        adm.admit(2, req(1, 32).deadline_ms(10_000), 0, None)
+        adm.admit(2, req(1, 32).deadline_ms(10_000), 0, None, 0)
             .expect("meetable");
     }
 
@@ -280,9 +425,9 @@ mod tests {
             ..AdmissionConfig::default()
         };
         let mut adm = Admission::new(cfg, 8);
-        adm.admit(1, req(1, 16), 0, None).expect("admit");
-        adm.admit(2, req(1, 16), 0, None).expect("admit");
-        let err = adm.admit(3, req(1, 16), 0, None).expect_err("full");
+        adm.admit(1, req(1, 16), 0, None, 0).expect("admit");
+        adm.admit(2, req(1, 16), 0, None, 0).expect("admit");
+        let err = adm.admit(3, req(1, 16), 0, None, 0).expect_err("full");
         assert!(matches!(
             err.reason,
             RejectReason::QueueFull { max_queue: 2 }
@@ -293,8 +438,8 @@ mod tests {
     #[test]
     fn cancel_removes_exactly_one_and_rebalances_tokens() {
         let mut adm = Admission::new(AdmissionConfig::default(), 8);
-        adm.admit(1, req(1, 10), 0, None).expect("admit");
-        adm.admit(2, req(1, 20), 0, None).expect("admit");
+        adm.admit(1, req(1, 10), 0, None, 0).expect("admit");
+        adm.admit(2, req(1, 20), 0, None, 0).expect("admit");
         assert_eq!(adm.pending_tokens(), 30);
         let cancelled = adm.cancel(1).expect("queued");
         assert_eq!(cancelled.id, 1);
@@ -304,14 +449,88 @@ mod tests {
     }
 
     #[test]
+    fn rate_limit_charges_slide_out_of_the_window() {
+        let cfg = RateLimitConfig {
+            window_ms: 100,
+            default_budget: 10,
+            budgets: vec![(7, 4)],
+        };
+        let mut rl = RateLimiter::new();
+        // Tenant 7's explicit budget is 4 tokens / 100 ms.
+        rl.try_charge(&cfg, 7, 3, 0).expect("3 of 4 fits");
+        assert_eq!(rl.spent(7, 100, 0), 3);
+        let retry = rl.try_charge(&cfg, 7, 2, 10).expect_err("3+2 > 4");
+        // The charge at t=0 expires at t=100, so from t=10 wait 90 ms.
+        assert_eq!(retry, 90);
+        rl.try_charge(&cfg, 7, 1, 10).expect("3+1 fits exactly");
+        // At t=100 the first charge has slid out: 1 remains, 3 fits.
+        rl.try_charge(&cfg, 7, 3, 100).expect("window slid");
+        assert_eq!(rl.spent(7, 100, 100), 4);
+        // Other tenants use the default budget, independently.
+        rl.try_charge(&cfg, 8, 10, 100).expect("default budget");
+        // A request larger than the whole budget reports a full window.
+        assert_eq!(rl.try_charge(&cfg, 7, 5, 200), Err(100));
+    }
+
+    #[test]
+    fn rate_limited_tenant_rejects_typed_while_others_admit() {
+        let cfg = AdmissionConfig {
+            rate_limit: Some(RateLimitConfig {
+                window_ms: 60_000,
+                default_budget: u64::MAX,
+                budgets: vec![(1, 8)],
+            }),
+            ..AdmissionConfig::default()
+        };
+        let mut adm = Admission::new(cfg, 8);
+        adm.admit(1, req(1, 8), 0, None, 0).expect("budget fits");
+        let err = adm
+            .admit(2, req(1, 1), 0, None, 5)
+            .expect_err("over budget");
+        match err.reason {
+            RejectReason::RateLimited { retry_after_ms } => {
+                assert_eq!(retry_after_ms, err.retry_after_ms);
+                assert!(retry_after_ms >= 1);
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // The unlimited tenant is unaffected.
+        adm.admit(3, req(2, 64), 0, None, 5)
+            .expect("unlimited tenant");
+        assert_eq!(adm.len(), 2);
+    }
+
+    #[test]
+    fn rejected_charges_do_not_spend_budget() {
+        let cfg = AdmissionConfig {
+            max_pending: 1,
+            rate_limit: Some(RateLimitConfig {
+                window_ms: 60_000,
+                default_budget: 8,
+                budgets: Vec::new(),
+            }),
+            ..AdmissionConfig::default()
+        };
+        let mut adm = Admission::new(cfg, 8);
+        adm.admit(1, req(1, 8), 0, None, 0).expect("admit");
+        // Queue-full rejection happens before the budget check, so the
+        // failed admit must not charge the window.
+        let err = adm.admit(2, req(2, 8), 0, None, 0).expect_err("full");
+        assert!(matches!(err.reason, RejectReason::QueueFull { .. }));
+        adm.pop().expect("drain");
+        adm.admit(3, req(2, 8), 0, None, 0)
+            .expect("tenant 2 budget untouched by the queue-full rejection");
+    }
+
+    #[test]
     fn engine_backlog_tightens_the_deadline_check() {
         let mut adm = Admission::new(AdmissionConfig::default(), 1);
         // 1 token/step at 1000 µs/step: 10 engine tokens ahead = 10 ms.
         let measured = Some(1000.0);
-        adm.admit(1, req(1, 5).deadline_ms(20), 10, measured)
+        adm.admit(1, req(1, 5).deadline_ms(20), 10, measured, 0)
             .expect("15 ms projected fits 20 ms");
         let err = adm
-            .admit(2, req(1, 5).deadline_ms(12), 15, measured)
+            .admit(2, req(1, 5).deadline_ms(12), 15, measured, 0)
             .expect_err("25 ms projected misses 12 ms");
         assert!(matches!(err.reason, RejectReason::Deadline { .. }));
     }

@@ -210,7 +210,26 @@ enum Cmd {
     Submit(Box<SubmitCmd>),
     Cancel { id: u64 },
     Stats { reply: Sender<DriverStats> },
+    Drain(DrainJob),
     Shutdown,
+}
+
+/// An in-progress graceful drain: reject new work, finish what's in
+/// flight, escalate to cancel-everything at the deadline.
+struct DrainJob {
+    deadline: Instant,
+    reply: Sender<DrainReport>,
+    /// In-flight requests that ran to completion since the drain began.
+    completed: usize,
+}
+
+/// What a graceful drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests in flight at drain start that ran to completion.
+    pub completed: usize,
+    /// Requests cancelled at the deadline (0 for a clean drain).
+    pub cancelled: usize,
 }
 
 /// A point-in-time view of the serving stack's queues (the `stats`
@@ -225,6 +244,11 @@ pub struct DriverStats {
     pub engine_queued: usize,
     /// Requests holding a decode slot.
     pub running: usize,
+    /// Tokens still owed by requests handed to the engine (the SLO
+    /// backlog term; exactly 0 when the driver is idle).
+    pub inflight_tokens: u64,
+    /// Whether the driver is refusing new work pending shutdown.
+    pub draining: bool,
 }
 
 /// The thread-safe handle to a driven engine. Cheap to clone; every
@@ -336,6 +360,13 @@ impl Client {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+
+    /// The live metrics the driver records into — shared with the
+    /// server's connection plumbing so connection gauges land in the
+    /// same snapshot.
+    pub(crate) fn metrics_shared(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
 }
 
 /// The handle that owns the driver thread: keep it alive for as long as
@@ -355,6 +386,39 @@ impl DriverHandle {
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
+    }
+
+    /// Gracefully drains the driver, blocking until it exits: new
+    /// submissions are rejected as [`RejectReason::Draining`] (with a
+    /// computed retry-after), in-flight requests run to completion, and
+    /// anything still unfinished at `deadline` is cancelled. Returns
+    /// what happened to the in-flight work.
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        let (reply, rx) = mpsc::channel();
+        let sent = self
+            .tx
+            .send(Cmd::Drain(DrainJob {
+                deadline: Instant::now() + deadline,
+                reply,
+                completed: 0,
+            }))
+            .is_ok();
+        let report = if sent {
+            rx.recv().unwrap_or(DrainReport {
+                completed: 0,
+                cancelled: 0,
+            })
+        } else {
+            // The driver already stopped: nothing was in flight.
+            DrainReport {
+                completed: 0,
+                cancelled: 0,
+            }
+        };
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        report
     }
 }
 
@@ -384,6 +448,8 @@ pub fn spawn(engine: Engine, cfg: AdmissionConfig) -> (Client, DriverHandle) {
         phases: Arc::clone(&phases),
         tickets: HashMap::new(),
         inflight_tokens: 0,
+        started: Instant::now(),
+        drain: None,
     };
     let join = thread::Builder::new()
         .name("vq-llm-driver".into())
@@ -424,9 +490,15 @@ struct DriverState {
     phases: Arc<Mutex<HashMap<u64, Phase>>>,
     tickets: HashMap<u64, TicketRec>,
     /// Tokens still owed by requests handed to the engine (grows by
-    /// `gen_tokens` at forward, shrinks by the decoded batch per step) —
-    /// the engine-side term of the SLO backlog.
+    /// `gen_tokens` at forward, shrinks per streamed/finished row and by
+    /// the unstreamed remainder on cancel) — the engine-side term of the
+    /// SLO backlog. Exactly 0 whenever the driver is idle.
     inflight_tokens: u64,
+    /// The driver's monotonic clock origin (positions rate-limit
+    /// windows).
+    started: Instant,
+    /// `Some` while a graceful drain is in progress.
+    drain: Option<DrainJob>,
 }
 
 impl DriverState {
@@ -434,14 +506,115 @@ impl DriverState {
         self.engine.is_idle() && self.admission.is_empty()
     }
 
+    /// Subtracts owed tokens with an underflow guard: the cancel/finish
+    /// race must never wrap the backlog counter (a wrapped counter would
+    /// poison every deadline-admission decision until restart).
+    fn charge_down(&mut self, n: u64) {
+        debug_assert!(
+            self.inflight_tokens >= n,
+            "inflight_tokens underflow: {} - {n}",
+            self.inflight_tokens
+        );
+        self.inflight_tokens = self.inflight_tokens.saturating_sub(n);
+    }
+
+    /// Milliseconds since the driver started (the rate-limit clock).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    /// Checks an in-progress drain: `Some` with the final report exactly
+    /// when the drain just completed — cleanly (everything in flight
+    /// finished) or by deadline escalation (the rest cancelled).
+    fn drain_progress(&mut self) -> Option<DrainReport> {
+        let (deadline, completed) = match self.drain.as_ref() {
+            Some(job) => (job.deadline, job.completed),
+            None => return None,
+        };
+        if self.idle() {
+            return Some(DrainReport {
+                completed,
+                cancelled: 0,
+            });
+        }
+        if Instant::now() >= deadline {
+            let cancelled = self.escalate_drain();
+            return Some(DrainReport {
+                completed,
+                cancelled,
+            });
+        }
+        None
+    }
+
+    /// The drain deadline passed with work still in flight: cancel every
+    /// live ticket (queued or holding a slot) and zero the backlog.
+    fn escalate_drain(&mut self) -> usize {
+        let ids: Vec<u64> = self.tickets.keys().copied().collect();
+        let cancelled = ids.len();
+        self.engine.cancel_all();
+        for id in ids {
+            self.admission.cancel(id);
+            self.metrics.record_rejection(&RejectReason::Cancelled);
+            self.resolve(id, RejectReason::Cancelled);
+        }
+        self.inflight_tokens = 0;
+        cancelled
+    }
+
+    /// Rejects every command still sitting in the channel on exit, so a
+    /// submit that raced the shutdown resolves instead of hanging its
+    /// waiter.
+    fn flush_channel(&mut self) {
+        while let Ok(cmd) = self.rx.try_recv() {
+            match cmd {
+                Cmd::Submit(mut boxed) => {
+                    let reason = RejectReason::Invalid {
+                        what: "driver stopped",
+                    };
+                    if let Some(s) = boxed.sink.as_mut() {
+                        s(StreamEvent::Rejected {
+                            id: boxed.id,
+                            reason,
+                            retry_after_ms: 0,
+                        });
+                    }
+                    boxed.cell.resolve(TicketEnd::Rejected {
+                        reason,
+                        retry_after_ms: 0,
+                    });
+                }
+                Cmd::Drain(job) => {
+                    let _ = job.reply.send(DrainReport {
+                        completed: 0,
+                        cancelled: 0,
+                    });
+                }
+                // Dropping the reply makes Client::stats return None.
+                Cmd::Stats { .. } | Cmd::Cancel { .. } | Cmd::Shutdown => {}
+            }
+        }
+    }
+
     fn run(mut self) {
         loop {
+            if let Some(report) = self.drain_progress() {
+                let job = self.drain.take().expect("drain job present");
+                let _ = job.reply.send(report);
+                self.flush_channel();
+                return;
+            }
             if self.idle() {
+                debug_assert!(self.tickets.is_empty(), "idle driver with live tickets");
+                debug_assert_eq!(self.inflight_tokens, 0, "idle driver owes tokens");
                 // Nothing to decode: park on the channel.
                 match self.rx.recv() {
                     Ok(Cmd::Shutdown) | Err(_) => return self.shutdown_now(),
                     Ok(cmd) => self.handle_cmd(cmd),
                 }
+                // A drain request against an idle driver completes on the
+                // next loop iteration without ever blocking again.
+                continue;
             }
             // Drain whatever arrived while stepping.
             loop {
@@ -465,8 +638,10 @@ impl DriverState {
                     Ok(report) => {
                         let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
                         self.metrics.record_step(us, report.batch, depth);
-                        self.inflight_tokens =
-                            self.inflight_tokens.saturating_sub(report.batch as u64);
+                        // inflight_tokens is settled per ticket inside
+                        // after_step (streamed rows, finish tails, cancel
+                        // remainders) — exact even when a cancel lands in
+                        // the same step a request finishes.
                         self.after_step();
                     }
                     Err(_) => {
@@ -492,7 +667,21 @@ impl DriverState {
                     front_queued: self.admission.len(),
                     engine_queued: self.engine.queued(),
                     running: self.engine.running(),
+                    inflight_tokens: self.inflight_tokens,
+                    draining: self.drain.is_some(),
                 });
+            }
+            Cmd::Drain(job) => {
+                if self.drain.is_some() {
+                    // A second concurrent drain cannot track the first's
+                    // progress; report it empty rather than deadlock it.
+                    let _ = job.reply.send(DrainReport {
+                        completed: 0,
+                        cancelled: 0,
+                    });
+                } else {
+                    self.drain = Some(job);
+                }
             }
             Cmd::Shutdown => unreachable!("shutdown is handled by the loop"),
         }
@@ -507,11 +696,35 @@ impl DriverState {
         } = cmd;
         let measured =
             (self.metrics.step_latency.count() > 0).then(|| self.metrics.step_latency.mean());
+        if self.drain.is_some() {
+            // Draining: nothing new is admitted; suggest coming back once
+            // the present backlog has decoded (the drain's natural end).
+            let est = self.admission.estimator(measured);
+            let backlog = self.admission.pending_tokens() + self.inflight_tokens;
+            let retry_after_ms = (est.queue_drain_ms(backlog.max(1)).ceil() as u64).max(1);
+            let reason = RejectReason::Draining { retry_after_ms };
+            self.metrics.record_rejection(&reason);
+            // Resolve before the sink fires: once a terminal frame is on
+            // the wire, a `poll` round-trip must see the terminal state.
+            cell.resolve(TicketEnd::Rejected {
+                reason,
+                retry_after_ms,
+            });
+            if let Some(s) = sink.as_mut() {
+                s(StreamEvent::Rejected {
+                    id,
+                    reason,
+                    retry_after_ms,
+                });
+            }
+            return;
+        }
         let tenant = net.req.tenant;
         let gen_tokens = net.req.gen_tokens;
+        let now_ms = self.now_ms();
         match self
             .admission
-            .admit(id, net, self.inflight_tokens, measured)
+            .admit(id, net, self.inflight_tokens, measured, now_ms)
         {
             Ok(()) => {
                 self.metrics.record_admitted();
@@ -536,6 +749,10 @@ impl DriverState {
             }
             Err(rej) => {
                 self.metrics.record_rejection(&rej.reason);
+                cell.resolve(TicketEnd::Rejected {
+                    reason: rej.reason,
+                    retry_after_ms: rej.retry_after_ms,
+                });
                 if let Some(s) = sink.as_mut() {
                     s(StreamEvent::Rejected {
                         id,
@@ -543,10 +760,6 @@ impl DriverState {
                         retry_after_ms: rej.retry_after_ms,
                     });
                 }
-                cell.resolve(TicketEnd::Rejected {
-                    reason: rej.reason,
-                    retry_after_ms: rej.retry_after_ms,
-                });
             }
         }
     }
@@ -565,7 +778,7 @@ impl DriverState {
             return; // already resolved (or never existed)
         };
         if self.engine.cancel(&handle) {
-            self.inflight_tokens = self.inflight_tokens.saturating_sub(owed);
+            self.charge_down(owed);
             self.metrics.record_rejection(&RejectReason::Cancelled);
             self.resolve(id, RejectReason::Cancelled);
         }
@@ -576,10 +789,14 @@ impl DriverState {
     fn resolve(&mut self, id: u64, reason: RejectReason) {
         self.phases.lock().expect("phase map lock").remove(&id);
         if let Some(mut rec) = self.tickets.remove(&id) {
-            let retry_after_ms = match reason {
-                RejectReason::Deadline { retry_after_ms } => retry_after_ms,
-                _ => 0,
-            };
+            let retry_after_ms = reason.retry_hint_ms().unwrap_or(0);
+            // Resolve before the sink fires: once the terminal frame is
+            // on the wire, a `poll` round-trip must see the terminal
+            // state, never a stale `queued`.
+            rec.cell.resolve(TicketEnd::Rejected {
+                reason,
+                retry_after_ms,
+            });
             if let Some(s) = rec.sink.as_mut() {
                 s(StreamEvent::Rejected {
                     id,
@@ -587,10 +804,6 @@ impl DriverState {
                     retry_after_ms,
                 });
             }
-            rec.cell.resolve(TicketEnd::Rejected {
-                reason,
-                retry_after_ms,
-            });
         }
     }
 
@@ -623,7 +836,7 @@ impl DriverState {
                 // The ticket record vanished (cannot happen outside a
                 // cancel race): don't decode for nobody.
                 self.engine.cancel(&handle);
-                self.inflight_tokens = self.inflight_tokens.saturating_sub(gen);
+                self.charge_down(gen);
             }
         }
     }
@@ -656,8 +869,10 @@ impl DriverState {
                     }
                 }
                 rec.streamed += new_rows.len();
+                let tenant = rec.tenant;
                 self.metrics
-                    .add_tenant_tokens(rec.tenant, new_rows.len() as u64);
+                    .add_tenant_tokens(tenant, new_rows.len() as u64);
+                self.charge_down(new_rows.len() as u64);
             }
             match self.engine.poll(&handle) {
                 RequestStatus::Finished { .. } => {
@@ -681,17 +896,25 @@ impl DriverState {
                         self.metrics
                             .add_tenant_tokens(rec.tenant, tail.len() as u64);
                     }
-                    if let Some(s) = rec.sink.as_mut() {
-                        s(StreamEvent::Done {
-                            id,
-                            tokens: out.steps.len(),
-                        });
-                    }
+                    self.charge_down(tail.len() as u64);
+                    // Resolve before the sink fires: a client that polls
+                    // right after reading `done` must see `finished`.
+                    let tokens = out.steps.len();
                     rec.cell.resolve(TicketEnd::Finished(out));
+                    if let Some(s) = rec.sink.as_mut() {
+                        s(StreamEvent::Done { id, tokens });
+                    }
+                    if let Some(job) = self.drain.as_mut() {
+                        job.completed += 1;
+                    }
                 }
                 RequestStatus::Rejected { reason } => {
                     // Reachable only through external cancellation paths;
-                    // keep the ticket's contract either way.
+                    // keep the ticket's contract either way. The rows this
+                    // ticket never decoded come off the backlog with it.
+                    let rec = &self.tickets[&id];
+                    let owed = rec.gen_tokens.saturating_sub(rec.streamed) as u64;
+                    self.charge_down(owed);
                     self.metrics.record_rejection(&reason);
                     self.resolve(id, reason);
                 }
@@ -711,13 +934,23 @@ impl DriverState {
     }
 
     /// Resolves every unresolved ticket as cancelled and drops the
-    /// engine (the shutdown path).
+    /// engine (the shutdown path). A drain that shutdown preempted still
+    /// gets its report, counting the preempted remainder as cancelled.
     fn shutdown_now(&mut self) {
         let ids: Vec<u64> = self.tickets.keys().copied().collect();
+        let cancelled = ids.len();
         for id in ids {
             self.metrics.record_rejection(&RejectReason::Cancelled);
             self.resolve(id, RejectReason::Cancelled);
         }
         self.phases.lock().expect("phase map lock").clear();
+        self.inflight_tokens = 0;
+        if let Some(job) = self.drain.take() {
+            let _ = job.reply.send(DrainReport {
+                completed: job.completed,
+                cancelled,
+            });
+        }
+        self.flush_channel();
     }
 }

@@ -150,17 +150,23 @@ pub enum RejectKind {
     Cancelled,
     /// Deadline projected unmeetable.
     Deadline,
+    /// Tenant token budget exhausted for the window.
+    RateLimited,
+    /// Server draining, not admitting.
+    Draining,
 }
 
 impl RejectKind {
     /// All kinds, in counter-array order.
-    pub const ALL: [RejectKind; 6] = [
+    pub const ALL: [RejectKind; 8] = [
         RejectKind::QueueFull,
         RejectKind::Invalid,
         RejectKind::KvCapacity,
         RejectKind::UnknownContext,
         RejectKind::Cancelled,
         RejectKind::Deadline,
+        RejectKind::RateLimited,
+        RejectKind::Draining,
     ];
 
     /// Classifies a typed rejection.
@@ -172,6 +178,8 @@ impl RejectKind {
             RejectReason::UnknownContext { .. } => RejectKind::UnknownContext,
             RejectReason::Cancelled => RejectKind::Cancelled,
             RejectReason::Deadline { .. } => RejectKind::Deadline,
+            RejectReason::RateLimited { .. } => RejectKind::RateLimited,
+            RejectReason::Draining { .. } => RejectKind::Draining,
         }
     }
 
@@ -184,6 +192,43 @@ impl RejectKind {
             RejectKind::UnknownContext => "unknown_context",
             RejectKind::Cancelled => "cancelled",
             RejectKind::Deadline => "deadline",
+            RejectKind::RateLimited => "rate_limited",
+            RejectKind::Draining => "draining",
+        }
+    }
+}
+
+/// Why a connection was closed, as the per-reason disconnect counters
+/// track it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// Evicted: the writer queue stayed over its watermark past the
+    /// configured grace (or hit its hard cap) — the reader was too slow.
+    SlowReader,
+    /// Reaped: no frames received for longer than the idle timeout.
+    Idle,
+    /// The client closed the connection (clean EOF).
+    Eof,
+    /// A socket error, an over-long line, or another protocol violation.
+    Error,
+}
+
+impl DisconnectReason {
+    /// All reasons, in counter-array order.
+    pub const ALL: [DisconnectReason; 4] = [
+        DisconnectReason::SlowReader,
+        DisconnectReason::Idle,
+        DisconnectReason::Eof,
+        DisconnectReason::Error,
+    ];
+
+    /// The metrics JSON key suffix (`disconnects_<code>`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            DisconnectReason::SlowReader => "slow_reader",
+            DisconnectReason::Idle => "idle",
+            DisconnectReason::Eof => "eof",
+            DisconnectReason::Error => "error",
         }
     }
 }
@@ -204,6 +249,14 @@ pub struct Metrics {
     rejected: [AtomicU64; RejectKind::ALL.len()],
     /// tenant -> decoded tokens.
     tenants: Mutex<Vec<(u64, u64)>>,
+    /// Connections currently open (gauge).
+    active_connections: AtomicU64,
+    /// Connections ever accepted (counter).
+    connections_total: AtomicU64,
+    /// Per-reason connection closes.
+    disconnects: [AtomicU64; DisconnectReason::ALL.len()],
+    /// Deepest any connection's writer queue has ever been.
+    writer_queue_peak: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -223,7 +276,43 @@ impl Metrics {
             admitted: AtomicU64::new(0),
             rejected: [const { AtomicU64::new(0) }; RejectKind::ALL.len()],
             tenants: Mutex::new(Vec::new()),
+            active_connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            disconnects: [const { AtomicU64::new(0) }; DisconnectReason::ALL.len()],
+            writer_queue_peak: AtomicU64::new(0),
         }
+    }
+
+    /// Counts a connection entering service (bumps the gauge and the
+    /// lifetime total).
+    pub fn connection_opened(&self) {
+        self.active_connections.fetch_add(1, Relaxed);
+        self.connections_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts a connection leaving service, tagged with why.
+    pub fn connection_closed(&self, reason: DisconnectReason) {
+        self.active_connections.fetch_sub(1, Relaxed);
+        let idx = DisconnectReason::ALL
+            .iter()
+            .position(|r| *r == reason)
+            .expect("reason in ALL");
+        self.disconnects[idx].fetch_add(1, Relaxed);
+    }
+
+    /// Connections currently open.
+    pub fn active_connections(&self) -> u64 {
+        self.active_connections.load(Relaxed)
+    }
+
+    /// Folds one observed writer-queue depth into the peak.
+    pub fn observe_writer_depth(&self, depth: u64) {
+        self.writer_queue_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// Deepest writer queue observed across all connections.
+    pub fn writer_queue_peak(&self) -> u64 {
+        self.writer_queue_peak.load(Relaxed)
     }
 
     /// Records one engine step: wall time, batch decoded, and the queue
@@ -293,6 +382,14 @@ impl Metrics {
                 .enumerate()
                 .map(|(i, k)| (k.code(), self.rejected[i].load(Relaxed)))
                 .collect(),
+            active_connections: self.active_connections.load(Relaxed),
+            connections_total: self.connections_total.load(Relaxed),
+            disconnects: DisconnectReason::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.code(), self.disconnects[i].load(Relaxed)))
+                .collect(),
+            writer_queue_peak: self.writer_queue_peak.load(Relaxed),
             tenants,
         }
     }
@@ -337,6 +434,14 @@ pub struct MetricsSnapshot {
     pub admitted: u64,
     /// Per-reason rejection counts, `(wire code, count)`.
     pub rejected: Vec<(&'static str, u64)>,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Connections ever accepted into service.
+    pub connections_total: u64,
+    /// Per-reason disconnect counts, `(code, count)`.
+    pub disconnects: Vec<(&'static str, u64)>,
+    /// Deepest writer queue observed across all connections.
+    pub writer_queue_peak: u64,
     /// Per-tenant decode accounts, sorted by tenant.
     pub tenants: Vec<TenantRate>,
 }
@@ -400,6 +505,27 @@ impl MetricsSnapshot {
         for (code, n) in &self.rejected {
             push_num(&mut o, &format!("rejected_{code}"), *n as f64, false);
         }
+        push_num(
+            &mut o,
+            "active_connections",
+            self.active_connections as f64,
+            false,
+        );
+        push_num(
+            &mut o,
+            "connections_total",
+            self.connections_total as f64,
+            false,
+        );
+        for (code, n) in &self.disconnects {
+            push_num(&mut o, &format!("disconnects_{code}"), *n as f64, false);
+        }
+        push_num(
+            &mut o,
+            "writer_queue_peak",
+            self.writer_queue_peak as f64,
+            false,
+        );
         o.push_str(",\"tenants\":[");
         for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {
@@ -456,6 +582,56 @@ mod tests {
         assert_eq!(percentile(&s, 0.99), 99.0);
         assert_eq!(percentile(&s, 1.0), 100.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn connection_counters_track_opens_closes_and_queue_peak() {
+        let m = Metrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.observe_writer_depth(3);
+        m.observe_writer_depth(17);
+        m.observe_writer_depth(5);
+        m.connection_closed(DisconnectReason::SlowReader);
+        assert_eq!(m.active_connections(), 1);
+        assert_eq!(m.writer_queue_peak(), 17);
+        let snap = m.snapshot();
+        assert_eq!(snap.active_connections, 1);
+        assert_eq!(snap.connections_total, 2);
+        assert_eq!(snap.writer_queue_peak, 17);
+        assert_eq!(
+            snap.disconnects.iter().find(|(c, _)| *c == "slow_reader"),
+            Some(&("slow_reader", 1))
+        );
+        let j = crate::net::json::parse(&snap.to_json()).expect("valid JSON");
+        assert_eq!(
+            j.get("disconnects_slow_reader").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("active_connections").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("writer_queue_peak").and_then(|v| v.as_u64()),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn rate_limited_and_draining_rejections_have_counters() {
+        let m = Metrics::new();
+        m.record_rejection(&RejectReason::RateLimited { retry_after_ms: 5 });
+        m.record_rejection(&RejectReason::Draining { retry_after_ms: 9 });
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.rejected.iter().find(|(c, _)| *c == "rate_limited"),
+            Some(&("rate_limited", 1))
+        );
+        assert_eq!(
+            snap.rejected.iter().find(|(c, _)| *c == "draining"),
+            Some(&("draining", 1))
+        );
     }
 
     #[test]

@@ -47,11 +47,15 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use admission::{Admission, AdmissionConfig, AdmitReject, NetRequest, Pending};
-pub use driver::{
-    spawn as spawn_driver, Client, DriverHandle, DriverStats, StreamEvent, StreamSink, Ticket,
-    TicketEnd,
+pub use admission::{
+    Admission, AdmissionConfig, AdmitReject, NetRequest, Pending, RateLimitConfig, RateLimiter,
 };
-pub use metrics::{percentile, Histogram, Metrics, MetricsSnapshot, RejectKind, TenantRate};
-pub use proto::ClientFrame;
-pub use server::NetServer;
+pub use driver::{
+    spawn as spawn_driver, Client, DrainReport, DriverHandle, DriverStats, StreamEvent, StreamSink,
+    Ticket, TicketEnd,
+};
+pub use metrics::{
+    percentile, DisconnectReason, Histogram, Metrics, MetricsSnapshot, RejectKind, TenantRate,
+};
+pub use proto::{ClientFrame, PROTO_VERSION};
+pub use server::{loopback, loopback_with, NetConfig, NetServer};

@@ -30,6 +30,10 @@ use crate::net::driver::{DriverStats, StreamEvent, TicketEnd};
 use crate::net::json::{self, Json};
 use crate::net::metrics::{MetricsSnapshot, RejectKind};
 
+/// The line protocol's version, announced in the `hello` frame every
+/// connection receives first. Bump on wire-incompatible changes.
+pub const PROTO_VERSION: u64 = 1;
+
 /// A parsed client → server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientFrame {
@@ -62,6 +66,9 @@ pub enum ClientFrame {
         /// The id from the `accepted` event.
         id: u64,
     },
+    /// Keepalive probe; the server answers with a `pong` frame and the
+    /// probe counts as activity for the idle-timeout clock.
+    Ping,
     /// Fetch scheduler counters and the metrics snapshot.
     Stats,
 }
@@ -112,6 +119,7 @@ pub fn parse_frame(line: &str) -> Result<ClientFrame, String> {
                 .and_then(Json::as_u64)
                 .ok_or("cancel needs \"id\"")?,
         }),
+        "ping" => Ok(ClientFrame::Ping),
         "stats" => Ok(ClientFrame::Stats),
         other => Err(format!("unknown verb {other:?}")),
     }
@@ -230,10 +238,7 @@ pub fn status_frame(id: u64, status: &RequestStatus, end: Option<&TicketEnd>) ->
             s.push_str("\"rejected\"");
             let retry = match end {
                 Some(TicketEnd::Rejected { retry_after_ms, .. }) => *retry_after_ms,
-                _ => match reason {
-                    RejectReason::Deadline { retry_after_ms } => *retry_after_ms,
-                    _ => 0,
-                },
+                _ => reason.retry_hint_ms().unwrap_or(0),
             };
             push_reason(reason, retry, &mut s);
         }
@@ -243,18 +248,50 @@ pub fn status_frame(id: u64, status: &RequestStatus, end: Option<&TicketEnd>) ->
     s
 }
 
+/// The `hello` handshake frame — the first frame every connection
+/// receives: the protocol version plus the server's request-line cap.
+pub fn hello_frame(line_length_cap: usize) -> String {
+    format!(
+        "{{\"event\":\"hello\",\"proto\":{PROTO_VERSION},\"line_length_cap\":{line_length_cap}}}"
+    )
+}
+
+/// A server-initiated keepalive probe.
+pub fn ping_frame() -> String {
+    "{\"event\":\"ping\"}".to_string()
+}
+
+/// The reply to a client `ping` verb.
+pub fn pong_frame() -> String {
+    "{\"event\":\"pong\"}".to_string()
+}
+
+/// The typed frame an over-limit (or draining) accept is answered with
+/// before the socket closes.
+pub fn conn_rejected_frame(reason: &str, detail: &str, retry_after_ms: u64) -> String {
+    let mut s = String::from("{\"event\":\"conn_rejected\",\"reason\":");
+    json::push_escaped(reason, &mut s);
+    s.push_str(&format!(",\"retry_after_ms\":{retry_after_ms},\"detail\":"));
+    json::push_escaped(detail, &mut s);
+    s.push('}');
+    s
+}
+
 /// Renders the `stats` reply: scheduler counters plus the metrics
-/// snapshot, each as a nested object.
-pub fn stats_frame(stats: &DriverStats, metrics: &MetricsSnapshot) -> String {
+/// snapshot, each as a nested object, under a protocol/uptime header.
+pub fn stats_frame(stats: &DriverStats, metrics: &MetricsSnapshot, uptime_ms: u64) -> String {
     let s = &stats.server;
     format!(
-        "{{\"event\":\"stats\",\"server\":{{\
+        "{{\"event\":\"stats\",\"proto\":{PROTO_VERSION},\"uptime_ms\":{uptime_ms},\
+         \"draining\":{},\"server\":{{\
          \"submitted\":{},\"rejected\":{},\"rejected_queue_full\":{},\
          \"rejected_invalid\":{},\"rejected_kv_capacity\":{},\
          \"rejected_unknown_context\":{},\"cancelled\":{},\
          \"completed\":{},\"steps\":{},\"decoded_tokens\":{},\
-         \"front_queued\":{},\"engine_queued\":{},\"running\":{}}},\
+         \"front_queued\":{},\"engine_queued\":{},\"running\":{},\
+         \"inflight_tokens\":{}}},\
          \"metrics\":{}}}",
+        stats.draining,
         s.submitted,
         s.rejected,
         s.rejected_queue_full,
@@ -268,6 +305,7 @@ pub fn stats_frame(stats: &DriverStats, metrics: &MetricsSnapshot) -> String {
         stats.front_queued,
         stats.engine_queued,
         stats.running,
+        stats.inflight_tokens,
         metrics.to_json(),
     )
 }

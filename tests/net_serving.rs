@@ -10,12 +10,12 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 use vq_llm::net::json::{self, Json};
-use vq_llm::net::{proto, spawn_driver};
+use vq_llm::net::{loopback_with, proto, spawn_driver, NetConfig};
 use vq_llm::tensor::synth;
 use vq_llm::{
     AdmissionConfig, ContextHandle, DecodeRequest, Engine, NetRequest, NetServer, ProfileConfig,
-    RejectReason, RequestStatus, ServeConfig, Session, SharedContext, StreamEvent, TicketEnd,
-    VqAlgorithm,
+    RateLimitConfig, RejectReason, RequestStatus, ServeConfig, Session, SharedContext, StreamEvent,
+    TicketEnd, VqAlgorithm,
 };
 
 const SEQ: usize = 256;
@@ -105,7 +105,20 @@ fn driver_completes_streams_and_matches_solo() {
     assert_eq!(out.steps, solo_reference(req), "driver diverged from solo");
 
     // Sink saw: accepted, token 0..3 (ascending, bitwise equal), done.
-    let events: Vec<StreamEvent> = ev_rx.try_iter().collect();
+    // The ticket resolves just before the terminal sink event fires (so
+    // poll-after-done is never stale), so drain the channel up to `done`
+    // instead of snapshotting it.
+    let mut events: Vec<StreamEvent> = Vec::new();
+    loop {
+        let ev = ev_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("sink event");
+        let done = matches!(ev, StreamEvent::Done { .. });
+        events.push(ev);
+        if done {
+            break;
+        }
+    }
     assert!(matches!(events[0], StreamEvent::Accepted { .. }));
     let tokens: Vec<(usize, Vec<f32>)> = events
         .iter()
@@ -292,6 +305,23 @@ fn loopback_tcp_streamed_tokens_are_bitwise_equal_to_solo_session() {
         json::parse(line.trim()).unwrap_or_else(|e| panic!("bad frame {line:?}: {e}"))
     };
 
+    // The handshake comes first: protocol version + line cap.
+    let hello = read_frame(&mut reader);
+    assert_eq!(hello.get("event").and_then(Json::as_str), Some("hello"));
+    assert_eq!(
+        hello.get("proto").and_then(Json::as_u64),
+        Some(vq_llm::net::PROTO_VERSION)
+    );
+    assert!(hello
+        .get("line_length_cap")
+        .and_then(Json::as_u64)
+        .is_some());
+
+    // ping/pong keepalive round-trips on the same connection.
+    writeln!(writer, "{{\"verb\":\"ping\"}}").expect("send ping");
+    let pong = read_frame(&mut reader);
+    assert_eq!(pong.get("event").and_then(Json::as_str), Some("pong"));
+
     // Three ragged streaming requests on one connection.
     let specs: [(u64, usize, usize); 3] = [(1, 30, 4), (2, 150, 2), (3, 77, 5)];
     for &(tenant, context_len, gen) in &specs {
@@ -377,8 +407,15 @@ fn loopback_tcp_streamed_tokens_are_bitwise_equal_to_solo_session() {
     writeln!(writer, "{{\"verb\":\"stats\"}}").expect("send stats");
     let stats = read_frame(&mut reader);
     assert_eq!(stats.get("event").and_then(Json::as_str), Some("stats"));
+    assert_eq!(
+        stats.get("proto").and_then(Json::as_u64),
+        Some(vq_llm::net::PROTO_VERSION)
+    );
+    assert!(stats.get("uptime_ms").and_then(Json::as_u64).is_some());
+    assert_eq!(stats.get("draining").and_then(Json::as_bool), Some(false));
     let srv = stats.get("server").expect("server object");
     assert_eq!(srv.get("completed").and_then(Json::as_u64), Some(3));
+    assert_eq!(srv.get("inflight_tokens").and_then(Json::as_u64), Some(0));
     let metrics = stats.get("metrics").expect("metrics object");
     assert_eq!(
         metrics.get("rejected_deadline").and_then(Json::as_u64),
@@ -391,5 +428,505 @@ fn loopback_tcp_streamed_tokens_are_bitwise_equal_to_solo_session() {
     let err = read_frame(&mut reader);
     assert_eq!(err.get("event").and_then(Json::as_str), Some("error"));
 
+    server.shutdown();
+}
+
+/// Reads frames until one matches `event`, skipping others (pings,
+/// stragglers); panics after `max` frames.
+fn read_until_event(reader: &mut BufReader<TcpStream>, event: &str, max: usize) -> Json {
+    for _ in 0..max {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("server frame");
+        let v = json::parse(line.trim()).unwrap_or_else(|e| panic!("bad frame {line:?}: {e}"));
+        if v.get("event").and_then(Json::as_str) == Some(event) {
+            return v;
+        }
+    }
+    panic!("no {event:?} frame within {max} frames");
+}
+
+/// Polls the driver until it reports no queued or running work, then
+/// returns the final stats (asserting the exact-accounting invariant:
+/// an idle driver owes zero inflight tokens).
+fn wait_idle(client: &vq_llm::Client) -> vq_llm::net::DriverStats {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("driver alive");
+        if stats.front_queued == 0 && stats.engine_queued == 0 && stats.running == 0 {
+            assert_eq!(
+                stats.inflight_tokens, 0,
+                "idle driver must owe zero inflight tokens"
+            );
+            return stats;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "driver never went idle: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A client that stops reading while the driver streams at full tilt is
+/// evicted once its bounded writer queue overflows — without blocking
+/// the driver — and its in-flight tickets are cancelled so the engine
+/// goes idle with exact (zero) inflight-token accounting.
+#[test]
+fn slow_reader_is_evicted_and_its_tickets_cancelled() {
+    let (engine, h) = engine(2, 64);
+    let net = NetConfig {
+        writer_queue_cap: 8,
+        slow_reader_grace: Duration::from_millis(100),
+        ..NetConfig::default()
+    };
+    let server =
+        loopback_with(engine, vec![h], AdmissionConfig::default(), net).expect("bind loopback");
+    let client = server.client().clone();
+
+    // Submit enough streamed tokens to overrun both the socket buffers
+    // and the 8-frame writer queue, then never read a byte.
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone socket");
+    for i in 0..24u64 {
+        let line = proto::submit_line(0, i, &query(i), 8, 240, 0, None, true);
+        writeln!(writer, "{line}").expect("send submit");
+    }
+
+    // The connection must be evicted as a slow reader.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = client.metrics();
+        let slow = m
+            .disconnects
+            .iter()
+            .find(|(c, _)| *c == "slow_reader")
+            .map_or(0, |&(_, n)| n);
+        if slow >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow reader never evicted: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Eviction cancelled the tickets: the driver drains to idle instead
+    // of decoding hundreds of tokens for nobody, and the backlog
+    // counter lands exactly at zero.
+    wait_idle(&client);
+    let m = client.metrics();
+    assert!(
+        m.writer_queue_peak <= 8,
+        "writer queue exceeded its bound: {}",
+        m.writer_queue_peak
+    );
+    assert_eq!(m.active_connections, 0);
+    drop(stream);
+    server.shutdown();
+}
+
+/// A request line longer than the configured cap gets a typed error
+/// frame and a disconnect — never unbounded buffering.
+#[test]
+fn oversized_line_gets_typed_error_and_disconnect() {
+    let (engine, h) = engine(1, 4);
+    let net = NetConfig {
+        line_length_cap: 256,
+        ..NetConfig::default()
+    };
+    let server =
+        loopback_with(engine, vec![h], AdmissionConfig::default(), net).expect("bind loopback");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    let hello = read_until_event(&mut reader, "hello", 4);
+    assert_eq!(
+        hello.get("line_length_cap").and_then(Json::as_u64),
+        Some(256)
+    );
+
+    let oversize = "x".repeat(1024);
+    writeln!(writer, "{oversize}").expect("send oversize line");
+    let err = read_until_event(&mut reader, "error", 4);
+    let msg = err.get("message").and_then(Json::as_str).expect("message");
+    assert!(msg.contains("cap"), "unexpected error message: {msg}");
+    // The server closes the connection after the error frame.
+    let mut line = String::new();
+    assert_eq!(reader.read_line(&mut line).expect("eof"), 0, "{line:?}");
+
+    // The disconnect metric lands just after the socket closes — poll
+    // briefly rather than racing the server's cleanup.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = server.client().metrics();
+        let errors = m
+            .disconnects
+            .iter()
+            .find(|(c, _)| *c == "error")
+            .map_or(0, |&(_, n)| n);
+        if errors == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "error disconnect never counted: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}
+
+/// Hanging up mid-stream cancels the connection's in-flight requests,
+/// freeing decode slots for other tenants, and the inflight-token
+/// counter returns exactly to zero (the underflow-regression pin).
+#[test]
+fn mid_stream_disconnect_cancels_and_frees_the_slot() {
+    let (engine, h) = engine(1, 8);
+    let server =
+        vq_llm::net::loopback(engine, vec![h], AdmissionConfig::default()).expect("bind loopback");
+    let client = server.client().clone();
+
+    {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut writer = stream.try_clone().expect("clone socket");
+        let mut reader = BufReader::new(stream);
+        read_until_event(&mut reader, "hello", 2);
+        // A long request that cannot finish before we hang up.
+        let line = proto::submit_line(0, 1, &query(1), 8, 240, 0, None, true);
+        writeln!(writer, "{line}").expect("send submit");
+        read_until_event(&mut reader, "accepted", 4);
+        // Drop both halves: mid-stream disconnect.
+    }
+
+    // The reader observes EOF, cancels the ticket, the slot frees, and
+    // the exact accounting lands at zero (wait_idle asserts it).
+    wait_idle(&client);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = client.metrics();
+        let eof = m
+            .disconnects
+            .iter()
+            .find(|(c, _)| *c == "eof")
+            .map_or(0, |&(_, n)| n);
+        if eof >= 1 && m.active_connections == 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "EOF never recorded");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The freed slot serves the next tenant immediately.
+    let ticket = client.submit(NetRequest::new(h, DecodeRequest::new(2, query(2), 10, 2)));
+    assert!(matches!(client.wait(&ticket), TicketEnd::Finished(_)));
+    server.shutdown();
+}
+
+/// Graceful drain at the driver level: in-flight work finishes (bitwise
+/// identical to solo), new submissions reject typed as `draining` with
+/// a computed retry, and the report counts the completions.
+#[test]
+fn drain_finishes_inflight_rejects_new_typed_and_reports() {
+    let (engine, h) = engine(1, 16);
+    let (client, driver) = spawn_driver(engine, AdmissionConfig::default());
+
+    // Enough sequential work (4 × 200 steps on one slot) that the drain
+    // probe below lands while the engine is still busy.
+    let reqs: Vec<DecodeRequest> = (0..4)
+        .map(|i| DecodeRequest::new(i, query(i), 8 + i as usize, 200))
+        .collect();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|r| client.submit(NetRequest::new(h, r.clone())))
+        .collect();
+
+    let drain_client = client.clone();
+    let drain = std::thread::spawn(move || driver.drain(Duration::from_secs(120)));
+    // Wait until the driver acknowledges it is draining.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match drain_client.stats() {
+            Some(s) if s.draining => break,
+            Some(_) => {}
+            None => panic!("driver exited before the drain was observed"),
+        }
+        assert!(std::time::Instant::now() < deadline, "drain never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // New work is rejected typed, with a positive computed backoff.
+    let probe = client.submit(NetRequest::new(h, DecodeRequest::new(9, query(9), 10, 2)));
+    match client.wait(&probe) {
+        TicketEnd::Rejected {
+            reason: RejectReason::Draining { retry_after_ms },
+            retry_after_ms: retry,
+        } => {
+            assert!(retry_after_ms >= 1);
+            assert_eq!(retry, retry_after_ms);
+        }
+        other => panic!("expected a typed draining rejection, got {other:?}"),
+    }
+
+    // Everything in flight finishes, bitwise identical to solo drains.
+    for (req, ticket) in reqs.iter().zip(&tickets) {
+        match client.wait(ticket) {
+            TicketEnd::Finished(out) => {
+                assert_eq!(
+                    out.steps,
+                    solo_reference(req.clone()),
+                    "drained decode diverged from solo"
+                );
+            }
+            other => panic!("in-flight request did not survive the drain: {other:?}"),
+        }
+    }
+    let report = drain.join().expect("drain thread");
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.cancelled, 0);
+}
+
+/// Graceful drain through the TCP server: the in-flight stream flushes
+/// to the client bitwise-complete, and the drained server refuses new
+/// connections with a typed frame.
+#[test]
+fn server_drain_flushes_streams_and_refuses_new_connections() {
+    let (engine, h) = engine(1, 8);
+    let server =
+        vq_llm::net::loopback(engine, vec![h], AdmissionConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    read_until_event(&mut reader, "hello", 2);
+
+    let req = DecodeRequest::new(3, query(3), 20, 60);
+    let line = proto::submit_line(0, 3, &query(3), 20, 60, 0, None, true);
+    writeln!(writer, "{line}").expect("send submit");
+    read_until_event(&mut reader, "accepted", 2);
+
+    // Drain from another thread while this one consumes the stream.
+    let drain = std::thread::spawn(move || server.drain(Duration::from_secs(120)));
+
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("server frame");
+        let v = json::parse(line.trim()).unwrap_or_else(|e| panic!("bad frame {line:?}: {e}"));
+        match v.get("event").and_then(Json::as_str) {
+            Some("token") => rows.push(v.get("value").and_then(Json::as_f32s).expect("value")),
+            Some("done") => break,
+            Some("rejected") => panic!("in-flight stream rejected during drain: {v:?}"),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        rows,
+        solo_reference(req),
+        "drained TCP stream diverged bitwise from solo"
+    );
+    let report = drain.join().expect("drain thread");
+    assert_eq!(report.cancelled, 0, "a clean drain cancels nothing");
+
+    // The drained server is gone: a new dial is either refused outright
+    // or answered with a typed frame and closed.
+    if let Ok(probe) = TcpStream::connect(addr) {
+        probe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut r = BufReader::new(probe);
+        let mut line = String::new();
+        if r.read_line(&mut line).unwrap_or(0) > 0 {
+            let v = json::parse(line.trim()).expect("frame");
+            assert_eq!(
+                v.get("event").and_then(Json::as_str),
+                Some("conn_rejected"),
+                "{line:?}"
+            );
+        }
+    }
+}
+
+/// Per-tenant rate limits over the wire: the budgeted tenant's second
+/// request rejects typed `rate_limited` with a positive retry, while an
+/// unbudgeted tenant sails through.
+#[test]
+fn rate_limited_tenant_gets_typed_rejection_over_tcp() {
+    let (engine, h) = engine(2, 16);
+    let cfg = AdmissionConfig {
+        rate_limit: Some(RateLimitConfig {
+            window_ms: 60_000,
+            default_budget: u64::MAX,
+            budgets: vec![(1, 4)],
+        }),
+        ..AdmissionConfig::default()
+    };
+    let server = vq_llm::net::loopback(engine, vec![h], cfg).expect("bind loopback");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    read_until_event(&mut reader, "hello", 2);
+
+    // Tenant 1 spends its whole 4-token budget...
+    let line = proto::submit_line(0, 1, &query(1), 10, 4, 0, None, false);
+    writeln!(writer, "{line}").expect("send submit");
+    read_until_event(&mut reader, "accepted", 2);
+    // ...so its next token rejects typed.
+    let line = proto::submit_line(0, 1, &query(1), 10, 1, 0, None, false);
+    writeln!(writer, "{line}").expect("send submit");
+    let rej = read_until_event(&mut reader, "rejected", 4);
+    assert_eq!(
+        rej.get("reason").and_then(Json::as_str),
+        Some("rate_limited")
+    );
+    assert!(
+        rej.get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .expect("retry")
+            >= 1
+    );
+
+    // An unbudgeted tenant is unaffected.
+    let line = proto::submit_line(0, 2, &query(2), 10, 4, 0, None, false);
+    writeln!(writer, "{line}").expect("send submit");
+    read_until_event(&mut reader, "accepted", 4);
+
+    let m = server.client().metrics();
+    assert_eq!(
+        m.rejected.iter().find(|(c, _)| *c == "rate_limited"),
+        Some(&("rate_limited", 1))
+    );
+    server.shutdown();
+}
+
+/// The connection limit: accepts past `max_connections` are answered
+/// with a typed `conn_rejected` frame and closed; a freed slot accepts
+/// again.
+#[test]
+fn connection_limit_rejects_typed_then_recovers() {
+    let (engine, h) = engine(1, 4);
+    let net = NetConfig {
+        max_connections: 1,
+        ..NetConfig::default()
+    };
+    let server =
+        loopback_with(engine, vec![h], AdmissionConfig::default(), net).expect("bind loopback");
+    let addr = server.local_addr();
+
+    let first = TcpStream::connect(addr).expect("connect");
+    first
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut first_reader = BufReader::new(first.try_clone().expect("clone"));
+    read_until_event(&mut first_reader, "hello", 2);
+
+    let second = TcpStream::connect(addr).expect("connect");
+    second
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut second_reader = BufReader::new(second);
+    let rej = read_until_event(&mut second_reader, "conn_rejected", 2);
+    assert_eq!(
+        rej.get("reason").and_then(Json::as_str),
+        Some("connection_limit")
+    );
+    assert!(
+        rej.get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .expect("retry")
+            >= 1
+    );
+
+    // Hang up the first connection; once the server notices, the slot
+    // frees and a new dial gets its hello.
+    drop(first);
+    drop(first_reader);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let probe = TcpStream::connect(addr).expect("connect");
+        probe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut r = BufReader::new(probe);
+        let mut line = String::new();
+        if r.read_line(&mut line).unwrap_or(0) > 0 && line.contains("\"event\":\"hello\"") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed: {line:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+/// Idle connections are reaped after `idle_timeout`, with a farewell
+/// error frame, a clean close, and a typed disconnect metric; `ping`
+/// resets the idle clock.
+#[test]
+fn idle_connection_is_reaped_after_timeout() {
+    let (engine, h) = engine(1, 4);
+    let net = NetConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..NetConfig::default()
+    };
+    let server =
+        loopback_with(engine, vec![h], AdmissionConfig::default(), net).expect("bind loopback");
+
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    read_until_event(&mut reader, "hello", 2);
+
+    // Pings keep the connection alive well past the idle timeout.
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(150));
+        writeln!(writer, "{{\"verb\":\"ping\"}}").expect("send ping");
+        read_until_event(&mut reader, "pong", 2);
+    }
+
+    // Then silence: the reaper sends a farewell error and closes.
+    let err = read_until_event(&mut reader, "error", 4);
+    let msg = err.get("message").and_then(Json::as_str).expect("message");
+    assert!(msg.contains("idle"), "unexpected farewell: {msg}");
+    let mut line = String::new();
+    assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = server.client().metrics();
+        let idle = m
+            .disconnects
+            .iter()
+            .find(|(c, _)| *c == "idle")
+            .map_or(0, |&(_, n)| n);
+        if idle >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle reap not counted"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
     server.shutdown();
 }
