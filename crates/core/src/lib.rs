@@ -43,6 +43,7 @@ pub mod cache;
 pub mod codegen;
 pub mod dataflow;
 pub mod engine;
+pub mod failpoint;
 pub mod fusion;
 pub mod ops;
 pub mod plan_cache;

@@ -292,7 +292,8 @@ impl PlanCache {
 
     /// Writes every cached entry to `path` in the versioned text format of
     /// [`persist`] (sorted by rendered line, so identical caches produce
-    /// identical files). Returns the number of entries written.
+    /// identical files), terminated by a checksum trailer line covering
+    /// everything before it. Returns the number of entries written.
     ///
     /// # Errors
     ///
@@ -304,13 +305,15 @@ impl PlanCache {
             .map(|(k, p)| persist::encode_entry(k, p))
             .collect();
         lines.sort_unstable();
-        let mut out = String::with_capacity(lines.len() * 128 + 32);
+        let mut out = String::with_capacity(lines.len() * 128 + 64);
         out.push_str(persist::HEADER);
         out.push('\n');
         for line in &lines {
             out.push_str(line);
             out.push('\n');
         }
+        let sum = persist::fnv1a64(persist::FNV_SEED, out.as_bytes());
+        out.push_str(&format!("{}{sum:016x}\n", persist::TRAILER_PREFIX));
         std::fs::write(path, out)?;
         Ok(lines.len())
     }
@@ -342,15 +345,50 @@ impl PlanCache {
         }
         // Decode fully before touching the cache: a corrupt line midway
         // through the file must not leave a shared cache partially
-        // mutated behind the InvalidData error.
+        // mutated behind the InvalidData error. The running hash covers
+        // every line before the trailer exactly as written, so the
+        // trailer also catches truncation on a line boundary (which the
+        // per-line codec alone would accept).
+        let mut hash = persist::fnv1a64(persist::FNV_SEED, persist::HEADER.as_bytes());
+        hash = persist::fnv1a64(hash, b"\n");
         let mut entries = Vec::new();
+        let mut trailer: Option<&str> = None;
         for (idx, line) in lines.enumerate() {
+            if trailer.is_some() {
+                return Err(persist::invalid_data(format!(
+                    "entry {} after checksum trailer",
+                    idx + 1
+                )));
+            }
+            if let Some(sum) = line.strip_prefix(persist::TRAILER_PREFIX) {
+                trailer = Some(sum);
+                continue;
+            }
+            hash = persist::fnv1a64(hash, line.as_bytes());
+            hash = persist::fnv1a64(hash, b"\n");
             if line.is_empty() {
                 continue;
             }
             let entry = persist::decode_entry(line)
                 .map_err(|e| persist::invalid_data(format!("entry {}: {e}", idx + 1)))?;
             entries.push(entry);
+        }
+        match trailer {
+            None => {
+                return Err(persist::invalid_data(
+                    "missing checksum trailer (file truncated?)".to_string(),
+                ));
+            }
+            Some(sum) => {
+                let expect = u64::from_str_radix(sum.trim(), 16)
+                    .map_err(|e| persist::invalid_data(format!("bad checksum trailer: {e}")))?;
+                if expect != hash {
+                    return Err(persist::invalid_data(format!(
+                        "checksum mismatch: file says {expect:016x}, content hashes to \
+                         {hash:016x}"
+                    )));
+                }
+            }
         }
         let loaded = entries.len();
         for (key, plan) in entries {
@@ -616,6 +654,62 @@ mod tests {
                 std::process::id()
             )))
             .is_err());
+    }
+
+    #[test]
+    fn load_rejects_truncation_even_on_a_line_boundary() {
+        let dir = std::env::temp_dir();
+        let donor = PlanCache::new();
+        for (algo, level) in [
+            (VqAlgorithm::Cq2, OptLevel::O2),
+            (VqAlgorithm::Cq4, OptLevel::O3),
+        ] {
+            donor
+                .get_or_try_insert_with::<()>(key(algo, level), || Ok(plan(algo, level)))
+                .unwrap();
+        }
+        let full = dir.join(format!(
+            "vqllm_plan_cache_trunc_full_{}.txt",
+            std::process::id()
+        ));
+        donor.save_to(&full).unwrap();
+        let text = std::fs::read_to_string(&full).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 entries + trailer");
+
+        // Cut exactly on a line boundary: every line that survives still
+        // decodes, so only the trailer can catch it.
+        for keep in 1..lines.len() {
+            let truncated: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+            let path = dir.join(format!(
+                "vqllm_plan_cache_trunc_{keep}_{}.txt",
+                std::process::id()
+            ));
+            std::fs::write(&path, truncated).unwrap();
+            let cache = PlanCache::new();
+            let err = cache.load_from(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "keep={keep}");
+            assert!(cache.is_empty(), "truncated load must not partially apply");
+            let _ = std::fs::remove_file(&path);
+        }
+
+        // An entry dropped but the trailer kept: checksum mismatch.
+        let tampered: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let path = dir.join(format!(
+            "vqllm_plan_cache_tampered_{}.txt",
+            std::process::id()
+        ));
+        std::fs::write(&path, tampered).unwrap();
+        let err = PlanCache::new().load_from(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&full);
     }
 
     #[test]

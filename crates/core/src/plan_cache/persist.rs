@@ -27,8 +27,29 @@ use vqllm_vq::config::CodebookScope;
 use vqllm_vq::VqConfig;
 
 /// File header: magic + codec version. Bump the version on any token
-/// change; `load_from` rejects files it does not understand.
-pub const HEADER: &str = "vqllm-plan-cache v1";
+/// change; `load_from` rejects files it does not understand. (v2 added
+/// the mandatory checksum trailer line.)
+pub const HEADER: &str = "vqllm-plan-cache v2";
+
+/// Prefix of the mandatory final line: `checksum <16-hex FNV-1a64>` over
+/// every preceding line (header and entries, each including its `\n`).
+/// The strict line codec already rejects a cut *inside* a line, but a
+/// truncation that falls exactly on a line boundary parses cleanly — the
+/// trailer turns that silent data loss into `InvalidData` too.
+pub const TRAILER_PREFIX: &str = "checksum ";
+
+/// Incremental FNV-1a 64-bit (dependency-free; collision resistance is
+/// plenty for catching truncation/corruption, not an integrity boundary).
+pub fn fnv1a64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit offset basis (the seed for [`fnv1a64`]).
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 // --- encoding ---
 

@@ -133,11 +133,33 @@ fn band_height(scope: CodebookScope, rows: usize) -> usize {
     }
 }
 
+/// Evaluates the failpoint at a kernel entry (`vqllm_core::failpoint`):
+/// a fired `Error` action surfaces as a contained
+/// [`KernelError::Panicked`] so fault drills can force a kernel failure
+/// without unwinding. Disabled failpoints cost one relaxed atomic load.
+fn failpoint(site: &'static str) -> Result<()> {
+    match vqllm_core::failpoint::fire(site) {
+        Some(message) => Err(KernelError::Panicked { site, message }),
+        None => Ok(()),
+    }
+}
+
 /// Splits `data` (`rows × row_width` elements, row-major) into row-aligned
 /// chunks and runs `f(first_row, chunk)` on each — on the shared
 /// [`pool::WorkerPool`] when `threads > 1`, sequentially otherwise. Chunks
 /// are disjoint `&mut` slices, so workers never race.
-fn parallel_row_chunks<F>(data: &mut [f32], row_width: usize, threads: usize, f: F)
+///
+/// # Errors
+///
+/// Returns [`KernelError::Panicked`] (tagged with `site`) if a chunk job
+/// panicked; the panic is contained by the pool, not re-raised.
+fn parallel_row_chunks<F>(
+    data: &mut [f32],
+    row_width: usize,
+    threads: usize,
+    site: &'static str,
+    f: F,
+) -> Result<()>
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
@@ -145,15 +167,15 @@ where
     let workers = threads.max(1).min(rows.max(1));
     if workers <= 1 {
         f(0, data);
-        return;
+        return Ok(());
     }
     let chunk_rows = rows.div_ceil(workers);
-    pool::WorkerPool::shared().scope(|scope| {
+    pool::WorkerPool::shared().try_scope(site, |scope| {
         for (ci, chunk) in data.chunks_mut(chunk_rows * row_width).enumerate() {
             let f = &f;
             scope.spawn(move || f(ci * chunk_rows, chunk));
         }
-    });
+    })
 }
 
 /// Fused LUT GeMV: `y = dequant(Wq) · x` with `x.len() == cols`,
@@ -199,6 +221,7 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
                     &mut y[band_start..band_start + band_len],
                     1,
                     blocking.threads,
+                    "host.gemv_lut",
                     |first, chunk| {
                         let mut codes = vec![0u32; groups];
                         for (local, out) in chunk.iter_mut().enumerate() {
@@ -218,7 +241,7 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
                             *out += acc;
                         }
                     },
-                );
+                )?;
             } else {
                 // The LUT: partial dot of every centroid against the x
                 // sub-vector of every column group of this band's books,
@@ -238,6 +261,7 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
                     &mut y[band_start..band_start + band_len],
                     1,
                     blocking.threads,
+                    "host.gemv_lut",
                     |first, chunk| {
                         let mut codes = vec![0u32; gb];
                         for g0 in (0..groups).step_by(gb) {
@@ -250,7 +274,7 @@ pub fn gemv_lut(wq: &QuantizedTensor, x: &[f32], blocking: &HostBlocking) -> Res
                             }
                         }
                     },
-                );
+                )?;
             }
         }
         band_start += band_len;
@@ -303,22 +327,29 @@ pub fn gemv_lut_batch(
         for r in 0..vq.residuals {
             let stream = wq.index_stream(r);
             if vq.lattice {
-                parallel_row_chunks(band_out, batch, blocking.threads, |first, chunk| {
-                    let mut codes = vec![0u32; groups];
-                    for (local, yrow) in chunk.chunks_mut(batch).enumerate() {
-                        let row = band_start + first + local;
-                        stream.unpack_block(row * groups, &mut codes);
-                        for (g, &code) in codes.iter().enumerate() {
-                            let book = books.book(r, books.scope_index(row, g * vs));
-                            let base = book.stored_id_of(code) as usize;
-                            let signs = code >> book.sign_shift();
-                            let entry = &book.entries_flat()[base * vs..(base + 1) * vs];
-                            for (b, out) in yrow.iter_mut().enumerate() {
-                                *out += signed_dot(entry, &xs.row(b)[g * vs..(g + 1) * vs], signs);
+                parallel_row_chunks(
+                    band_out,
+                    batch,
+                    blocking.threads,
+                    "host.gemv_lut_batch",
+                    |first, chunk| {
+                        let mut codes = vec![0u32; groups];
+                        for (local, yrow) in chunk.chunks_mut(batch).enumerate() {
+                            let row = band_start + first + local;
+                            stream.unpack_block(row * groups, &mut codes);
+                            for (g, &code) in codes.iter().enumerate() {
+                                let book = books.book(r, books.scope_index(row, g * vs));
+                                let base = book.stored_id_of(code) as usize;
+                                let signs = code >> book.sign_shift();
+                                let entry = &book.entries_flat()[base * vs..(base + 1) * vs];
+                                for (b, out) in yrow.iter_mut().enumerate() {
+                                    *out +=
+                                        signed_dot(entry, &xs.row(b)[g * vs..(g + 1) * vs], signs);
+                                }
                             }
                         }
-                    }
-                });
+                    },
+                )?;
             } else {
                 // Batch-interleaved LUT: B contiguous partial dots per
                 // (group, code) slot, built from the interleaved codebook
@@ -342,21 +373,27 @@ pub fn gemv_lut_batch(
                     }
                 }
                 let gb = blocking.group_block(stored * batch, groups);
-                parallel_row_chunks(band_out, batch, blocking.threads, |first, chunk| {
-                    let mut codes = vec![0u32; gb];
-                    for g0 in (0..groups).step_by(gb) {
-                        let gl = gb.min(groups - g0);
-                        let slab = &lut[g0 * stored * batch..(g0 + gl) * stored * batch];
-                        for (local, yrow) in chunk.chunks_mut(batch).enumerate() {
-                            let row = band_start + first + local;
-                            stream.unpack_block(row * groups + g0, &mut codes[..gl]);
-                            for (gi, &code) in codes[..gl].iter().enumerate() {
-                                let base = (gi * stored + code as usize) * batch;
-                                simd::add_assign(yrow, &slab[base..base + batch]);
+                parallel_row_chunks(
+                    band_out,
+                    batch,
+                    blocking.threads,
+                    "host.gemv_lut_batch",
+                    |first, chunk| {
+                        let mut codes = vec![0u32; gb];
+                        for g0 in (0..groups).step_by(gb) {
+                            let gl = gb.min(groups - g0);
+                            let slab = &lut[g0 * stored * batch..(g0 + gl) * stored * batch];
+                            for (local, yrow) in chunk.chunks_mut(batch).enumerate() {
+                                let row = band_start + first + local;
+                                stream.unpack_block(row * groups + g0, &mut codes[..gl]);
+                                for (gi, &code) in codes[..gl].iter().enumerate() {
+                                    let base = (gi * stored + code as usize) * batch;
+                                    simd::add_assign(yrow, &slab[base..base + batch]);
+                                }
                             }
                         }
-                    }
-                });
+                    },
+                )?;
             }
         }
         band_start += band_len;
@@ -401,72 +438,87 @@ pub fn gemv_xw(x: &[f32], wq: &QuantizedTensor, blocking: &HostBlocking) -> Resu
     let mut y = vec![0.0f32; cols];
 
     // Workers own disjoint, contiguous column-group spans of y.
-    parallel_row_chunks(&mut y, vs, blocking.threads, |first_group, ychunk| {
-        let span = ychunk.len() / vs;
-        let gb = blocking.group_block(stored, span);
-        let mut codes = vec![0u32; gb];
-        let mut wsum = vec![0.0f32; gb * stored];
-        for r in 0..vq.residuals {
-            let stream = wq.index_stream(r);
-            let mut band_start = 0;
-            while band_start < rows {
-                let band_len = band.min(rows - band_start);
-                for b0 in (0..span).step_by(gb) {
-                    let gl = gb.min(span - b0);
-                    let g0 = first_group + b0;
-                    if vq.lattice {
-                        for (off, &xv) in x[band_start..band_start + band_len].iter().enumerate() {
-                            let row = band_start + off;
-                            stream.unpack_block(row * groups + g0, &mut codes[..gl]);
-                            for (gi, &code) in codes[..gl].iter().enumerate() {
-                                books.book(r, books.scope_index(row, (g0 + gi) * vs)).axpy(
-                                    code,
-                                    xv,
-                                    &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs],
-                                );
-                            }
-                        }
-                    } else {
-                        wsum[..gl * stored].fill(0.0);
-                        // Scatter: aggregate x over equal codes.
-                        for (off, &xv) in x[band_start..band_start + band_len].iter().enumerate() {
-                            stream.unpack_block((band_start + off) * groups + g0, &mut codes[..gl]);
-                            for (gi, &code) in codes[..gl].iter().enumerate() {
-                                wsum[gi * stored + code as usize] += xv;
-                            }
-                        }
-                        // Expand: aggregated code weights through the
-                        // centroids — dense SIMD dots once the table is
-                        // saturated, zero-skipping otherwise.
-                        let dense = band_len >= stored;
-                        for gi in 0..gl {
-                            let book = books.book(r, books.scope_index(band_start, (g0 + gi) * vs));
-                            let wsum_g = &wsum[gi * stored..(gi + 1) * stored];
-                            let out = &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs];
-                            if dense {
-                                let inter = book.entries_interleaved();
-                                for (j, o) in out.iter_mut().enumerate() {
-                                    *o += simd::dot(wsum_g, &inter[j * stored..(j + 1) * stored]);
+    parallel_row_chunks(
+        &mut y,
+        vs,
+        blocking.threads,
+        "host.gemv_xw",
+        |first_group, ychunk| {
+            let span = ychunk.len() / vs;
+            let gb = blocking.group_block(stored, span);
+            let mut codes = vec![0u32; gb];
+            let mut wsum = vec![0.0f32; gb * stored];
+            for r in 0..vq.residuals {
+                let stream = wq.index_stream(r);
+                let mut band_start = 0;
+                while band_start < rows {
+                    let band_len = band.min(rows - band_start);
+                    for b0 in (0..span).step_by(gb) {
+                        let gl = gb.min(span - b0);
+                        let g0 = first_group + b0;
+                        if vq.lattice {
+                            for (off, &xv) in
+                                x[band_start..band_start + band_len].iter().enumerate()
+                            {
+                                let row = band_start + off;
+                                stream.unpack_block(row * groups + g0, &mut codes[..gl]);
+                                for (gi, &code) in codes[..gl].iter().enumerate() {
+                                    books.book(r, books.scope_index(row, (g0 + gi) * vs)).axpy(
+                                        code,
+                                        xv,
+                                        &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs],
+                                    );
                                 }
-                            } else {
-                                let flat = book.entries_flat();
-                                for (c, &w) in wsum_g.iter().enumerate() {
-                                    if w != 0.0 {
-                                        for (o, &e) in
-                                            out.iter_mut().zip(&flat[c * vs..(c + 1) * vs])
-                                        {
-                                            *o += w * e;
+                            }
+                        } else {
+                            wsum[..gl * stored].fill(0.0);
+                            // Scatter: aggregate x over equal codes.
+                            for (off, &xv) in
+                                x[band_start..band_start + band_len].iter().enumerate()
+                            {
+                                stream.unpack_block(
+                                    (band_start + off) * groups + g0,
+                                    &mut codes[..gl],
+                                );
+                                for (gi, &code) in codes[..gl].iter().enumerate() {
+                                    wsum[gi * stored + code as usize] += xv;
+                                }
+                            }
+                            // Expand: aggregated code weights through the
+                            // centroids — dense SIMD dots once the table is
+                            // saturated, zero-skipping otherwise.
+                            let dense = band_len >= stored;
+                            for gi in 0..gl {
+                                let book =
+                                    books.book(r, books.scope_index(band_start, (g0 + gi) * vs));
+                                let wsum_g = &wsum[gi * stored..(gi + 1) * stored];
+                                let out = &mut ychunk[(b0 + gi) * vs..(b0 + gi + 1) * vs];
+                                if dense {
+                                    let inter = book.entries_interleaved();
+                                    for (j, o) in out.iter_mut().enumerate() {
+                                        *o +=
+                                            simd::dot(wsum_g, &inter[j * stored..(j + 1) * stored]);
+                                    }
+                                } else {
+                                    let flat = book.entries_flat();
+                                    for (c, &w) in wsum_g.iter().enumerate() {
+                                        if w != 0.0 {
+                                            for (o, &e) in
+                                                out.iter_mut().zip(&flat[c * vs..(c + 1) * vs])
+                                            {
+                                                *o += w * e;
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
                     }
+                    band_start += band_len;
                 }
-                band_start += band_len;
             }
-        }
-    });
+        },
+    )?;
     Ok(y)
 }
 
@@ -489,6 +541,7 @@ use simd::{GEMM_MR, GEMM_NR};
 ///
 /// Returns [`KernelError::ShapeMismatch`] if `a.cols() != wq.rows`.
 pub fn gemm_fused(a: &Tensor2D, wq: &QuantizedTensor, blocking: &HostBlocking) -> Result<Tensor2D> {
+    failpoint("host.gemm_fused")?;
     if a.cols() != wq.shape().0 {
         return Err(KernelError::ShapeMismatch {
             what: "A.cols must equal quantized weight rows",
@@ -521,11 +574,11 @@ pub fn gemm_fused(a: &Tensor2D, wq: &QuantizedTensor, blocking: &HostBlocking) -
         .iter()
         .map(|(gs, ge)| vec![0.0f32; m * (ge - gs) * vs])
         .collect();
-    pool::WorkerPool::shared().scope(|scope| {
+    pool::WorkerPool::shared().try_scope("host.gemm_fused", |scope| {
         for (&(gs, ge), buf) in strips.iter().zip(bufs.iter_mut()) {
             scope.spawn(move || gemm_strip(a, wq, blocking, gs, ge, buf));
         }
-    });
+    })?;
     for (&(gs, ge), buf) in strips.iter().zip(&bufs) {
         let strip_n = (ge - gs) * vs;
         for p in 0..m {
@@ -742,6 +795,7 @@ pub fn attention_decode_ragged(
     vq: &QuantizedTensor,
     blocking: &HostBlocking,
 ) -> Result<Tensor2D> {
+    failpoint("host.attention_ragged")?;
     if lens.len() != qs.rows() {
         return Err(KernelError::ShapeMismatch {
             what: "one softmax length per query row",

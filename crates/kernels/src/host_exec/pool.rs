@@ -26,9 +26,15 @@
 //!   has finished before it returns, which is what makes the lifetime
 //!   erasure in [`Scope::spawn`] sound.
 //! * **Panic safety**: a panicking job neither kills its worker nor wedges
-//!   the scope — the panic is caught, the scope's completion latch still
-//!   fires (via a drop guard), and the panic is re-raised on the
-//!   submitting thread once the scope is fully joined.
+//!   the scope — the panic is caught, its payload message is captured, the
+//!   scope's completion latch still fires (via a drop guard), and the
+//!   failure surfaces on the submitting thread once the scope is fully
+//!   joined: as a structured [`KernelError::Panicked`] from
+//!   [`WorkerPool::try_scope`] (what the kernels use, so the serving layer
+//!   can quarantine the offending request), or as a re-raised panic
+//!   carrying the same message from [`WorkerPool::scope`].
+
+use crate::KernelError;
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -153,16 +159,25 @@ impl WorkerPool {
     /// and returns only after every spawned job has completed. The calling
     /// thread participates by draining the queue while it waits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Re-raises a panic if any spawned job panicked.
-    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+    /// Returns [`KernelError::Panicked`] (tagged with `site` and the
+    /// job's downcast panic message) if any spawned job panicked. The
+    /// panic does **not** unwind out of this call, which is what lets the
+    /// serving layer above treat a poisoned kernel as a per-request fault
+    /// instead of a dead thread.
+    pub fn try_scope<'env, R>(
+        &self,
+        site: &'static str,
+        f: impl FnOnce(&Scope<'_, 'env>) -> R,
+    ) -> Result<R, KernelError> {
         let scope = Scope {
             pool: self,
             state: Arc::new(ScopeState {
                 pending: Mutex::new(0),
                 done: Condvar::new(),
                 panicked: AtomicBool::new(false),
+                panic_msg: Mutex::new(None),
             }),
             _env: PhantomData,
         };
@@ -173,11 +188,33 @@ impl WorkerPool {
         match result {
             Ok(result) => {
                 if scope.state.panicked.load(Ordering::SeqCst) {
-                    panic!("worker pool job panicked");
+                    let message = scope
+                        .state
+                        .panic_msg
+                        .lock()
+                        .expect("panic message")
+                        .take()
+                        .unwrap_or_else(|| "worker pool job panicked".to_string());
+                    Err(KernelError::Panicked { site, message })
+                } else {
+                    Ok(result)
                 }
-                result
             }
             Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Panicking convenience wrapper around [`WorkerPool::try_scope`] for
+    /// callers without an error channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the captured job message if any spawned job panicked
+    /// (never the old bare "worker pool job panicked").
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        match self.try_scope("pool.scope", f) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -196,6 +233,27 @@ struct ScopeState {
     pending: Mutex<usize>,
     done: Condvar,
     panicked: AtomicBool,
+    /// First captured panic payload message (later panics in the same
+    /// scope are dropped — one message is enough to name the fault).
+    panic_msg: Mutex<Option<String>>,
+}
+
+impl ScopeState {
+    /// Records a caught job panic: keeps the first downcast payload
+    /// message and marks the scope poisoned.
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        let mut slot = self.panic_msg.lock().expect("panic message");
+        slot.get_or_insert(message);
+        drop(slot);
+        self.panicked.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Decrements the scope latch when dropped — runs even if the job panics,
@@ -206,6 +264,9 @@ struct CompletionGuard {
 
 impl Drop for CompletionGuard {
     fn drop(&mut self) {
+        // Backstop: the job wrapper catches and records panics itself
+        // (with the payload message); this only fires if unwinding somehow
+        // escapes that catch.
         if std::thread::panicking() {
             self.state.panicked.store(true, Ordering::SeqCst);
         }
@@ -235,7 +296,12 @@ impl<'env> Scope<'_, 'env> {
         };
         let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             let _guard = guard;
-            job();
+            // Catch here (not just in the worker loop) so the payload can
+            // be recorded for the scope's structured error; the latch
+            // guard still drops normally afterwards.
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(job)) {
+                _guard.state.record_panic(payload.as_ref());
+            }
         });
         // SAFETY: `WorkerPool::scope` joins (waits for `pending == 0`)
         // before returning, and the completion guard only fires after the
@@ -326,13 +392,62 @@ mod tests {
                 scope.spawn(|| ());
             });
         }));
-        assert!(result.is_err());
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "re-raise carries the payload: {msg}");
         // The pool survives and keeps executing later scopes.
         let ran = AtomicBool::new(false);
         pool.scope(|scope| {
             scope.spawn(|| ran.store(true, Ordering::SeqCst));
         });
         assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn try_scope_returns_structured_panicked_error() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_scope("test.site", |scope| {
+                scope.spawn(|| panic!("lut index {} out of range", 7));
+                scope.spawn(|| ());
+            })
+            .unwrap_err();
+        match err {
+            KernelError::Panicked { site, message } => {
+                assert_eq!(site, "test.site");
+                assert_eq!(message, "lut index 7 out of range");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_self_heals_after_contained_panics() {
+        let pool = WorkerPool::new(2);
+        // Poison every worker (more panics than threads, so workers and
+        // the caller-drain path both see one).
+        for _ in 0..4 {
+            let _ = pool.try_scope("test.heal", |scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| panic!("transient"));
+                }
+            });
+        }
+        // Full healthy scope still completes with correct data.
+        let counter = AtomicUsize::new(0);
+        pool.try_scope("test.heal", |scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.threads(), 2);
     }
 
     #[test]

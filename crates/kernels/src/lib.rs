@@ -70,6 +70,18 @@ pub enum KernelError {
     /// planning entry points flow `CoreError` through here with its full
     /// structured context).
     Unplannable(vqllm_core::CoreError),
+    /// A kernel job panicked and the panic was contained (by the
+    /// [`host_exec::pool::WorkerPool`] or a `catch_unwind` wrapper). The
+    /// panic does not cross this boundary; instead the captured payload
+    /// travels as data so the serving layer can quarantine exactly the
+    /// offending work.
+    Panicked {
+        /// The failpoint/callsite name where the panic surfaced.
+        site: &'static str,
+        /// Downcast panic payload (`&str`/`String`), or a placeholder for
+        /// non-string payloads.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for KernelError {
@@ -78,7 +90,25 @@ impl std::fmt::Display for KernelError {
             KernelError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
             KernelError::InvalidInput { what } => write!(f, "invalid input: {what}"),
             KernelError::Unplannable(e) => write!(f, "planning: {e}"),
+            KernelError::Panicked { site, message } => {
+                write!(f, "kernel panicked at {site}: {message}")
+            }
         }
+    }
+}
+
+impl KernelError {
+    /// Downcasts a caught panic payload into its conventional `&str` /
+    /// `String` message and wraps it as [`KernelError::Panicked`].
+    pub fn from_panic(site: &'static str, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        KernelError::Panicked { site, message }
     }
 }
 

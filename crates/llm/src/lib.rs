@@ -91,6 +91,21 @@ pub enum LlmError {
         /// Estimated milliseconds until the drain completes.
         retry_after_ms: u64,
     },
+    /// The request was quarantined by the fault-containment layer (a
+    /// contained kernel panic, a forced mid-decode failure, or a watchdog
+    /// shed); its partial state is gone and it must be resubmitted.
+    Internal {
+        /// What faulted.
+        what: &'static str,
+    },
+    /// The driver thread died and was rebuilt by the supervisor; requests
+    /// alive across the restart resolve with this error and can be
+    /// retried after the backoff.
+    DriverRestarted {
+        /// Computed backoff until the restarted driver is warm (always at
+        /// least 1).
+        retry_after_ms: u64,
+    },
     /// A kernel failed underneath the serving decode loop.
     Kernel(vqllm_kernels::KernelError),
 }
@@ -126,6 +141,15 @@ impl std::fmt::Display for LlmError {
                 write!(
                     f,
                     "server draining, not admitting (retry after {retry_after_ms} ms)"
+                )
+            }
+            LlmError::Internal { what } => {
+                write!(f, "internal fault, request quarantined: {what}")
+            }
+            LlmError::DriverRestarted { retry_after_ms } => {
+                write!(
+                    f,
+                    "driver restarted, request dropped (retry after {retry_after_ms} ms)"
                 )
             }
             LlmError::Kernel(e) => write!(f, "kernel: {e}"),

@@ -37,7 +37,9 @@ use crate::serve::{ServeConfig, SharedContext};
 use crate::{LlmError, Result};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
+use vqllm_core::failpoint;
 use vqllm_core::plan_cache::PlanKey;
 use vqllm_core::{ComputeOp, KernelPlan, OptLevel, ProfileSummary};
 use vqllm_kernels::AccessProfile;
@@ -136,6 +138,9 @@ pub struct ContextStats {
     /// Hot-entry count (µ+3σ) of the profile the active plans were made
     /// under.
     pub num_hot: usize,
+    /// Requests quarantined mid-decode against this context by the
+    /// fault-containment layer (contained panics, forced KV failures).
+    pub quarantined: u64,
 }
 
 /// The canonical, batch-independent kernel plans of one context. The
@@ -265,6 +270,10 @@ pub struct StepReport {
     /// KV-quantization overhead charged across the batch this step,
     /// microseconds.
     pub kv_quant_us: f64,
+    /// Requests quarantined this step by the fault-containment layer:
+    /// their group panicked or their KV append failed, they left the
+    /// running set, and they poll as `Rejected` with a typed reason.
+    pub quarantined: Vec<RequestId>,
 }
 
 /// Cumulative scheduler counters.
@@ -292,6 +301,10 @@ pub struct ServerStats {
     pub steps: u64,
     /// Tokens decoded across all requests.
     pub decoded_tokens: u64,
+    /// Requests quarantined mid-decode by the fault-containment layer —
+    /// counted separately from `rejected` (admission-time) and
+    /// `cancelled` (caller-initiated).
+    pub quarantined: u64,
 }
 
 impl ServerStats {
@@ -739,6 +752,13 @@ impl MultiServer {
     pub fn step(&mut self) -> Result<StepReport> {
         let step = self.step;
         self.step += 1;
+        // Failpoint: force a whole-step failure (the driver's supervisor
+        // path); a `panic` action here dies on the calling thread.
+        if failpoint::fire("llm.step").is_some() {
+            return Err(LlmError::Internal {
+                what: "forced step failure (failpoint llm.step)",
+            });
+        }
 
         // Batch formation: fill free slots FIFO from the engine-wide
         // queue — context-blind, so a burst on one context cannot starve
@@ -761,6 +781,7 @@ impl MultiServer {
                 finished: Vec::new(),
                 queued: self.queue.len(),
                 kv_quant_us: 0.0,
+                quarantined: Vec::new(),
             });
         }
 
@@ -777,48 +798,128 @@ impl MultiServer {
         // One shared K-decode per group, ragged over each tenant's
         // attended prefix, then one panel-blocked GeMM through that
         // context's projection weight.
+        //
+        // Each group's kernel work runs under `catch_unwind`: a panic (or
+        // kernel error) poisons only that group — its requests are
+        // quarantined with a typed reason and shed *after* the loop (so
+        // later groups' `idxs` stay valid), while the other groups' decode
+        // proceeds untouched. A mid-decode KV append failure quarantines
+        // only the one request it belongs to.
         let backend = Arc::clone(self.pipeline.backend());
         let gpu = self.pipeline.gpu().clone();
         let mut kv_quant_us = 0.0;
+        let mut quarantine: Vec<(RequestId, RejectReason)> = Vec::new();
         for (ctx_id, idxs) in &groups {
-            let state = &self.contexts[*ctx_id as usize];
-            let ctx = state.ctx.clone();
-            let attn_plan = Arc::clone(&state.plans.attn);
-            let linear_plan = Arc::clone(&state.plans.linear);
-            let head_dim = ctx.head_dim();
-            let qs = {
-                let running = &self.running;
-                Tensor2D::from_fn(idxs.len(), head_dim, |i, d| running[idxs[i]].h[d])
+            let (ctx, attn_plan, linear_plan) = {
+                let state = &self.contexts[*ctx_id as usize];
+                (
+                    state.ctx.clone(),
+                    Arc::clone(&state.plans.attn),
+                    Arc::clone(&state.plans.linear),
+                )
             };
-            let lens: Vec<usize> = idxs.iter().map(|&i| self.running[i].kv.seq).collect();
-            let (attn, _) =
-                backend.run_attention_ragged(&gpu, &attn_plan, &qs, &lens, ctx.kq(), ctx.vq())?;
-            let (ys, _) = backend.run_gemm(&gpu, &linear_plan, &attn, ctx.wq())?;
+            let head_dim = ctx.head_dim();
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                // Failpoint: fault exactly this group (panic/delay/error).
+                if failpoint::fire("llm.step.group").is_some() {
+                    return Err(LlmError::Internal {
+                        what: "forced group fault (failpoint llm.step.group)",
+                    });
+                }
+                let qs = {
+                    let running = &self.running;
+                    Tensor2D::from_fn(idxs.len(), head_dim, |i, d| running[idxs[i]].h[d])
+                };
+                let lens: Vec<usize> = idxs.iter().map(|&i| self.running[i].kv.seq).collect();
+                let (attn, _) = backend.run_attention_ragged(
+                    &gpu,
+                    &attn_plan,
+                    &qs,
+                    &lens,
+                    ctx.kq(),
+                    ctx.vq(),
+                )?;
+                let (ys, _) = backend.run_gemm(&gpu, &linear_plan, &attn, ctx.wq())?;
 
-            // Per-request bookkeeping: record the step, advance the hidden
-            // state, grow the tenant's cache (validated).
-            for (j, &i) in idxs.iter().enumerate() {
-                let r = &mut self.running[i];
-                r.steps.push(ys.row(j).to_vec());
-                r.h.copy_from_slice(ys.row(j));
-                r.remaining -= 1;
-                if r.remaining > 0 {
-                    let us = r.kv.append_token()?;
-                    r.kv_quant_us += us;
-                    kv_quant_us += us;
+                // Per-request bookkeeping: record the step, advance the
+                // hidden state, grow the tenant's cache (validated at
+                // admission, so a failure here is a fault — quarantine
+                // that one request, keep its batch-mates running).
+                for (j, &i) in idxs.iter().enumerate() {
+                    let r = &mut self.running[i];
+                    r.steps.push(ys.row(j).to_vec());
+                    r.h.copy_from_slice(ys.row(j));
+                    r.remaining -= 1;
+                    if r.remaining > 0 {
+                        let forced =
+                            failpoint::fire("llm.step.append").map(|_| LlmError::KvCapacity {
+                                what: "forced kv exhaustion (failpoint llm.step.append)",
+                                value: r.kv.seq,
+                                limit: r.kv.seq,
+                            });
+                        let appended = match forced {
+                            Some(e) => Err(e),
+                            None => r.kv.append_token(),
+                        };
+                        match appended {
+                            Ok(us) => {
+                                r.kv_quant_us += us;
+                                kv_quant_us += us;
+                            }
+                            Err(e) => quarantine.push((r.id, Self::quarantine_reason(&e))),
+                        }
+                    }
+                }
+
+                // Profile feedback: the shared K-decode touched rows
+                // [0, max_len) of this context's packed codes this step.
+                let max_len = lens.iter().copied().max().unwrap_or(0);
+                let state = &mut self.contexts[*ctx_id as usize];
+                state.stats.steps += 1;
+                state.max_len_seen = state.max_len_seen.max(max_len);
+                state.steps_since_check += 1;
+                Ok(())
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    let reason = Self::quarantine_reason(&e);
+                    for &i in idxs {
+                        quarantine.push((self.running[i].id, reason));
+                    }
+                }
+                Err(_payload) => {
+                    // The panic payload message already surfaced through
+                    // the pool's structured error path when the panic
+                    // happened on a worker; a panic on this thread is
+                    // contained here with a static tag.
+                    let reason = RejectReason::Internal {
+                        what: "contained panic in decode group",
+                    };
+                    for &i in idxs {
+                        quarantine.push((self.running[i].id, reason));
+                    }
                 }
             }
-
-            // Profile feedback: the shared K-decode touched rows
-            // [0, max_len) of this context's packed codes this step.
-            let max_len = lens.iter().copied().max().unwrap_or(0);
-            let state = &mut self.contexts[*ctx_id as usize];
-            state.stats.steps += 1;
-            state.max_len_seen = state.max_len_seen.max(max_len);
-            state.steps_since_check += 1;
         }
         self.stats.steps += 1;
         self.stats.decoded_tokens += batch as u64;
+
+        // Shed quarantined requests: remove them from the running set and
+        // tombstone them so they poll as `Rejected` with their typed
+        // reason. Duplicates (a request quarantined by both its own KV
+        // failure and a group fault) collapse on the first removal.
+        let mut quarantined = Vec::new();
+        for (id, reason) in quarantine {
+            let Some(pos) = self.running.iter().position(|r| r.id == id) else {
+                continue;
+            };
+            let r = self.running.remove(pos);
+            self.stats.quarantined += 1;
+            self.contexts[r.ctx.id as usize].stats.quarantined += 1;
+            self.tombstone(id, reason);
+            quarantined.push(id);
+        }
 
         // Retire finished requests (their slots are free next step).
         // This runs *before* the profile checks so the scheduler state is
@@ -864,7 +965,26 @@ impl MultiServer {
             finished,
             queued: self.queue.len(),
             kv_quant_us,
+            quarantined,
         })
+    }
+
+    /// The typed rejection a mid-decode fault quarantines a request with:
+    /// KV-capacity faults keep their structured context, everything else
+    /// (kernel failures, contained worker panics) becomes `Internal`.
+    fn quarantine_reason(e: &LlmError) -> RejectReason {
+        match *e {
+            LlmError::KvCapacity { what, value, limit } => {
+                RejectReason::KvCapacity { what, value, limit }
+            }
+            LlmError::Internal { what } => RejectReason::Internal { what },
+            LlmError::Kernel(vqllm_kernels::KernelError::Panicked { site, .. }) => {
+                RejectReason::Internal { what: site }
+            }
+            _ => RejectReason::Internal {
+                what: "kernel failure in decode group",
+            },
+        }
     }
 
     /// Folds the attended-prefix access histogram into the context's

@@ -116,6 +116,24 @@ pub enum RejectReason {
         /// Estimated milliseconds until the drain completes.
         retry_after_ms: u64,
     },
+    /// The request was quarantined by the fault-containment layer: a
+    /// contained panic, a forced KV/allocation failure mid-decode, or a
+    /// watchdog shed. The request itself may have been healthy (collateral
+    /// of sharing a batch group with the faulty one), but its partial
+    /// state is gone, so it is rejected rather than silently restarted.
+    Internal {
+        /// What faulted (kernel site or watchdog description).
+        what: &'static str,
+    },
+    /// The driver thread died and was rebuilt by the supervisor; every
+    /// ticket alive across the restart resolves with this reason. The
+    /// request can be retried after `retry_after_ms` against the warm
+    /// engine.
+    DriverRestarted {
+        /// Computed backoff until the restarted driver is warm (always at
+        /// least 1).
+        retry_after_ms: u64,
+    },
 }
 
 impl RejectReason {
@@ -138,6 +156,10 @@ impl RejectReason {
             }
             crate::LlmError::Draining { retry_after_ms } => {
                 RejectReason::Draining { retry_after_ms }
+            }
+            crate::LlmError::Internal { what } => RejectReason::Internal { what },
+            crate::LlmError::DriverRestarted { retry_after_ms } => {
+                RejectReason::DriverRestarted { retry_after_ms }
             }
             ref other => unreachable!("admission produced a non-admission error: {other}"),
         }
@@ -163,6 +185,10 @@ impl RejectReason {
             RejectReason::Draining { retry_after_ms } => {
                 crate::LlmError::Draining { retry_after_ms }
             }
+            RejectReason::Internal { what } => crate::LlmError::Internal { what },
+            RejectReason::DriverRestarted { retry_after_ms } => {
+                crate::LlmError::DriverRestarted { retry_after_ms }
+            }
         }
     }
 
@@ -173,7 +199,8 @@ impl RejectReason {
         match *self {
             RejectReason::Deadline { retry_after_ms }
             | RejectReason::RateLimited { retry_after_ms }
-            | RejectReason::Draining { retry_after_ms } => Some(retry_after_ms),
+            | RejectReason::Draining { retry_after_ms }
+            | RejectReason::DriverRestarted { retry_after_ms } => Some(retry_after_ms),
             _ => None,
         }
     }

@@ -72,8 +72,8 @@ pub use backend::{Backend, BackendKind, CpuBackend, PerfModelBackend};
 pub use engine::{Engine, EngineBuilder};
 pub use error::{Result, VqLlmError};
 pub use net::{
-    AdmissionConfig, Client, DrainReport, NetConfig, NetRequest, NetServer, RateLimitConfig,
-    StreamEvent, Ticket, TicketEnd,
+    AdmissionConfig, Client, DrainReport, EngineFactory, NetConfig, NetRequest, NetServer,
+    RateLimitConfig, StreamEvent, SupervisorConfig, Ticket, TicketEnd, WaitError,
 };
 pub use session::{Session, SessionBuilder};
 

@@ -46,6 +46,21 @@ pub struct AdmissionConfig {
     /// admitted work, budgets decide *how much* a tenant may admit at
     /// all.
     pub rate_limit: Option<RateLimitConfig>,
+    /// Explicit step-watchdog budget in µs: a step that takes longer has
+    /// its running group shed with typed `internal` rejections and trips
+    /// the breaker. `None` derives the budget from the measured p99 step
+    /// latency ([`AdmissionConfig::watchdog_multiplier`] ×, floored at
+    /// [`AdmissionConfig::watchdog_floor_us`]).
+    pub step_timeout_us: Option<u64>,
+    /// Multiplier over the measured p99 step latency when no explicit
+    /// [`AdmissionConfig::step_timeout_us`] is set.
+    pub watchdog_multiplier: f64,
+    /// Lower bound on the derived watchdog budget, µs — keeps scheduling
+    /// jitter on micro-steps from shedding healthy work.
+    pub watchdog_floor_us: u64,
+    /// Steps the breaker halves the effective `max_batch` for after a
+    /// watchdog shed (`0` disables the breaker).
+    pub breaker_cooldown_steps: u64,
 }
 
 impl Default for AdmissionConfig {
@@ -56,6 +71,10 @@ impl Default for AdmissionConfig {
             weights: Vec::new(),
             default_step_us: 200.0,
             rate_limit: None,
+            step_timeout_us: None,
+            watchdog_multiplier: 8.0,
+            watchdog_floor_us: 50_000,
+            breaker_cooldown_steps: 32,
         }
     }
 }

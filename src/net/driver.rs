@@ -39,13 +39,17 @@
 //! pins that; `tests/net_serving.rs` re-pins it through a TCP socket).
 
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use vqllm_llm::{RejectReason, RequestHandle, RequestOutput, RequestStatus, ServerStats};
+use vqllm_core::failpoint;
+use vqllm_llm::{
+    ContextHandle, RejectReason, RequestHandle, RequestOutput, RequestStatus, ServerStats,
+};
 
 use crate::engine::Engine;
 use crate::net::admission::{Admission, AdmissionConfig, NetRequest};
@@ -118,56 +122,156 @@ pub enum StreamEvent {
 /// A per-request event callback, invoked from the driver thread.
 pub type StreamSink = Box<dyn FnMut(StreamEvent) + Send + 'static>;
 
+/// Why a wait returned without the ticket resolving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitError {
+    /// The deadline passed with the ticket still pending (retry the
+    /// wait; the ticket stays live).
+    Timeout,
+    /// The driver thread died and was not (or could not be) restarted:
+    /// the ticket will never resolve. Distinct from a rejection — the
+    /// engine's state at the time of death is unknown.
+    DriverDown,
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::Timeout => write!(f, "wait timed out; ticket still pending"),
+            WaitError::DriverDown => write!(f, "driver down; ticket will never resolve"),
+        }
+    }
+}
+
+/// A wait cell's lifecycle: pending until the driver resolves it, or
+/// marked down by the supervisor's final sweep when the driver dies for
+/// good (so no waiter ever blocks forever on a dead thread).
+#[derive(Debug, Clone)]
+enum CellState {
+    Pending,
+    Done(TicketEnd),
+    DriverDown,
+}
+
 /// The one-shot completion cell a ticket blocks on.
 #[derive(Debug)]
 struct WaitCell {
-    state: Mutex<Option<TicketEnd>>,
+    state: Mutex<CellState>,
     cv: Condvar,
 }
 
 impl WaitCell {
     fn new() -> WaitCell {
         WaitCell {
-            state: Mutex::new(None),
+            state: Mutex::new(CellState::Pending),
             cv: Condvar::new(),
         }
     }
 
+    /// First terminal transition wins; later resolves (and a sweep after
+    /// a resolve) are no-ops.
     fn resolve(&self, end: TicketEnd) {
         let mut s = self.state.lock().expect("wait cell lock");
-        if s.is_none() {
-            *s = Some(end);
+        if matches!(*s, CellState::Pending) {
+            *s = CellState::Done(end);
             self.cv.notify_all();
         }
     }
 
-    fn peek(&self) -> Option<TicketEnd> {
-        self.state.lock().expect("wait cell lock").clone()
-    }
-
-    fn wait(&self) -> TicketEnd {
+    /// Marks a still-pending cell as orphaned by a dead driver.
+    fn mark_down(&self) {
         let mut s = self.state.lock().expect("wait cell lock");
-        loop {
-            if let Some(end) = s.as_ref() {
-                return end.clone();
-            }
-            s = self.cv.wait(s).expect("wait cell lock");
+        if matches!(*s, CellState::Pending) {
+            *s = CellState::DriverDown;
+            self.cv.notify_all();
         }
     }
 
-    fn wait_timeout(&self, dur: Duration) -> Option<TicketEnd> {
+    fn peek(&self) -> CellState {
+        self.state.lock().expect("wait cell lock").clone()
+    }
+
+    fn wait(&self) -> Result<TicketEnd, WaitError> {
+        let mut s = self.state.lock().expect("wait cell lock");
+        loop {
+            match &*s {
+                CellState::Done(end) => return Ok(end.clone()),
+                CellState::DriverDown => return Err(WaitError::DriverDown),
+                CellState::Pending => s = self.cv.wait(s).expect("wait cell lock"),
+            }
+        }
+    }
+
+    fn wait_timeout(&self, dur: Duration) -> Result<TicketEnd, WaitError> {
         let deadline = Instant::now() + dur;
         let mut s = self.state.lock().expect("wait cell lock");
         loop {
-            if let Some(end) = s.as_ref() {
-                return Some(end.clone());
+            match &*s {
+                CellState::Done(end) => return Ok(end.clone()),
+                CellState::DriverDown => return Err(WaitError::DriverDown),
+                CellState::Pending => {}
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                return None;
+                return Err(WaitError::Timeout);
             }
             let (guard, _) = self.cv.wait_timeout(s, left).expect("wait cell lock");
             s = guard;
+        }
+    }
+}
+
+/// Every pending wait cell, keyed by ticket id — shared between clients
+/// (insert at submit, *before* the command is sent) and the driver
+/// (remove at resolution). Whatever is still in the table when the
+/// driver thread exits gets swept to [`CellState::DriverDown`], which is
+/// what makes [`Client::wait`] hang-proof against driver death.
+#[derive(Debug, Default)]
+struct CellTable {
+    inner: Mutex<CellTableInner>,
+}
+
+#[derive(Debug, Default)]
+struct CellTableInner {
+    /// Latched true by the sweep: nothing will ever resolve a cell again.
+    down: bool,
+    cells: HashMap<u64, Arc<WaitCell>>,
+}
+
+impl CellTable {
+    /// Tracks a pending cell. Returns `false` (without tracking) when
+    /// the driver is already gone for good — the submit must resolve the
+    /// cell itself, because no sweep will run again.
+    fn insert(&self, id: u64, cell: &Arc<WaitCell>) -> bool {
+        let mut t = self.inner.lock().expect("cell table lock");
+        if t.down {
+            return false;
+        }
+        t.cells.insert(id, Arc::clone(cell));
+        true
+    }
+
+    fn remove(&self, id: u64) {
+        self.inner
+            .lock()
+            .expect("cell table lock")
+            .cells
+            .remove(&id);
+    }
+
+    /// Marks every still-tracked cell as orphaned and latches the table
+    /// down (the driver-thread exit path, clean or not — resolved
+    /// tickets were already removed). Inserts racing this sweep either
+    /// land before the drain (and get marked here) or observe the latch
+    /// and resolve themselves.
+    fn sweep_down(&self) {
+        let cells: Vec<Arc<WaitCell>> = {
+            let mut t = self.inner.lock().expect("cell table lock");
+            t.down = true;
+            t.cells.drain().map(|(_, c)| c).collect()
+        };
+        for cell in cells {
+            cell.mark_down();
         }
     }
 }
@@ -258,6 +362,7 @@ pub struct Client {
     tx: Sender<Cmd>,
     metrics: Arc<Metrics>,
     phases: Arc<Mutex<HashMap<u64, Phase>>>,
+    cells: Arc<CellTable>,
     next_id: Arc<AtomicU64>,
 }
 
@@ -288,6 +393,29 @@ impl Client {
             id,
             cell: Arc::clone(&cell),
         };
+        // Register the cell before the command is sent: if the driver
+        // dies while the command is in flight, the exit sweep finds the
+        // cell and marks it DriverDown instead of leaving the waiter
+        // stuck. When the table is already latched down (driver gone for
+        // good) no sweep will run again, so resolve the refusal here and
+        // skip the send entirely.
+        if !self.cells.insert(id, &cell) {
+            let reason = RejectReason::Invalid {
+                what: "driver stopped",
+            };
+            if let Some(mut s) = sink {
+                s(StreamEvent::Rejected {
+                    id,
+                    reason,
+                    retry_after_ms: 0,
+                });
+            }
+            cell.resolve(TicketEnd::Rejected {
+                reason,
+                retry_after_ms: 0,
+            });
+            return ticket;
+        }
         let cmd = Cmd::Submit(Box::new(SubmitCmd {
             id,
             net,
@@ -309,6 +437,7 @@ impl Client {
                 reason,
                 retry_after_ms: 0,
             });
+            self.cells.remove(id);
         }
         ticket
     }
@@ -318,11 +447,19 @@ impl Client {
     /// `Finished`, or `Rejected`.
     pub fn poll(&self, ticket: &Ticket) -> RequestStatus {
         match ticket.cell.peek() {
-            Some(TicketEnd::Finished(out)) => RequestStatus::Finished {
+            CellState::Done(TicketEnd::Finished(out)) => RequestStatus::Finished {
                 tokens: out.steps.len(),
             },
-            Some(TicketEnd::Rejected { reason, .. }) => RequestStatus::Rejected { reason },
-            None => match self.phases.lock().expect("phase map lock").get(&ticket.id) {
+            CellState::Done(TicketEnd::Rejected { reason, .. }) => {
+                RequestStatus::Rejected { reason }
+            }
+            CellState::DriverDown => RequestStatus::Rejected {
+                reason: RejectReason::Internal {
+                    what: "driver down",
+                },
+            },
+            CellState::Pending => match self.phases.lock().expect("phase map lock").get(&ticket.id)
+            {
                 Some(Phase::Running) => RequestStatus::Running,
                 _ => RequestStatus::Queued,
             },
@@ -330,12 +467,24 @@ impl Client {
     }
 
     /// Blocks until the ticket resolves.
-    pub fn wait(&self, ticket: &Ticket) -> TicketEnd {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaitError::DriverDown`] (never `Timeout`) if the driver
+    /// thread died without resolving the ticket — the wait unblocks
+    /// instead of hanging forever.
+    pub fn wait(&self, ticket: &Ticket) -> Result<TicketEnd, WaitError> {
         ticket.cell.wait()
     }
 
     /// Blocks until the ticket resolves or the deadline passes.
-    pub fn wait_timeout(&self, ticket: &Ticket, dur: Duration) -> Option<TicketEnd> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaitError::Timeout`] when the deadline passes with the
+    /// ticket still pending, [`WaitError::DriverDown`] when the driver
+    /// thread died without resolving it.
+    pub fn wait_timeout(&self, ticket: &Ticket, dur: Duration) -> Result<TicketEnd, WaitError> {
         ticket.cell.wait_timeout(dur)
     }
 
@@ -431,13 +580,134 @@ impl Drop for DriverHandle {
     }
 }
 
+/// Rebuilds the engine (and re-registers its contexts) after a driver
+/// death: the supervisor's warm-restart recipe. The handles come back in
+/// protocol `ctx`-index order; a persisted plan cache makes the rebuild
+/// skip cold-start planning.
+pub type EngineFactory =
+    Box<dyn FnMut() -> Result<(Engine, Vec<ContextHandle>), String> + Send + 'static>;
+
+/// The live context-handle table: the supervisor republishes fresh
+/// handles here after an engine rebuild, and the protocol layer maps
+/// `ctx` indices through it on every submit — so connections keep
+/// working across a restart without re-dialing.
+#[derive(Debug, Default)]
+pub struct HandleTable {
+    handles: Mutex<Vec<ContextHandle>>,
+}
+
+impl HandleTable {
+    /// A table holding `handles` in protocol `ctx`-index order.
+    pub fn new(handles: Vec<ContextHandle>) -> HandleTable {
+        HandleTable {
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The handle at protocol index `idx`, if registered.
+    pub fn get(&self, idx: usize) -> Option<ContextHandle> {
+        self.handles
+            .lock()
+            .expect("handle table lock")
+            .get(idx)
+            .copied()
+    }
+
+    /// Registered handles.
+    pub fn len(&self) -> usize {
+        self.handles.lock().expect("handle table lock").len()
+    }
+
+    /// Whether no context is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replaces the whole table (the post-restart republish).
+    fn publish(&self, handles: Vec<ContextHandle>) {
+        *self.handles.lock().expect("handle table lock") = handles;
+    }
+}
+
+/// Restart limits of a supervised driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Engine rebuilds attempted over the driver's lifetime before the
+    /// supervisor gives up (remaining waiters then observe
+    /// [`WaitError::DriverDown`]). Bounds a crash loop.
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig { max_restarts: 3 }
+    }
+}
+
 /// Spawns the driver thread for a (pre-configured, contexts already
 /// registered) engine and returns the client handle plus the thread's
 /// owner.
+///
+/// Unsupervised: if the driver thread panics, every unresolved ticket's
+/// wait returns [`WaitError::DriverDown`] and the driver stays down. Use
+/// [`spawn_supervised`] for restart-on-death.
 pub fn spawn(engine: Engine, cfg: AdmissionConfig) -> (Client, DriverHandle) {
+    spawn_inner(engine, cfg, None)
+}
+
+/// Spawns a **supervised** driver: the factory builds the initial engine
+/// (and is kept for rebuilds), and when the driver thread dies — a panic
+/// escaping a step, a wedged engine, an injected fault — the supervisor,
+/// in the same thread:
+///
+/// 1. resolves every live ticket as
+///    [`RejectReason::DriverRestarted`] with a retry computed from the
+///    measured step latency and the backlog at death;
+/// 2. rebuilds the engine through the factory (a persisted plan cache
+///    makes this a warm start) and republishes the fresh context handles
+///    into the returned [`HandleTable`];
+/// 3. re-opens admission with a clean queue and continues serving —
+///    [`Metrics::restarts`] counts each recovery.
+///
+/// After [`SupervisorConfig::max_restarts`] rebuilds (or a factory
+/// error), the thread exits and remaining waiters observe
+/// [`WaitError::DriverDown`].
+///
+/// # Errors
+///
+/// Returns the factory's error if the *initial* engine build fails.
+pub fn spawn_supervised(
+    mut factory: EngineFactory,
+    cfg: AdmissionConfig,
+    sup: SupervisorConfig,
+) -> Result<(Client, DriverHandle, Arc<HandleTable>), String> {
+    let (engine, contexts) = factory()?;
+    let handles = Arc::new(HandleTable::new(contexts));
+    let (client, driver) = spawn_inner(engine, cfg, Some((factory, sup, Arc::clone(&handles))));
+    Ok((client, driver, handles))
+}
+
+/// Best-effort panic payload message (panics carry `&str` or `String`
+/// in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn spawn_inner(
+    engine: Engine,
+    cfg: AdmissionConfig,
+    supervisor: Option<(EngineFactory, SupervisorConfig, Arc<HandleTable>)>,
+) -> (Client, DriverHandle) {
     let (tx, rx) = mpsc::channel();
     let metrics = Arc::new(Metrics::new());
     let phases = Arc::new(Mutex::new(HashMap::new()));
+    let cells = Arc::new(CellTable::default());
     let max_batch = engine.serve_config().max_batch;
     let admission = Admission::new(cfg, max_batch);
     let state = DriverState {
@@ -446,19 +716,50 @@ pub fn spawn(engine: Engine, cfg: AdmissionConfig) -> (Client, DriverHandle) {
         rx,
         metrics: Arc::clone(&metrics),
         phases: Arc::clone(&phases),
+        cells: Arc::clone(&cells),
         tickets: HashMap::new(),
         inflight_tokens: 0,
         started: Instant::now(),
         drain: None,
+        steps_done: 0,
+        breaker_until: 0,
     };
     let join = thread::Builder::new()
         .name("vq-llm-driver".into())
-        .spawn(move || state.run())
+        .spawn(move || {
+            let mut state = state;
+            let mut supervisor = supervisor;
+            let mut restarts_left = supervisor.as_ref().map_or(0, |(_, s, _)| s.max_restarts);
+            loop {
+                match panic::catch_unwind(AssertUnwindSafe(|| state.run_inner())) {
+                    Ok(()) => break, // clean shutdown/drain exit
+                    Err(payload) => {
+                        let cause = panic_message(payload.as_ref());
+                        let restarted = match supervisor.as_mut() {
+                            Some((factory, _, handles)) if restarts_left > 0 => {
+                                restarts_left -= 1;
+                                state.restart(factory, handles, &cause)
+                            }
+                            _ => false,
+                        };
+                        if !restarted {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Clean or not, nothing resolves tickets after this point:
+            // whatever is still tracked (a submit that raced the exit, a
+            // ticket orphaned by an unsupervised death) unblocks as
+            // DriverDown instead of hanging its waiter.
+            state.cells.sweep_down();
+        })
         .expect("spawn driver thread");
     let client = Client {
         tx: tx.clone(),
         metrics,
         phases,
+        cells,
         next_id: Arc::new(AtomicU64::new(1)),
     };
     (
@@ -488,6 +789,7 @@ struct DriverState {
     rx: Receiver<Cmd>,
     metrics: Arc<Metrics>,
     phases: Arc<Mutex<HashMap<u64, Phase>>>,
+    cells: Arc<CellTable>,
     tickets: HashMap<u64, TicketRec>,
     /// Tokens still owed by requests handed to the engine (grows by
     /// `gen_tokens` at forward, shrinks per streamed/finished row and by
@@ -499,6 +801,11 @@ struct DriverState {
     started: Instant,
     /// `Some` while a graceful drain is in progress.
     drain: Option<DrainJob>,
+    /// Steps executed (the breaker's cooldown clock; survives restarts).
+    steps_done: u64,
+    /// While `steps_done` is below this, the breaker halves the
+    /// effective `max_batch` in [`DriverState::forward`].
+    breaker_until: u64,
 }
 
 impl DriverState {
@@ -583,6 +890,7 @@ impl DriverState {
                         reason,
                         retry_after_ms: 0,
                     });
+                    self.cells.remove(boxed.id);
                 }
                 Cmd::Drain(job) => {
                     let _ = job.reply.send(DrainReport {
@@ -596,7 +904,11 @@ impl DriverState {
         }
     }
 
-    fn run(mut self) {
+    /// One supervised incarnation of the drive loop. Returns on clean
+    /// shutdown/drain; panics (deliberately un-caught here) when the
+    /// engine is suspect — the supervisor frame in [`spawn_inner`]
+    /// catches that and decides between restart and death.
+    fn run_inner(&mut self) {
         loop {
             if let Some(report) = self.drain_progress() {
                 let job = self.drain.take().expect("drain job present");
@@ -632,25 +944,43 @@ impl DriverState {
             }
             self.forward();
             if !self.engine.is_idle() {
+                // Fault-injection site for the supervisor path: a panic
+                // (or error) here kills this incarnation of the driver
+                // exactly as a wedged/corrupt engine would.
+                if let Some(msg) = failpoint::fire("net.driver.step") {
+                    panic!("failpoint net.driver.step: {msg}");
+                }
                 let depth = self.admission.len() + self.engine.queued();
                 let t0 = Instant::now();
                 match self.engine.step() {
                     Ok(report) => {
                         let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
                         self.metrics.record_step(us, report.batch, depth);
+                        self.steps_done += 1;
+                        if !report.quarantined.is_empty() {
+                            // The engine's containment layer tombstoned
+                            // these mid-step; after_step observes them as
+                            // typed rejections and settles their tokens.
+                            self.metrics
+                                .record_quarantined(report.quarantined.len() as u64);
+                        }
                         // inflight_tokens is settled per ticket inside
                         // after_step (streamed rows, finish tails, cancel
                         // remainders) — exact even when a cancel lands in
                         // the same step a request finishes.
                         self.after_step();
+                        let timeout = self.step_timeout_us();
+                        if us > timeout {
+                            self.shed_running(us, timeout);
+                        }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         // The admission invariants make step errors
-                        // unreachable in normal use; if one happens the
-                        // engine state is suspect, so fail every ticket
-                        // loudly and stop driving.
-                        self.fail_all("engine step failed");
-                        return;
+                        // unreachable in normal use, so the engine state
+                        // is suspect. Escalate to the supervisor, which
+                        // rebuilds the engine (or, unsupervised, sweeps
+                        // every waiter to DriverDown).
+                        panic!("engine step failed: {e}");
                     }
                 }
             }
@@ -710,6 +1040,7 @@ impl DriverState {
                 reason,
                 retry_after_ms,
             });
+            self.cells.remove(id);
             if let Some(s) = sink.as_mut() {
                 s(StreamEvent::Rejected {
                     id,
@@ -753,6 +1084,7 @@ impl DriverState {
                     reason: rej.reason,
                     retry_after_ms: rej.retry_after_ms,
                 });
+                self.cells.remove(id);
                 if let Some(s) = sink.as_mut() {
                     s(StreamEvent::Rejected {
                         id,
@@ -797,6 +1129,7 @@ impl DriverState {
                 reason,
                 retry_after_ms,
             });
+            self.cells.remove(id);
             if let Some(s) = rec.sink.as_mut() {
                 s(StreamEvent::Rejected {
                     id,
@@ -812,7 +1145,13 @@ impl DriverState {
     /// batch's worth of requests, so the engine's FIFO cannot reorder
     /// the fair queue's grants.
     fn forward(&mut self) {
-        let max_batch = self.engine.serve_config().max_batch;
+        let mut max_batch = self.engine.serve_config().max_batch;
+        if self.steps_done < self.breaker_until {
+            // Breaker tripped: run at half batch until the cooldown
+            // expires, so whatever wedged the last oversized step gets
+            // headroom instead of an immediate repeat.
+            max_batch = (max_batch / 2).max(1);
+        }
         while self.engine.running() + self.engine.queued() < max_batch {
             let Some(p) = self.admission.pop() else { break };
             let gen = p.net.req.gen_tokens as u64;
@@ -901,6 +1240,7 @@ impl DriverState {
                     // right after reading `done` must see `finished`.
                     let tokens = out.steps.len();
                     rec.cell.resolve(TicketEnd::Finished(out));
+                    self.cells.remove(id);
                     if let Some(s) = rec.sink.as_mut() {
                         s(StreamEvent::Done { id, tokens });
                     }
@@ -923,14 +1263,113 @@ impl DriverState {
         }
     }
 
-    /// Fails every unresolved ticket with an `Invalid` reason (the
-    /// driver-is-broken path).
-    fn fail_all(&mut self, what: &'static str) {
+    /// The step timeout the watchdog sheds against: the explicit
+    /// override when configured, otherwise a multiple of the measured
+    /// p99 step latency (the configured prior while cold), floored so
+    /// scheduling jitter on fast steps never trips it.
+    fn step_timeout_us(&self) -> u64 {
+        let cfg = self.admission.config();
+        if let Some(t) = cfg.step_timeout_us {
+            return t.max(1);
+        }
+        let p99 = if self.metrics.step_latency.count() > 0 {
+            self.metrics.step_latency.quantile(0.99) as f64
+        } else {
+            cfg.default_step_us
+        };
+        ((p99 * cfg.watchdog_multiplier) as u64).max(cfg.watchdog_floor_us)
+    }
+
+    /// The step watchdog fired: a step took `us` against a budget of
+    /// `timeout` µs. Steps are synchronous, so the overrun is detected
+    /// at the boundary — the running group is shed with typed
+    /// rejections (finished work already completed in `after_step`),
+    /// and the breaker halves the effective batch for a cooldown so a
+    /// pathological batch shape cannot wedge the service twice in a row.
+    fn shed_running(&mut self, us: u64, timeout: u64) {
+        let reason = RejectReason::Internal {
+            what: "watchdog: step exceeded timeout, running group shed",
+        };
+        let live: Vec<(u64, RequestHandle, u64)> = self
+            .tickets
+            .iter()
+            .filter_map(|(&id, r)| {
+                r.handle
+                    .map(|h| (id, h, r.gen_tokens.saturating_sub(r.streamed) as u64))
+            })
+            .collect();
+        for (id, handle, owed) in live {
+            if self.engine.cancel(&handle) {
+                self.charge_down(owed);
+                self.metrics.record_rejection(&reason);
+                self.resolve(id, reason);
+            }
+        }
+        self.metrics.record_watchdog_shed();
+        let cooldown = self.admission.config().breaker_cooldown_steps;
+        if cooldown > 0 {
+            self.breaker_until = self.steps_done + cooldown;
+            self.metrics.record_breaker_trip();
+        }
+        eprintln!(
+            "vq-llm driver watchdog: step took {us} µs (budget {timeout} µs), running group shed"
+        );
+    }
+
+    /// The warm-restart path the supervisor frame runs after this
+    /// driver incarnation panicked: resolve everything live as
+    /// [`RejectReason::DriverRestarted`], rebuild the engine through
+    /// the factory, republish the fresh context handles, and re-open
+    /// admission. Returns `false` (driver stays down) if the rebuild
+    /// fails.
+    fn restart(&mut self, factory: &mut EngineFactory, handles: &HandleTable, cause: &str) -> bool {
+        // Price the retry hint from what the service knew at death: the
+        // measured step latency over the backlog that just evaporated.
+        let measured =
+            (self.metrics.step_latency.count() > 0).then(|| self.metrics.step_latency.mean());
+        let est = self.admission.estimator(measured);
+        let backlog = (self.admission.pending_tokens() + self.inflight_tokens).max(1);
+        let retry_after_ms = (est.queue_drain_ms(backlog).ceil() as u64).max(1);
+        let reason = RejectReason::DriverRestarted { retry_after_ms };
+        // Rebuild and republish BEFORE resolving tickets: a waiter
+        // unblocked by `driver_restarted` may immediately re-fetch a
+        // context handle, and must never observe the dead engine's. (If
+        // the rebuild fails, the tickets stay pending and the exit sweep
+        // marks them DriverDown — no false restart promise.)
+        let (engine, contexts) = match factory() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("vq-llm driver: engine rebuild failed, staying down: {e}");
+                return false;
+            }
+        };
+        let max_batch = engine.serve_config().max_batch;
+        let cfg = self.admission.config().clone();
+        self.engine = engine;
+        self.admission = Admission::new(cfg, max_batch);
+        handles.publish(contexts);
         let ids: Vec<u64> = self.tickets.keys().copied().collect();
+        let dropped = ids.len();
         for id in ids {
-            self.resolve(id, RejectReason::Invalid { what });
+            self.metrics.record_rejection(&reason);
+            self.resolve(id, reason);
         }
         self.phases.lock().expect("phase map lock").clear();
+        self.inflight_tokens = 0;
+        // A drain preempted by the death still gets its report: what
+        // finished before the crash counts, the rest was dropped.
+        if let Some(job) = self.drain.take() {
+            let _ = job.reply.send(DrainReport {
+                completed: job.completed,
+                cancelled: dropped,
+            });
+        }
+        self.metrics.record_restart();
+        eprintln!(
+            "vq-llm driver: restarted after panic ({cause}); {dropped} in-flight request(s) \
+             resolved driver_restarted"
+        );
+        true
     }
 
     /// Resolves every unresolved ticket as cancelled and drops the

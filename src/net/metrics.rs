@@ -154,11 +154,16 @@ pub enum RejectKind {
     RateLimited,
     /// Server draining, not admitting.
     Draining,
+    /// Quarantined by the fault-containment layer (contained panic,
+    /// forced mid-decode failure, or watchdog shed).
+    Internal,
+    /// Dropped across a supervised driver restart; retryable.
+    DriverRestarted,
 }
 
 impl RejectKind {
     /// All kinds, in counter-array order.
-    pub const ALL: [RejectKind; 8] = [
+    pub const ALL: [RejectKind; 10] = [
         RejectKind::QueueFull,
         RejectKind::Invalid,
         RejectKind::KvCapacity,
@@ -167,6 +172,8 @@ impl RejectKind {
         RejectKind::Deadline,
         RejectKind::RateLimited,
         RejectKind::Draining,
+        RejectKind::Internal,
+        RejectKind::DriverRestarted,
     ];
 
     /// Classifies a typed rejection.
@@ -180,6 +187,8 @@ impl RejectKind {
             RejectReason::Deadline { .. } => RejectKind::Deadline,
             RejectReason::RateLimited { .. } => RejectKind::RateLimited,
             RejectReason::Draining { .. } => RejectKind::Draining,
+            RejectReason::Internal { .. } => RejectKind::Internal,
+            RejectReason::DriverRestarted { .. } => RejectKind::DriverRestarted,
         }
     }
 
@@ -194,6 +203,8 @@ impl RejectKind {
             RejectKind::Deadline => "deadline",
             RejectKind::RateLimited => "rate_limited",
             RejectKind::Draining => "draining",
+            RejectKind::Internal => "internal",
+            RejectKind::DriverRestarted => "driver_restarted",
         }
     }
 }
@@ -257,6 +268,14 @@ pub struct Metrics {
     disconnects: [AtomicU64; DisconnectReason::ALL.len()],
     /// Deepest any connection's writer queue has ever been.
     writer_queue_peak: AtomicU64,
+    /// Supervised driver restarts (engine rebuilds after a driver death).
+    restarts: AtomicU64,
+    /// Requests quarantined by the fault-containment layer.
+    quarantined: AtomicU64,
+    /// Running groups shed by the step watchdog.
+    watchdog_sheds: AtomicU64,
+    /// Times the breaker tripped (halving `max_batch` for a cooldown).
+    breaker_trips: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -280,7 +299,41 @@ impl Metrics {
             connections_total: AtomicU64::new(0),
             disconnects: [const { AtomicU64::new(0) }; DisconnectReason::ALL.len()],
             writer_queue_peak: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            watchdog_sheds: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
         }
+    }
+
+    /// Counts a supervised driver restart.
+    pub fn record_restart(&self) {
+        self.restarts.fetch_add(1, Relaxed);
+    }
+
+    /// Supervised driver restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Relaxed)
+    }
+
+    /// Counts requests quarantined by the containment layer.
+    pub fn record_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Relaxed);
+    }
+
+    /// Requests quarantined so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Relaxed)
+    }
+
+    /// Counts a watchdog shed of the running group.
+    pub fn record_watchdog_shed(&self) {
+        self.watchdog_sheds.fetch_add(1, Relaxed);
+    }
+
+    /// Counts a breaker trip.
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Relaxed);
     }
 
     /// Counts a connection entering service (bumps the gauge and the
@@ -390,6 +443,10 @@ impl Metrics {
                 .map(|(i, r)| (r.code(), self.disconnects[i].load(Relaxed)))
                 .collect(),
             writer_queue_peak: self.writer_queue_peak.load(Relaxed),
+            restarts: self.restarts.load(Relaxed),
+            quarantined: self.quarantined.load(Relaxed),
+            watchdog_sheds: self.watchdog_sheds.load(Relaxed),
+            breaker_trips: self.breaker_trips.load(Relaxed),
             tenants,
         }
     }
@@ -442,6 +499,14 @@ pub struct MetricsSnapshot {
     pub disconnects: Vec<(&'static str, u64)>,
     /// Deepest writer queue observed across all connections.
     pub writer_queue_peak: u64,
+    /// Supervised driver restarts.
+    pub restarts: u64,
+    /// Requests quarantined by the fault-containment layer.
+    pub quarantined: u64,
+    /// Running groups shed by the step watchdog.
+    pub watchdog_sheds: u64,
+    /// Breaker trips (temporary `max_batch` halvings).
+    pub breaker_trips: u64,
     /// Per-tenant decode accounts, sorted by tenant.
     pub tenants: Vec<TenantRate>,
 }
@@ -526,6 +591,10 @@ impl MetricsSnapshot {
             self.writer_queue_peak as f64,
             false,
         );
+        push_num(&mut o, "restarts", self.restarts as f64, false);
+        push_num(&mut o, "quarantined", self.quarantined as f64, false);
+        push_num(&mut o, "watchdog_sheds", self.watchdog_sheds as f64, false);
+        push_num(&mut o, "breaker_trips", self.breaker_trips as f64, false);
         o.push_str(",\"tenants\":[");
         for (i, t) in self.tenants.iter().enumerate() {
             if i > 0 {

@@ -51,11 +51,12 @@ pub use admission::{
     Admission, AdmissionConfig, AdmitReject, NetRequest, Pending, RateLimitConfig, RateLimiter,
 };
 pub use driver::{
-    spawn as spawn_driver, Client, DrainReport, DriverHandle, DriverStats, StreamEvent, StreamSink,
-    Ticket, TicketEnd,
+    spawn as spawn_driver, spawn_supervised, Client, DrainReport, DriverHandle, DriverStats,
+    EngineFactory, HandleTable, StreamEvent, StreamSink, SupervisorConfig, Ticket, TicketEnd,
+    WaitError,
 };
 pub use metrics::{
     percentile, DisconnectReason, Histogram, Metrics, MetricsSnapshot, RejectKind, TenantRate,
 };
 pub use proto::{ClientFrame, PROTO_VERSION};
-pub use server::{loopback, loopback_with, NetConfig, NetServer};
+pub use server::{loopback, loopback_supervised, loopback_with, NetConfig, NetServer};

@@ -287,7 +287,7 @@ pub fn stats_frame(stats: &DriverStats, metrics: &MetricsSnapshot, uptime_ms: u6
          \"submitted\":{},\"rejected\":{},\"rejected_queue_full\":{},\
          \"rejected_invalid\":{},\"rejected_kv_capacity\":{},\
          \"rejected_unknown_context\":{},\"cancelled\":{},\
-         \"completed\":{},\"steps\":{},\"decoded_tokens\":{},\
+         \"completed\":{},\"steps\":{},\"decoded_tokens\":{},\"quarantined\":{},\
          \"front_queued\":{},\"engine_queued\":{},\"running\":{},\
          \"inflight_tokens\":{}}},\
          \"metrics\":{}}}",
@@ -302,6 +302,7 @@ pub fn stats_frame(stats: &DriverStats, metrics: &MetricsSnapshot, uptime_ms: u6
         s.completed,
         s.steps,
         s.decoded_tokens,
+        s.quarantined,
         stats.front_queued,
         stats.engine_queued,
         stats.running,

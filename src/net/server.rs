@@ -59,7 +59,10 @@ use vqllm_llm::DecodeRequest;
 
 use crate::engine::Engine;
 use crate::net::admission::{AdmissionConfig, NetRequest};
-use crate::net::driver::{self, Client, DrainReport, DriverHandle, StreamEvent, Ticket};
+use crate::net::driver::{
+    self, Client, DrainReport, DriverHandle, EngineFactory, HandleTable, StreamEvent,
+    SupervisorConfig, Ticket,
+};
 use crate::net::metrics::{DisconnectReason, Metrics};
 use crate::net::proto::{self, ClientFrame};
 
@@ -278,7 +281,10 @@ impl Conn {
 /// What the accept loop hands every connection thread.
 struct ConnCtx {
     client: Client,
-    contexts: Arc<Vec<ContextHandle>>,
+    /// Live context handles by protocol index — shared with the driver
+    /// supervisor, which republishes fresh handles after an engine
+    /// rebuild (so connections survive a driver restart).
+    contexts: Arc<HandleTable>,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     cfg: NetConfig,
@@ -343,13 +349,50 @@ impl NetServer {
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
         let (client, driver) = driver::spawn(engine, cfg);
+        let contexts = Arc::new(HandleTable::new(contexts));
+        NetServer::serve_parts(listener, client, driver, contexts, net)
+    }
+
+    /// Binds `addr` and serves behind a **supervised** driver: the
+    /// factory builds the engine (and re-registers its contexts), and a
+    /// driver death mid-service resolves in-flight work as typed
+    /// `driver_restarted`, rebuilds the engine through the factory, and
+    /// keeps serving on the same sockets — see
+    /// [`driver::spawn_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the `TcpListener` bind error, or the factory's error
+    /// (as `io::ErrorKind::Other`) if the initial engine build fails.
+    pub fn bind_supervised(
+        factory: EngineFactory,
+        cfg: AdmissionConfig,
+        sup: SupervisorConfig,
+        net: NetConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let (client, driver, contexts) = driver::spawn_supervised(factory, cfg, sup)
+            .map_err(|e| std::io::Error::other(format!("building the engine: {e}")))?;
+        NetServer::serve_parts(listener, client, driver, contexts, net)
+    }
+
+    /// The common tail of every constructor: wires the accept loop over
+    /// an already-bound listener and an already-spawned driver.
+    fn serve_parts(
+        listener: TcpListener,
+        client: Client,
+        driver: DriverHandle,
+        contexts: Arc<HandleTable>,
+        net: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let draining = Arc::new(AtomicBool::new(false));
         let ctx = Arc::new(ConnCtx {
             client: client.clone(),
-            contexts: Arc::new(contexts),
+            contexts,
             stop: Arc::clone(&stop),
             draining: Arc::clone(&draining),
             metrics: client.metrics_shared(),
@@ -709,7 +752,7 @@ fn handle_line(line: &str, ctx: &Arc<ConnCtx>, conn: &Arc<Conn>) {
             deadline_ms,
             stream,
         } => {
-            let Some(&handle) = ctx.contexts.get(ctx_idx) else {
+            let Some(handle) = ctx.contexts.get(ctx_idx) else {
                 push_frame(
                     conn,
                     &ctx.metrics,
@@ -753,8 +796,11 @@ fn handle_line(line: &str, ctx: &Arc<ConnCtx>, conn: &Arc<Conn>) {
                 let tickets = conn.tickets.lock().expect("ticket map lock");
                 match tickets.get(&id) {
                     Some(ticket) => {
+                        // A DriverDown wait maps through poll() to a
+                        // typed `internal` rejection; Timeout just means
+                        // the ticket is still pending.
                         let status = ctx.client.poll(ticket);
-                        let end = ctx.client.wait_timeout(ticket, Duration::ZERO);
+                        let end = ctx.client.wait_timeout(ticket, Duration::ZERO).ok();
                         proto::status_frame(id, &status, end.as_ref())
                     }
                     None => proto::status_frame(id, &vqllm_llm::RequestStatus::Unknown, None),
@@ -808,6 +854,17 @@ pub fn loopback_with(
     net: NetConfig,
 ) -> std::io::Result<NetServer> {
     NetServer::bind_with(engine, contexts, cfg, net, ("127.0.0.1", 0))
+}
+
+/// [`loopback_with`] behind a supervised driver (what the chaos harness
+/// uses to force and survive driver kills).
+pub fn loopback_supervised(
+    factory: EngineFactory,
+    cfg: AdmissionConfig,
+    sup: SupervisorConfig,
+    net: NetConfig,
+) -> std::io::Result<NetServer> {
+    NetServer::bind_supervised(factory, cfg, sup, net, ("127.0.0.1", 0))
 }
 
 #[cfg(test)]

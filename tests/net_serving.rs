@@ -97,7 +97,7 @@ fn driver_completes_streams_and_matches_solo() {
     );
     let plain = client.submit(NetRequest::new(h, DecodeRequest::new(8, query(8), 50, 2)));
 
-    let end = client.wait(&ticket);
+    let end = client.wait(&ticket).expect("driver alive");
     let TicketEnd::Finished(out) = end else {
         panic!("streamed request did not finish: {end:?}");
     };
@@ -177,10 +177,10 @@ fn weighted_tenants_are_served_two_to_one() {
         }
     }
 
-    assert!(matches!(client.wait(&blocker), TicketEnd::Finished(_)));
+    assert!(matches!(client.wait(&blocker), Ok(TicketEnd::Finished(_))));
     let mut served: Vec<(u64, u64)> = Vec::new(); // (finished_step, tenant)
     for (tenant, ticket) in &tickets {
-        match client.wait(ticket) {
+        match client.wait(ticket).expect("driver alive") {
             TicketEnd::Finished(out) => served.push((out.finished_step, *tenant)),
             other => panic!("tenant {tenant} did not finish: {other:?}"),
         }
@@ -242,7 +242,7 @@ fn impossible_deadline_rejects_immediately_with_retry_after() {
     // A generous deadline admits and completes.
     let ok = client
         .submit(NetRequest::new(h, DecodeRequest::new(2, query(2), 10, 2)).deadline_ms(60_000));
-    assert!(matches!(client.wait(&ok), TicketEnd::Finished(_)));
+    assert!(matches!(client.wait(&ok), Ok(TicketEnd::Finished(_))));
 
     let m = client.metrics();
     assert_eq!(
@@ -263,7 +263,7 @@ fn cancel_through_the_driver_resolves_typed() {
     let blocker = client.submit(NetRequest::new(h, DecodeRequest::new(9, query(9), 8, 32)));
     let victim = client.submit(NetRequest::new(h, DecodeRequest::new(1, query(1), 10, 4)));
     client.cancel(&victim);
-    let end = client.wait(&victim);
+    let end = client.wait(&victim).expect("driver alive");
     assert!(
         matches!(
             end,
@@ -274,7 +274,7 @@ fn cancel_through_the_driver_resolves_typed() {
         ),
         "{end:?}"
     );
-    assert!(matches!(client.wait(&blocker), TicketEnd::Finished(_)));
+    assert!(matches!(client.wait(&blocker), Ok(TicketEnd::Finished(_))));
     driver.shutdown();
 }
 
@@ -626,7 +626,7 @@ fn mid_stream_disconnect_cancels_and_frees_the_slot() {
 
     // The freed slot serves the next tenant immediately.
     let ticket = client.submit(NetRequest::new(h, DecodeRequest::new(2, query(2), 10, 2)));
-    assert!(matches!(client.wait(&ticket), TicketEnd::Finished(_)));
+    assert!(matches!(client.wait(&ticket), Ok(TicketEnd::Finished(_))));
     server.shutdown();
 }
 
@@ -664,7 +664,7 @@ fn drain_finishes_inflight_rejects_new_typed_and_reports() {
 
     // New work is rejected typed, with a positive computed backoff.
     let probe = client.submit(NetRequest::new(h, DecodeRequest::new(9, query(9), 10, 2)));
-    match client.wait(&probe) {
+    match client.wait(&probe).expect("driver alive") {
         TicketEnd::Rejected {
             reason: RejectReason::Draining { retry_after_ms },
             retry_after_ms: retry,
@@ -677,7 +677,7 @@ fn drain_finishes_inflight_rejects_new_typed_and_reports() {
 
     // Everything in flight finishes, bitwise identical to solo drains.
     for (req, ticket) in reqs.iter().zip(&tickets) {
-        match client.wait(ticket) {
+        match client.wait(ticket).expect("driver alive") {
             TicketEnd::Finished(out) => {
                 assert_eq!(
                     out.steps,
