@@ -237,6 +237,155 @@ pub trait Backend: std::fmt::Debug + Send + Sync {
         let counters = self.estimate(gpu, plan, &profile);
         Ok((out, counters))
     }
+
+    /// Ragged attention decode over a shared quantized context **plus
+    /// per-query private KV extensions** ([`RaggedExt`]: packed codes
+    /// encoded against the context's codebooks, sparse outlier residuals,
+    /// and an unquantized f32 tail window) — the live-KV serving shape.
+    /// The default dequantizes the context, reconstructs each extension
+    /// (codes + outliers + tail) and loops the dense reference per query
+    /// (correct on any substrate); [`CpuBackend`] overrides it with the
+    /// fused tailed kernel that keeps the shared batched LUT score pass.
+    ///
+    /// [`RaggedExt`]: host_exec::RaggedExt
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches, an empty batch, lengths
+    /// outside `1..=seq`, or extensions inconsistent with the context's
+    /// VQ configuration.
+    #[allow(clippy::too_many_arguments)]
+    fn run_attention_ragged_tailed(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        lens: &[usize],
+        exts: &[host_exec::RaggedExt<'_>],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        if qs.rows() == 0 {
+            return Err(crate::KernelError::InvalidInput {
+                what: "empty query batch",
+            });
+        }
+        if lens.len() != qs.rows() || exts.len() != qs.rows() {
+            return Err(crate::KernelError::ShapeMismatch {
+                what: "one prefix length and one extension per query row",
+            });
+        }
+        if kq.shape() != vq.shape() || qs.cols() != kq.shape().1 {
+            return Err(crate::KernelError::ShapeMismatch {
+                what: "qs/K/V shapes disagree",
+            });
+        }
+        let (seq, head_dim) = kq.shape();
+        if lens.iter().any(|&l| l == 0 || l > seq) {
+            return Err(crate::KernelError::InvalidInput {
+                what: "softmax lengths must be in 1..=seq",
+            });
+        }
+        let kd = kq
+            .dequantize()
+            .map_err(|_| crate::KernelError::InvalidInput {
+                what: "K cache failed to dequantize",
+            })?;
+        let vd = vq
+            .dequantize()
+            .map_err(|_| crate::KernelError::InvalidInput {
+                what: "V cache failed to dequantize",
+            })?;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut out = Tensor2D::zeros(qs.rows(), head_dim);
+        for (b, ext) in exts.iter().enumerate() {
+            let len = lens[b];
+            let kfull = splice_extension(&kd, len, ext, kq, ExtSide::K)?;
+            let vfull = splice_extension(&vd, len, ext, vq, ExtSide::V)?;
+            let row = vqllm_tensor::linalg::attention_decode_ref(qs.row(b), &kfull, &vfull, scale)
+                .map_err(|_| crate::KernelError::ShapeMismatch {
+                    what: "reference attention rejected the spliced extension",
+                })?;
+            out.row_mut(b).copy_from_slice(&row);
+        }
+        let profile = AccessProfile::default_for(kq.config());
+        let counters = self.estimate(gpu, plan, &profile);
+        Ok((out, counters))
+    }
+}
+
+/// Which half of a [`host_exec::RaggedExt`] to reconstruct.
+#[derive(Clone, Copy)]
+enum ExtSide {
+    K,
+    V,
+}
+
+/// Dense reconstruction of `len` context rows plus one query's extension
+/// (decoded codes + outlier residuals + f32 tail) — the oracle the
+/// default [`Backend::run_attention_ragged_tailed`] attends over.
+fn splice_extension(
+    base: &Tensor2D,
+    len: usize,
+    ext: &host_exec::RaggedExt<'_>,
+    q: &QuantizedTensor,
+    side: ExtSide,
+) -> Result<Tensor2D> {
+    let cfg = q.config();
+    if matches!(cfg.scope, vqllm_vq::CodebookScope::PerTile { .. }) {
+        return Err(crate::KernelError::InvalidInput {
+            what: "per-tile codebook scopes are row-dependent; live-KV extensions \
+                   require a row-invariant scope (PerTensor or PerChannelGroup)",
+        });
+    }
+    let (codes, outliers, tail) = match side {
+        ExtSide::K => (ext.k_codes, ext.k_outliers, ext.k_tail),
+        ExtSide::V => (ext.v_codes, ext.v_outliers, ext.v_tail),
+    };
+    let head_dim = q.shape().1;
+    let vs = cfg.vector_size;
+    let groups = q.col_groups();
+    if ext.rows > 0
+        && (codes.len() != cfg.residuals || codes.iter().any(|s| s.len() != ext.rows * groups))
+    {
+        return Err(crate::KernelError::ShapeMismatch {
+            what: "extension code stream length must be rows × col_groups",
+        });
+    }
+    if tail.iter().any(|r| r.len() != head_dim) {
+        return Err(crate::KernelError::ShapeMismatch {
+            what: "tail rows must be head_dim wide",
+        });
+    }
+    let books = q.codebooks();
+    let mut full = Tensor2D::zeros(len + ext.rows + tail.len(), head_dim);
+    for r in 0..len {
+        full.row_mut(r).copy_from_slice(base.row(r));
+    }
+    for row in 0..ext.rows {
+        let orow = full.row_mut(len + row);
+        for (r, stream) in codes.iter().enumerate() {
+            for g in 0..groups {
+                let book = books.book(r, books.scope_index(0, g * vs));
+                book.accumulate(stream[row * groups + g], &mut orow[g * vs..(g + 1) * vs]);
+            }
+        }
+    }
+    for o in outliers {
+        if o.row >= ext.rows || o.group >= groups || o.values.len() != vs {
+            return Err(crate::KernelError::InvalidInput {
+                what: "outlier residual outside the folded extension",
+            });
+        }
+        let orow = full.row_mut(len + o.row);
+        for (j, &v) in o.values.iter().enumerate() {
+            orow[o.group * vs + j] += v;
+        }
+    }
+    for (t, trow) in tail.iter().enumerate() {
+        full.row_mut(len + ext.rows + t).copy_from_slice(trow);
+    }
+    Ok(full)
 }
 
 /// The GPU performance-model backend (the workspace's documented hardware
@@ -489,6 +638,34 @@ impl Backend for CpuBackend {
         let out = host_exec::attention_decode_ragged(qs, lens, kq, vq, &self.blocking(plan))?;
         Ok((out, self.output_for(gpu, plan, kq)))
     }
+
+    fn run_attention_ragged_tailed(
+        &self,
+        gpu: &GpuSpec,
+        plan: &KernelPlan,
+        qs: &Tensor2D,
+        lens: &[usize],
+        exts: &[host_exec::RaggedExt<'_>],
+        kq: &QuantizedTensor,
+        vq: &QuantizedTensor,
+    ) -> Result<(Tensor2D, KernelOutput)> {
+        if qs.rows() == 0 {
+            return Err(crate::KernelError::InvalidInput {
+                what: "empty query batch",
+            });
+        }
+        // Shared batched LUT score pass over the context, per-query code
+        // expansion + f32 tail splice for the extensions.
+        let out = host_exec::attention_decode_ragged_tailed(
+            qs,
+            lens,
+            exts,
+            kq,
+            vq,
+            &self.blocking(plan),
+        )?;
+        Ok((out, self.output_for(gpu, plan, kq)))
+    }
 }
 
 #[cfg(test)]
@@ -611,6 +788,119 @@ mod tests {
             .is_err());
         assert!(PerfModelBackend
             .run_attention_ragged(&gpu, &plan, &qs, &[1, 1, 321], &kq, &vq_t)
+            .is_err());
+    }
+
+    #[test]
+    fn attention_ragged_tailed_agrees_across_backends() {
+        use crate::host_exec::{OutlierResidual, RaggedExt};
+        let vq_cfg = VqAlgorithm::Cq4.config();
+        let k = synth::kv_stream(320, 32, 0.8, 30);
+        let v = synth::kv_stream(320, 32, 0.8, 31);
+        let kq = VqQuantizer::new(vq_cfg).quantize(&k, 1).unwrap();
+        let vq_t = VqQuantizer::new(vq_cfg).quantize(&v, 2).unwrap();
+        let op = ComputeOp::attention_decode(1, 32, 320, 3);
+        let plan = plan_for(&vq_cfg, &op);
+        let gpu = GpuSpec::rtx4090();
+        let qs = vqllm_tensor::Tensor2D::from_fn(3, 32, |b, d| ((b * 7 + d) as f32 * 0.19).sin());
+        let lens = [40usize, 320, 9];
+        // Encode two appended rows against the context's codebooks; keep
+        // every group's residual as an outlier so reconstruction is exact.
+        let rows: Vec<Vec<f32>> = (0..3)
+            .map(|i| {
+                (0..32)
+                    .map(|j| ((i * 11 + j) as f32 * 0.33).sin())
+                    .collect()
+            })
+            .collect();
+        let vs = vq_cfg.vector_size;
+        let groups = 32 / vs;
+        let encode = |books: &vqllm_vq::CodebookSet,
+                      rows: &[Vec<f32>]|
+         -> (Vec<Vec<u32>>, Vec<OutlierResidual>) {
+            let mut codes = vec![Vec::new(); vq_cfg.residuals];
+            let mut outs = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                for g in 0..groups {
+                    let mut resid = row[g * vs..(g + 1) * vs].to_vec();
+                    let mut entry = vec![0.0f32; vs];
+                    for (r, stream) in codes.iter_mut().enumerate() {
+                        let book = books.book(r, books.scope_index(0, g * vs));
+                        let code = book.encode(&resid);
+                        stream.push(code);
+                        book.lookup(code, &mut entry);
+                        for (rv, &e) in resid.iter_mut().zip(&entry) {
+                            *rv -= e;
+                        }
+                    }
+                    outs.push(OutlierResidual {
+                        row: i,
+                        group: g,
+                        values: resid,
+                    });
+                }
+            }
+            (codes, outs)
+        };
+        let (kc, ko) = encode(kq.codebooks(), &rows[..2]);
+        let (vc, vo) = encode(vq_t.codebooks(), &rows[..2]);
+        let exts = [
+            RaggedExt {
+                rows: 2,
+                k_codes: &kc,
+                v_codes: &vc,
+                k_outliers: &ko,
+                v_outliers: &vo,
+                k_tail: &rows[2..],
+                v_tail: &rows[2..],
+            },
+            RaggedExt::default(),
+            RaggedExt {
+                rows: 0,
+                k_codes: &[],
+                v_codes: &[],
+                k_outliers: &[],
+                v_outliers: &[],
+                k_tail: &rows[..1],
+                v_tail: &rows[..1],
+            },
+        ];
+        let backend = CpuBackend::with_threads(2);
+        let (fused, out) = backend
+            .run_attention_ragged_tailed(&gpu, &plan, &qs, &lens, &exts, &kq, &vq_t)
+            .unwrap();
+        assert!(out.us() > 0.0);
+        // The trait's dequantize-splice-and-loop default (what
+        // PerfModelBackend inherits) is the oracle.
+        let (reference, _) = PerfModelBackend
+            .run_attention_ragged_tailed(&gpu, &plan, &qs, &lens, &exts, &kq, &vq_t)
+            .unwrap();
+        assert!(metrics::allclose(
+            fused.as_slice(),
+            reference.as_slice(),
+            1e-4,
+            1e-4
+        ));
+        // With every extension empty both paths reduce to the plain
+        // ragged decode.
+        let empty = [
+            RaggedExt::default(),
+            RaggedExt::default(),
+            RaggedExt::default(),
+        ];
+        let (no_ext, _) = backend
+            .run_attention_ragged_tailed(&gpu, &plan, &qs, &lens, &empty, &kq, &vq_t)
+            .unwrap();
+        let (plain, _) = backend
+            .run_attention_ragged(&gpu, &plan, &qs, &lens, &kq, &vq_t)
+            .unwrap();
+        assert_eq!(no_ext, plain, "empty extensions must be bitwise invisible");
+        // Mismatched extension counts are rejected on both paths.
+        assert!(backend
+            .run_attention_ragged_tailed(&gpu, &plan, &qs, &lens, &exts[..2], &kq, &vq_t)
+            .is_err());
+        assert!(PerfModelBackend
+            .run_attention_ragged_tailed(&gpu, &plan, &qs, &lens, &exts[..2], &kq, &vq_t)
             .is_err());
     }
 

@@ -843,6 +843,256 @@ fn attention_batch_inner(
     gemm_fused(&scores, vq, blocking)
 }
 
+/// A per-group residual left unquantized because the packed codes alone
+/// reconstructed the sub-vector too poorly (the outlier channel of
+/// VecInfer-style KV VQ): `values` is added on top of the decoded codes
+/// for `(row, group)` of the extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierResidual {
+    /// Extension row (0-based within the folded rows).
+    pub row: usize,
+    /// Column group (sub-vector slot) within the row.
+    pub group: usize,
+    /// Exact f32 residual, `vector_size` wide.
+    pub values: Vec<f32>,
+}
+
+/// One query's private KV extension for
+/// [`attention_decode_ragged_tailed`]: `rows` appended tokens folded into
+/// packed codes (encoded against the **shared context's** codebooks, so
+/// the kernel reuses the already-resident tables), sparse per-group
+/// outlier residuals on top, and an unquantized f32 tail window of the
+/// newest tokens.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaggedExt<'a> {
+    /// Folded (packed) extension rows.
+    pub rows: usize,
+    /// K codes, one stream per residual round, `rows × col_groups` long
+    /// each (row-major, group-minor).
+    pub k_codes: &'a [Vec<u32>],
+    /// V codes, same layout as `k_codes`.
+    pub v_codes: &'a [Vec<u32>],
+    /// Sparse K outlier residuals over the folded rows.
+    pub k_outliers: &'a [OutlierResidual],
+    /// Sparse V outlier residuals over the folded rows.
+    pub v_outliers: &'a [OutlierResidual],
+    /// Unquantized K tail rows (`head_dim` wide each), oldest first.
+    pub k_tail: &'a [Vec<f32>],
+    /// Unquantized V tail rows, same length as `k_tail`.
+    pub v_tail: &'a [Vec<f32>],
+}
+
+impl RaggedExt<'_> {
+    /// Total extension tokens (folded + tail).
+    pub fn len(&self) -> usize {
+        self.rows + self.k_tail.len()
+    }
+
+    /// Whether the extension holds no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn validate(&self, kq: &QuantizedTensor) -> Result<()> {
+        let cfg = kq.config();
+        let groups = kq.col_groups();
+        let head_dim = kq.shape().1;
+        for codes in [self.k_codes, self.v_codes] {
+            // With no folded rows, an absent stream set (the `Default`)
+            // is as valid as `residuals` empty streams.
+            if codes.len() != cfg.residuals && !(self.rows == 0 && codes.is_empty()) {
+                return Err(KernelError::ShapeMismatch {
+                    what: "extension code streams must match the context's residual rounds",
+                });
+            }
+            if codes.iter().any(|s| s.len() != self.rows * groups) {
+                return Err(KernelError::ShapeMismatch {
+                    what: "extension code stream length must be rows × col_groups",
+                });
+            }
+        }
+        for outs in [self.k_outliers, self.v_outliers] {
+            if outs.iter().any(|o| {
+                o.row >= self.rows || o.group >= groups || o.values.len() != cfg.vector_size
+            }) {
+                return Err(KernelError::InvalidInput {
+                    what: "outlier residual outside the folded extension",
+                });
+            }
+        }
+        if self.k_tail.len() != self.v_tail.len()
+            || self
+                .k_tail
+                .iter()
+                .chain(self.v_tail)
+                .any(|r| r.len() != head_dim)
+        {
+            return Err(KernelError::ShapeMismatch {
+                what: "tail rows must be head_dim wide with matching K/V lengths",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Dot of `q` against one folded extension row decoded on the fly from
+/// the context's codebooks (all residual rounds, plus outliers applied by
+/// the caller).
+fn ext_row_score(
+    q: &[f32],
+    books: &vqllm_vq::CodebookSet,
+    codes: &[Vec<u32>],
+    row: usize,
+    groups: usize,
+    vs: usize,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for (r, s) in codes.iter().enumerate() {
+        for g in 0..groups {
+            let code = s[row * groups + g];
+            let book = books.book(r, books.scope_index(0, g * vs));
+            let qsub = &q[g * vs..(g + 1) * vs];
+            if book.is_lattice() {
+                let base = book.stored_id_of(code) as usize;
+                let signs = code >> book.sign_shift();
+                acc += signed_dot(book.stored_entry(base), qsub, signs);
+            } else {
+                let entry = book.stored_entry(code as usize);
+                acc += entry.iter().zip(qsub).map(|(&e, &x)| e * x).sum::<f32>();
+            }
+        }
+    }
+    acc
+}
+
+/// Ragged batched attention decode over a shared quantized context
+/// **plus per-query private KV extensions** — the live-KV serving shape.
+///
+/// Query `b` attends `lens[b]` tokens of the shared packed context
+/// followed by its own [`RaggedExt`]: folded rows decoded against the
+/// context's codebooks (+ sparse outlier residuals), then the f32 tail
+/// window spliced in after the LUT score pass. One softmax spans the
+/// whole attended sequence; the context's value pass stays the
+/// panel-blocked [`gemm_fused`], the extension's value pass is
+/// per-query [`Codebook::axpy`] expansion plus dense tail accumulation.
+///
+/// With every extension empty the arithmetic is **identical** to
+/// [`attention_decode_ragged`]: same score source, same scale and
+/// softmax, same value GeMM — so turning the live-KV path on without
+/// appending anything is bitwise invisible.
+///
+/// [`Codebook::axpy`]: vqllm_vq::Codebook::axpy
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] /
+/// [`KernelError::InvalidInput`] on inconsistent shapes, lengths, or
+/// extensions that do not match the context's VQ configuration.
+pub fn attention_decode_ragged_tailed(
+    qs: &Tensor2D,
+    lens: &[usize],
+    exts: &[RaggedExt<'_>],
+    kq: &QuantizedTensor,
+    vq: &QuantizedTensor,
+    blocking: &HostBlocking,
+) -> Result<Tensor2D> {
+    failpoint("host.attention_ragged")?;
+    if lens.len() != qs.rows() || exts.len() != qs.rows() {
+        return Err(KernelError::ShapeMismatch {
+            what: "one prefix length and one extension per query row",
+        });
+    }
+    if kq.shape() != vq.shape() || qs.cols() != kq.shape().1 {
+        return Err(KernelError::ShapeMismatch {
+            what: "qs/K/V shapes disagree",
+        });
+    }
+    let seq = kq.shape().0;
+    if lens.iter().any(|&l| l == 0 || l > seq) {
+        return Err(KernelError::InvalidInput {
+            what: "softmax lengths must be in 1..=seq",
+        });
+    }
+    let cfg = kq.config();
+    if matches!(cfg.scope, CodebookScope::PerTile { .. }) {
+        return Err(KernelError::InvalidInput {
+            what: "per-tile codebook scopes are row-dependent; live-KV extensions \
+                   require a row-invariant scope (PerTensor or PerChannelGroup)",
+        });
+    }
+    for ext in exts {
+        ext.validate(kq)?;
+    }
+    let d = qs.cols();
+    let vs = cfg.vector_size;
+    let groups = kq.col_groups();
+    let k_books = kq.codebooks();
+    let v_books = vq.codebooks();
+
+    // Shared context score pass: one batched LUT GeMV, exactly as the
+    // extension-free kernel computes it.
+    let mut scores = gemv_lut_batch(kq, qs, blocking)?.transposed();
+    let scale = 1.0 / (d as f32).sqrt();
+    // Per-query softmax weights over the extension (folded + tail),
+    // saved for the value pass.
+    let mut ext_weights: Vec<Vec<f32>> = Vec::with_capacity(exts.len());
+    for b in 0..scores.rows() {
+        let ext = &exts[b];
+        let len = lens[b];
+        let q = qs.row(b);
+        // Concatenated score row: [context prefix | folded ext | f32 tail].
+        let mut srow = Vec::with_capacity(len + ext.len());
+        srow.extend_from_slice(&scores.row(b)[..len]);
+        for row in 0..ext.rows {
+            srow.push(ext_row_score(q, k_books, ext.k_codes, row, groups, vs));
+        }
+        for o in ext.k_outliers {
+            let qsub = &q[o.group * vs..(o.group + 1) * vs];
+            srow[len + o.row] += o.values.iter().zip(qsub).map(|(&e, &x)| e * x).sum::<f32>();
+        }
+        for t in ext.k_tail {
+            srow.push(t.iter().zip(q).map(|(&e, &x)| e * x).sum::<f32>());
+        }
+        for s in srow.iter_mut() {
+            *s *= scale;
+        }
+        linalg::softmax_inplace(&mut srow);
+        // The context's weights ride the shared GeMM value pass; the
+        // extension's weights are applied per query below.
+        let ctx_row = scores.row_mut(b);
+        ctx_row[..len].copy_from_slice(&srow[..len]);
+        ctx_row[len..].fill(0.0);
+        ext_weights.push(srow.split_off(len));
+    }
+    let mut out = gemm_fused(&scores, vq, blocking)?;
+    for (b, ext) in exts.iter().enumerate() {
+        let weights = &ext_weights[b];
+        let orow = out.row_mut(b);
+        for (row, &w) in weights.iter().take(ext.rows).enumerate() {
+            for (r, stream) in ext.v_codes.iter().enumerate() {
+                for g in 0..groups {
+                    let code = stream[row * groups + g];
+                    let book = v_books.book(r, v_books.scope_index(0, g * vs));
+                    book.axpy(code, w, &mut orow[g * vs..(g + 1) * vs]);
+                }
+            }
+        }
+        for o in ext.v_outliers {
+            let w = weights[o.row];
+            for (j, &v) in o.values.iter().enumerate() {
+                orow[o.group * vs + j] += w * v;
+            }
+        }
+        for (t, vrow) in ext.v_tail.iter().enumerate() {
+            let w = weights[ext.rows + t];
+            for (o, &v) in orow.iter_mut().zip(vrow) {
+                *o += w * v;
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1064,6 +1314,210 @@ mod tests {
         assert!(attention_decode_ragged(&qs, &[0, 1, 1, 1], &kq, &vq, &blocking).is_err());
         assert!(attention_decode_ragged(&qs, &[321, 1, 1, 1], &kq, &vq, &blocking).is_err());
         assert!(attention_decode_ragged(&qs, &[1, 1], &kq, &vq, &blocking).is_err());
+    }
+
+    /// Encodes f32 rows against a codebook set the way the live-KV fold
+    /// does: all residual rounds per group, plus an exact outlier
+    /// residual when the remaining error exceeds `keep` of the group's
+    /// norm. Returns the packed code streams, the outliers, and the
+    /// reconstruction (codes + outliers) for the oracle.
+    fn fold_rows(
+        rows: &[Vec<f32>],
+        books: &vqllm_vq::CodebookSet,
+        keep: f32,
+    ) -> (Vec<Vec<u32>>, Vec<OutlierResidual>, Tensor2D) {
+        let cfg = books.config();
+        let vs = cfg.vector_size;
+        let d = rows.first().map_or(0, Vec::len);
+        let groups = d / vs;
+        let mut codes = vec![Vec::new(); cfg.residuals];
+        let mut outliers = Vec::new();
+        let mut recon = Tensor2D::zeros(rows.len(), d);
+        for (i, row) in rows.iter().enumerate() {
+            for g in 0..groups {
+                let orig = &row[g * vs..(g + 1) * vs];
+                let mut resid = orig.to_vec();
+                let mut dec = vec![0.0f32; vs];
+                let mut entry = vec![0.0f32; vs];
+                for (r, stream) in codes.iter_mut().enumerate().take(cfg.residuals) {
+                    let book = books.book(r, books.scope_index(0, g * vs));
+                    let code = book.encode(&resid);
+                    stream.push(code);
+                    book.lookup(code, &mut entry);
+                    for ((res, dv), &e) in resid.iter_mut().zip(dec.iter_mut()).zip(&entry) {
+                        *res -= e;
+                        *dv += e;
+                    }
+                }
+                let rn: f32 = resid.iter().map(|x| x * x).sum();
+                let on: f32 = orig.iter().map(|x| x * x).sum();
+                if rn > keep * keep * on {
+                    for (dv, &rv) in dec.iter_mut().zip(&resid) {
+                        *dv += rv;
+                    }
+                    outliers.push(OutlierResidual {
+                        row: i,
+                        group: g,
+                        values: resid.clone(),
+                    });
+                }
+                recon.row_mut(i)[g * vs..(g + 1) * vs].copy_from_slice(&dec);
+            }
+        }
+        (codes, outliers, recon)
+    }
+
+    #[test]
+    fn attention_ragged_tailed_matches_spliced_reference() {
+        let cfg = VqAlgorithm::Cq4.config();
+        let d = 32usize;
+        let k = synth::kv_stream(320, d, 0.8, 24);
+        let v = synth::kv_stream(320, d, 0.8, 25);
+        let kq = VqQuantizer::new(cfg).quantize(&k, 1).unwrap();
+        let vq = VqQuantizer::new(cfg).quantize(&v, 2).unwrap();
+        let qs = Tensor2D::from_fn(3, d, |b, j| ((b * 19 + j) as f32 * 0.27).sin());
+        let lens = [17usize, 320, 40];
+        let blocking = HostBlocking::default();
+
+        // Empty extensions: bitwise the plain ragged kernel.
+        let empty = vec![RaggedExt::default(); 3];
+        let tailed =
+            attention_decode_ragged_tailed(&qs, &lens, &empty, &kq, &vq, &blocking).unwrap();
+        let plain = attention_decode_ragged(&qs, &lens, &kq, &vq, &blocking).unwrap();
+        assert_eq!(tailed, plain, "empty extensions must be invisible");
+
+        // Per-query extensions: query 0 gets 3 folded rows (keep=0 → every
+        // group carries an exact outlier residual, so reconstruction is
+        // exact) + 2 tail rows; query 1 gets folded rows without outliers;
+        // query 2 gets tail rows only.
+        let ext_rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..d).map(|j| ((i * 7 + j) as f32 * 0.31).cos()).collect())
+            .collect();
+        let (k0, ko0, krec0) = fold_rows(&ext_rows[..3], kq.codebooks(), 0.0);
+        let (v0, vo0, vrec0) = fold_rows(&ext_rows[..3], vq.codebooks(), 0.0);
+        let (k1, ko1, krec1) = fold_rows(&ext_rows[..2], kq.codebooks(), f32::INFINITY);
+        let (v1, vo1, vrec1) = fold_rows(&ext_rows[..2], vq.codebooks(), f32::INFINITY);
+        assert!(ko1.is_empty() && vo1.is_empty());
+        let no_codes = vec![Vec::new(); cfg.residuals];
+        let exts = vec![
+            RaggedExt {
+                rows: 3,
+                k_codes: &k0,
+                v_codes: &v0,
+                k_outliers: &ko0,
+                v_outliers: &vo0,
+                k_tail: &ext_rows[3..5],
+                v_tail: &ext_rows[3..5],
+            },
+            RaggedExt {
+                rows: 2,
+                k_codes: &k1,
+                v_codes: &v1,
+                k_outliers: &ko1,
+                v_outliers: &vo1,
+                k_tail: &[],
+                v_tail: &[],
+            },
+            RaggedExt {
+                rows: 0,
+                k_codes: &no_codes,
+                v_codes: &no_codes,
+                k_outliers: &[],
+                v_outliers: &[],
+                k_tail: &ext_rows[..4],
+                v_tail: &ext_rows[..4],
+            },
+        ];
+        let out = attention_decode_ragged_tailed(&qs, &lens, &exts, &kq, &vq, &blocking).unwrap();
+
+        // Oracle: dequantize the context prefix, splice the extension's
+        // reconstruction and tail underneath, run the dense reference.
+        let kd = kq.dequantize().unwrap();
+        let vd = vq.dequantize().unwrap();
+        let splice = |base: &Tensor2D, len: usize, rec: &Tensor2D, tail: &[Vec<f32>]| {
+            let mut rows: Vec<f32> = Vec::new();
+            for r in 0..len {
+                rows.extend_from_slice(base.row(r));
+            }
+            for r in 0..rec.shape().0 {
+                rows.extend_from_slice(rec.row(r));
+            }
+            for t in tail {
+                rows.extend_from_slice(t);
+            }
+            Tensor2D::from_vec(len + rec.shape().0 + tail.len(), d, rows).unwrap()
+        };
+        let no_rec = Tensor2D::zeros(0, d);
+        let recs = [
+            (&krec0, &vrec0, &ext_rows[3..5]),
+            (&krec1, &vrec1, &ext_rows[0..0]),
+            (&no_rec, &no_rec, &ext_rows[..4]),
+        ];
+        for (b, &(krec, vrec, tail)) in recs.iter().enumerate() {
+            let kfull = splice(&kd, lens[b], krec, tail);
+            let vfull = splice(&vd, lens[b], vrec, tail);
+            let oracle =
+                linalg::attention_decode_ref(qs.row(b), &kfull, &vfull, 1.0 / (d as f32).sqrt())
+                    .unwrap();
+            assert!(
+                metrics::allclose(out.row(b), &oracle, 1e-4, 1e-4),
+                "query {b} spliced oracle"
+            );
+        }
+
+        // Query 0's extension reconstructs exactly (outliers keep the full
+        // residual), so it must also match attending the *raw* f32 rows.
+        let kexact = splice(
+            &kd,
+            lens[0],
+            &Tensor2D::from_vec(3, d, ext_rows[..3].concat()).unwrap(),
+            &ext_rows[3..5],
+        );
+        let vexact = splice(
+            &vd,
+            lens[0],
+            &Tensor2D::from_vec(3, d, ext_rows[..3].concat()).unwrap(),
+            &ext_rows[3..5],
+        );
+        let oracle =
+            linalg::attention_decode_ref(qs.row(0), &kexact, &vexact, 1.0 / (d as f32).sqrt())
+                .unwrap();
+        assert!(metrics::allclose(out.row(0), &oracle, 1e-4, 1e-4));
+
+        // Lane independence: each query solo reproduces its batched row.
+        for (b, ext) in exts.iter().enumerate() {
+            let solo_q = Tensor2D::from_vec(1, d, qs.row(b).to_vec()).unwrap();
+            let solo = attention_decode_ragged_tailed(
+                &solo_q,
+                &[lens[b]],
+                std::slice::from_ref(ext),
+                &kq,
+                &vq,
+                &blocking,
+            )
+            .unwrap();
+            assert_eq!(out.row(b), solo.row(0), "lane {b} not batch-invariant");
+        }
+
+        // Malformed extensions are rejected.
+        let bad_stream = RaggedExt {
+            rows: 2,
+            k_codes: &k1[..0],
+            v_codes: &v1,
+            k_outliers: &[],
+            v_outliers: &[],
+            k_tail: &[],
+            v_tail: &[],
+        };
+        assert!(attention_decode_ragged_tailed(
+            &qs,
+            &lens,
+            &[bad_stream, exts[1], exts[2]],
+            &kq,
+            &vq,
+            &blocking
+        )
+        .is_err());
     }
 
     #[test]

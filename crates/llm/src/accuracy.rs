@@ -26,6 +26,15 @@ const WEIGHT_SENSITIVITY: f64 = 0.55;
 /// Sensitivity to KV reconstruction error (attention is more tolerant).
 const KV_SENSITIVITY: f64 = 0.25;
 
+/// Projects task accuracy from a **live-KV** reconstruction error alone
+/// (weights and the shared context taken as exact): the serving layer's
+/// online KV quantization measures its fold-time nMSE and threads it
+/// through the same calibrated sensitivity the offline proxy uses, so
+/// online and offline numbers sit on one scale.
+pub fn project_kv_accuracy(kv_nmse: f64) -> f64 {
+    FP16_ACCURACY * (1.0 - KV_SENSITIVITY * kv_nmse.max(0.0))
+}
+
 /// Measured reconstruction errors and the projected accuracy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AccuracyResult {

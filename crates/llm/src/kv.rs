@@ -115,6 +115,14 @@ impl KvCache {
         self.model.kv_bytes_fp16(self.seq, self.batch)
     }
 
+    /// Bytes one cached token costs per sample at the configured
+    /// precision (K and V, all layers) — the unit admission prices when
+    /// capacity is denominated in memory instead of token counts.
+    pub fn bytes_per_token(&self) -> f64 {
+        let elems = 2 * self.model.layers * self.model.heads * self.model.head_dim;
+        elems as f64 * self.storage.bits() / 8.0
+    }
+
     /// Compression ratio against FP16.
     pub fn compression(&self) -> f64 {
         self.bytes() as f64 / self.fp16_bytes() as f64

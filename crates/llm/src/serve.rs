@@ -46,6 +46,7 @@ pub mod multi;
 pub mod request;
 pub mod scheduler;
 pub mod slo;
+pub mod tenant_kv;
 
 pub use fair::FairQueue;
 pub use multi::{ContextHandle, ContextStats, MultiServer, ProfileConfig, REJECTED_TOMBSTONE_CAP};
@@ -54,10 +55,45 @@ pub use request::{
 };
 pub use scheduler::{Server, ServerStats, StepReport};
 pub use slo::SloEstimator;
+pub use tenant_kv::TenantKv;
 
 use crate::{LlmError, Result};
 use std::sync::Arc;
 use vqllm_vq::QuantizedTensor;
+
+/// How a request's **live** (appended) KV rows are stored.
+///
+/// The historical serving path is teacher-forced decode: requests attend
+/// growing prefixes of the shared pre-quantized context and own no live
+/// KV at all — that is [`KvQuantMode::Off`], the default, and it is
+/// bitwise untouched by the live-KV machinery. The live modes give each
+/// request a private cache of its decoded rows (each step's output row
+/// becomes the next step's appended K/V row), attended after the fixed
+/// context prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvQuantMode {
+    /// No live per-tenant KV (teacher-forced decode over the shared
+    /// context only). The default.
+    Off,
+    /// Live per-tenant KV kept entirely in f32 — never folded. The
+    /// accuracy/bitwise baseline the quantized mode is measured against.
+    F32Tail,
+    /// Live per-tenant KV with online VQ: the newest `tail_window` rows
+    /// stay f32; older rows are folded into packed codes group-wise
+    /// against the **context's** codebooks (amortized codebook reuse, no
+    /// per-token re-clustering), with a per-group exact-residual outlier
+    /// channel.
+    Quantized {
+        /// Rows kept unquantized at the hot end of the cache. Folding
+        /// happens once the tail exceeds this window.
+        tail_window: usize,
+        /// Outlier threshold in thousandths: after all residual rounds, a
+        /// group whose remaining error norm exceeds
+        /// `outlier_keep_milli/1000` of the group's norm keeps its exact
+        /// f32 residual (integer milli-units keep `ServeConfig: Eq`).
+        outlier_keep_milli: u32,
+    },
+}
 
 /// Admission and batching limits of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +103,16 @@ pub struct ServeConfig {
     /// Largest number of requests waiting for a slot; a `submit` beyond
     /// this is rejected with [`LlmError::QueueFull`].
     pub max_queue: usize,
+    /// Live-KV storage mode for appended rows (default
+    /// [`KvQuantMode::Off`]: teacher-forced decode, no live KV).
+    pub kv_quant: KvQuantMode,
+    /// Per-request budget on **compressed** live-KV bytes (packed codes +
+    /// outliers + f32 tail, K and V). Admission prices a request's final
+    /// footprint against it, and growth past it mid-decode is a typed
+    /// `KvCapacity` quarantine — capacity denominated in real memory, not
+    /// token counts. `None` = unbounded. Ignored when `kv_quant` is
+    /// [`KvQuantMode::Off`].
+    pub kv_budget_bytes: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -74,17 +120,32 @@ impl Default for ServeConfig {
         ServeConfig {
             max_batch: 8,
             max_queue: 64,
+            kv_quant: KvQuantMode::Off,
+            kv_budget_bytes: None,
         }
     }
 }
 
 impl ServeConfig {
-    /// Config with explicit limits.
+    /// Config with explicit limits (live KV off).
     pub fn new(max_batch: usize, max_queue: usize) -> Self {
         ServeConfig {
             max_batch,
             max_queue,
+            ..ServeConfig::default()
         }
+    }
+
+    /// Sets the live-KV storage mode.
+    pub fn with_kv_quant(mut self, mode: KvQuantMode) -> Self {
+        self.kv_quant = mode;
+        self
+    }
+
+    /// Bounds each request's compressed live-KV bytes.
+    pub fn with_kv_budget(mut self, bytes: usize) -> Self {
+        self.kv_budget_bytes = Some(bytes);
+        self
     }
 
     pub(crate) fn validate(&self) -> Result<()> {

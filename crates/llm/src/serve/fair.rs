@@ -97,7 +97,10 @@ impl<T> FairQueue<T> {
 
     /// Sets a tenant's weight (grants per scheduling round relative to a
     /// weight-1 tenant). Applies to existing backlogs too: the lane's
-    /// stride changes for future grants.
+    /// stride changes for future grants. A backlogged lane's `pass` is
+    /// re-anchored to the class's virtual time so that changing the
+    /// stride never converts queued history into an instant service
+    /// credit — the new weight shapes *future* grants only.
     pub fn set_weight(&mut self, tenant: u64, weight: u32) {
         let weight = weight.clamp(1, MAX_WEIGHT);
         match self.weights.iter_mut().find(|(t, _)| *t == tenant) {
@@ -105,8 +108,12 @@ impl<T> FairQueue<T> {
             None => self.weights.push((tenant, weight)),
         }
         for class in &mut self.classes {
+            let vt = class.virtual_time;
             for lane in class.lanes.iter_mut().filter(|l| l.tenant == tenant) {
                 lane.stride = STRIDE_ONE / weight as u64;
+                if !lane.q.is_empty() {
+                    lane.pass = lane.pass.max(vt);
+                }
             }
         }
     }
@@ -308,6 +315,67 @@ mod tests {
         let mut rest = drain_tags(&mut q, 2);
         rest.sort_unstable();
         assert_eq!(rest, vec![1, 3]);
+    }
+
+    #[test]
+    fn weight_change_grants_no_instant_credit() {
+        // Fairness bound: after ANY weight change, a backlogged lane may
+        // lead its rival by at most its weight share — never by a burst
+        // funded by pass values left behind the class virtual time.
+        let mut q = FairQueue::new(1);
+        q.set_weight(1, 8);
+        for _ in 0..64 {
+            q.push(1, 0, 1);
+            q.push(2, 0, 2);
+        }
+        // Serve a while at 8:1 so lane 1's stride history is tiny and its
+        // pass sits well behind where a weight-1 lane's would be.
+        for _ in 0..18 {
+            q.pop();
+        }
+        // Downgrade to the same weight as the rival. From here on, grants
+        // must be ~1:1 — the old 8:1 history must not carry over as an
+        // instant catch-up burst for tenant 1.
+        q.set_weight(1, 1);
+        let grants = drain_tags(&mut q, 40);
+        let mut ones = 0usize;
+        for (i, &t) in grants.iter().enumerate() {
+            if t == 1 {
+                ones += 1;
+            }
+            let ideal = (i + 1) as f64 / 2.0;
+            assert!(
+                (ones as f64 - ideal).abs() <= 2.0,
+                "post-change prefix {}: tenant-1 got {ones} grants, ideal {ideal:.1} \
+                 (weight change granted instant credit), order {grants:?}",
+                i + 1
+            );
+        }
+
+        // And the mirror direction: an upgrade mid-drain also respects the
+        // *new* ratio from the change onward, bounded per prefix.
+        let mut q = FairQueue::new(1);
+        for _ in 0..40 {
+            q.push(1, 0, 1);
+            q.push(2, 0, 2);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.set_weight(2, 3);
+        let grants = drain_tags(&mut q, 40);
+        let mut twos = 0usize;
+        for (i, &t) in grants.iter().enumerate() {
+            if t == 2 {
+                twos += 1;
+            }
+            let ideal = 3.0 * (i + 1) as f64 / 4.0;
+            assert!(
+                (twos as f64 - ideal).abs() <= 3.0,
+                "post-upgrade prefix {}: tenant-2 got {twos} grants, ideal {ideal:.1}",
+                i + 1
+            );
+        }
     }
 
     #[test]

@@ -33,7 +33,8 @@ use crate::pipeline::{Pipeline, QuantScheme};
 use crate::serve::request::{
     DecodeRequest, RejectReason, RequestHandle, RequestId, RequestOutput, RequestStatus,
 };
-use crate::serve::{ServeConfig, SharedContext};
+use crate::serve::tenant_kv::TenantKv;
+use crate::serve::{KvQuantMode, ServeConfig, SharedContext};
 use crate::{LlmError, Result};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -240,10 +241,16 @@ struct Active {
     /// Current query/hidden state (`head_dim` wide); rewritten each step
     /// from the projected decode output, so the stream is data-dependent.
     h: Vec<f32>,
-    /// Per-tenant cache descriptor: `seq` is the prefix of the shared
-    /// context this tenant attends, and growth is validated against the
-    /// model's window.
+    /// Per-tenant cache descriptor: `seq` counts this tenant's attended
+    /// tokens, and growth is validated against the model's window.
     kv: KvCache,
+    /// The fixed shared-context prefix this tenant attends. With live KV
+    /// off, the attended prefix is `kv.seq` (teacher-forced growth over
+    /// the shared context); with it on, the prefix stays pinned here and
+    /// appended tokens live in `live`.
+    prefix_len: usize,
+    /// The private live KV cache (`None` when [`KvQuantMode::Off`]).
+    live: Option<TenantKv>,
     remaining: usize,
     steps: Vec<Vec<f32>>,
     kv_quant_us: f64,
@@ -305,6 +312,17 @@ pub struct ServerStats {
     /// counted separately from `rejected` (admission-time) and
     /// `cancelled` (caller-initiated).
     pub quarantined: u64,
+    /// Live-KV tokens folded into packed codes across retired requests.
+    pub kv_folded_tokens: u64,
+    /// Column groups that kept their exact residual in the live-KV
+    /// outlier channel across retired requests (K and V combined).
+    pub kv_outlier_groups: u64,
+    /// Accumulated squared fold error across retired requests' live KV
+    /// (numerator of [`ServerStats::kv_nmse`]).
+    pub kv_err_sq: f64,
+    /// Accumulated squared norm of everything those requests folded
+    /// (denominator of [`ServerStats::kv_nmse`]).
+    pub kv_data_sq: f64,
 }
 
 impl ServerStats {
@@ -314,6 +332,17 @@ impl ServerStats {
             0.0
         } else {
             self.decoded_tokens as f64 / self.steps as f64
+        }
+    }
+
+    /// Engine-wide normalized live-KV fold error across retired requests
+    /// (0.0 with live KV off or nothing folded) — feed to
+    /// [`accuracy::project_kv_accuracy`](crate::accuracy::project_kv_accuracy).
+    pub fn kv_nmse(&self) -> f64 {
+        if self.kv_data_sq <= 0.0 {
+            0.0
+        } else {
+            self.kv_err_sq / self.kv_data_sq
         }
     }
 }
@@ -581,6 +610,7 @@ impl MultiServer {
         };
         self.stats.cancelled += 1;
         self.contexts[r.ctx.id as usize].stats.cancelled += 1;
+        self.absorb_live(&r);
         self.tombstone(id, RejectReason::Cancelled);
         true
     }
@@ -691,14 +721,27 @@ impl MultiServer {
         }
         // Checked: an absurd gen_tokens must reject, not wrap past the
         // admission bounds (gen_tokens >= 1 was verified above).
-        let final_len = match req.context_len.checked_add(req.gen_tokens - 1) {
-            Some(len) if len <= state.ctx.seq() => len,
-            _ => {
+        let Some(final_len) = req.context_len.checked_add(req.gen_tokens - 1) else {
+            return Err(LlmError::InvalidRequest {
+                what: "request would decode past the shared context",
+            });
+        };
+        let live_kv = self.config.kv_quant != KvQuantMode::Off;
+        if live_kv {
+            // Live mode: appended tokens go to the tenant's private
+            // cache, so only the *fixed prefix* must fit the shared
+            // context.
+            if req.context_len > state.ctx.seq() {
                 return Err(LlmError::InvalidRequest {
-                    what: "request would decode past the shared context",
+                    what: "context_len exceeds the shared context",
                 });
             }
-        };
+        } else if final_len > state.ctx.seq() {
+            // Teacher-forced decode walks the shared context itself.
+            return Err(LlmError::InvalidRequest {
+                what: "request would decode past the shared context",
+            });
+        }
         // Per-tenant cache descriptor; `try_new` + the final-length check
         // make every later `append_token` infallible by construction.
         let model = self.pipeline.model();
@@ -715,6 +758,29 @@ impl MultiServer {
             1,
             self.pipeline.scheme().kv_storage(),
         )?;
+        // Live-KV admission: build the tenant's private cache and price
+        // its projected *compressed* footprint against the byte budget —
+        // capacity denominated in real memory, not token counts.
+        let live = if live_kv {
+            let live = TenantKv::new(&state.ctx, self.config.kv_quant).map_err(|_| {
+                LlmError::InvalidRequest {
+                    what: "live KV is unsupported for this context's VQ config",
+                }
+            })?;
+            if let Some(budget) = self.config.kv_budget_bytes {
+                let projected = live.projected_bytes(req.gen_tokens - 1);
+                if projected > budget {
+                    return Err(LlmError::KvCapacity {
+                        what: "projected compressed live-KV bytes exceed the per-request budget",
+                        value: projected,
+                        limit: budget,
+                    });
+                }
+            }
+            Some(live)
+        } else {
+            None
+        };
         if self.queue.len() >= self.config.max_queue {
             return Err(LlmError::QueueFull {
                 max_queue: self.config.max_queue,
@@ -729,6 +795,8 @@ impl MultiServer {
             tenant: req.tenant,
             h: req.query,
             kv,
+            prefix_len: req.context_len,
+            live,
             remaining: req.gen_tokens,
             steps: Vec::with_capacity(req.gen_tokens),
             kv_quant_us: 0.0,
@@ -830,27 +898,62 @@ impl MultiServer {
                     let running = &self.running;
                     Tensor2D::from_fn(idxs.len(), head_dim, |i, d| running[idxs[i]].h[d])
                 };
-                let lens: Vec<usize> = idxs.iter().map(|&i| self.running[i].kv.seq).collect();
-                let (attn, _) = backend.run_attention_ragged(
-                    &gpu,
-                    &attn_plan,
-                    &qs,
-                    &lens,
-                    ctx.kq(),
-                    ctx.vq(),
-                )?;
-                let (ys, _) = backend.run_gemm(&gpu, &linear_plan, &attn, ctx.wq())?;
+                // Teacher-forced decode attends a growing prefix of the
+                // shared context (`kv.seq`); live-KV decode pins the
+                // shared prefix and splices each tenant's private
+                // extension (folded codes + outliers + f32 tail) in.
+                let live_kv = self.config.kv_quant != KvQuantMode::Off;
+                let lens: Vec<usize> = idxs
+                    .iter()
+                    .map(|&i| {
+                        let r = &self.running[i];
+                        if live_kv {
+                            r.prefix_len
+                        } else {
+                            r.kv.seq
+                        }
+                    })
+                    .collect();
+                let attn = if live_kv {
+                    let exts: Vec<_> = idxs
+                        .iter()
+                        .map(|&i| {
+                            self.running[i]
+                                .live
+                                .as_ref()
+                                .map(TenantKv::ext)
+                                .unwrap_or_default()
+                        })
+                        .collect();
+                    backend
+                        .run_attention_ragged_tailed(
+                            &gpu,
+                            &attn_plan,
+                            &qs,
+                            &lens,
+                            &exts,
+                            ctx.kq(),
+                            ctx.vq(),
+                        )?
+                        .0
+                } else {
+                    backend
+                        .run_attention_ragged(&gpu, &attn_plan, &qs, &lens, ctx.kq(), ctx.vq())?
+                        .0
+                };
+                let ys = backend.run_gemm(&gpu, &linear_plan, &attn, ctx.wq())?.0;
+                let budget = self.config.kv_budget_bytes;
 
-                // Per-request bookkeeping: record the step, advance the
-                // hidden state, grow the tenant's cache (validated at
-                // admission, so a failure here is a fault — quarantine
-                // that one request, keep its batch-mates running).
+                // Per-request bookkeeping: grow the tenant's cache
+                // *first*, then record the step and advance the hidden
+                // state. A failed append (capacity fault, byte-budget
+                // overrun) quarantines that one request **before** its
+                // token is recorded — the typed reject fires one token
+                // early instead of after a partial write — and keeps its
+                // batch-mates running.
                 for (j, &i) in idxs.iter().enumerate() {
                     let r = &mut self.running[i];
-                    r.steps.push(ys.row(j).to_vec());
-                    r.h.copy_from_slice(ys.row(j));
-                    r.remaining -= 1;
-                    if r.remaining > 0 {
+                    if r.remaining > 1 {
                         let forced =
                             failpoint::fire("llm.step.append").map(|_| LlmError::KvCapacity {
                                 what: "forced kv exhaustion (failpoint llm.step.append)",
@@ -861,14 +964,39 @@ impl MultiServer {
                             Some(e) => Err(e),
                             None => r.kv.append_token(),
                         };
+                        let appended = appended.and_then(|us| {
+                            if let Some(live) = r.live.as_mut() {
+                                // The decoded output row is this step's
+                                // appended K and V row.
+                                live.append(ys.row(j), ys.row(j))?;
+                                if let Some(limit) = budget {
+                                    let bytes = live.compressed_bytes();
+                                    if bytes > limit {
+                                        return Err(LlmError::KvCapacity {
+                                            what: "compressed live-KV bytes exceeded \
+                                                   the per-request budget",
+                                            value: bytes,
+                                            limit,
+                                        });
+                                    }
+                                }
+                            }
+                            Ok(us)
+                        });
                         match appended {
                             Ok(us) => {
                                 r.kv_quant_us += us;
                                 kv_quant_us += us;
                             }
-                            Err(e) => quarantine.push((r.id, Self::quarantine_reason(&e))),
+                            Err(e) => {
+                                quarantine.push((r.id, Self::quarantine_reason(&e)));
+                                continue;
+                            }
                         }
                     }
+                    r.steps.push(ys.row(j).to_vec());
+                    r.h.copy_from_slice(ys.row(j));
+                    r.remaining -= 1;
                 }
 
                 // Profile feedback: the shared K-decode touched rows
@@ -917,6 +1045,7 @@ impl MultiServer {
             let r = self.running.remove(pos);
             self.stats.quarantined += 1;
             self.contexts[r.ctx.id as usize].stats.quarantined += 1;
+            self.absorb_live(&r);
             self.tombstone(id, reason);
             quarantined.push(id);
         }
@@ -933,6 +1062,12 @@ impl MultiServer {
                 finished.push(r.id);
                 self.stats.completed += 1;
                 self.contexts[r.ctx.id as usize].stats.completed += 1;
+                self.absorb_live(&r);
+                let (kv_nmse, kv_bytes) = r
+                    .live
+                    .as_ref()
+                    .map(|l| (l.kv_nmse(), l.compressed_bytes()))
+                    .unwrap_or((0.0, 0));
                 self.finished.insert(
                     r.id,
                     RequestOutput {
@@ -942,6 +1077,8 @@ impl MultiServer {
                         kv_quant_us: r.kv_quant_us,
                         submitted_step: r.submitted_step,
                         finished_step: step,
+                        kv_nmse,
+                        kv_bytes,
                     },
                 );
             } else {
@@ -967,6 +1104,19 @@ impl MultiServer {
             kv_quant_us,
             quarantined,
         })
+    }
+
+    /// Folds a retiring request's live-KV accounting (fold error,
+    /// compression counters) into the engine-wide stats. A no-op for
+    /// teacher-forced requests.
+    fn absorb_live(&mut self, r: &Active) {
+        if let Some(live) = &r.live {
+            let (err, data) = live.fold_error();
+            self.stats.kv_err_sq += err;
+            self.stats.kv_data_sq += data;
+            self.stats.kv_folded_tokens += live.folded_tokens() as u64;
+            self.stats.kv_outlier_groups += live.outlier_groups() as u64;
+        }
     }
 
     /// The typed rejection a mid-decode fault quarantines a request with:

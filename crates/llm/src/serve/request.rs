@@ -195,12 +195,18 @@ impl RejectReason {
     /// The computed backoff this rejection carries, if retrying later
     /// could help (`None` for rejections where a retry cannot succeed:
     /// invalid requests, cancellations, unknown contexts).
+    ///
+    /// `KvCapacity` carries a minimum 1 ms hint: after a quarantine or a
+    /// shed frees cache memory, the same request can succeed, so the
+    /// wire-visible `retry_after_ms` must never be the "do not retry"
+    /// zero.
     pub fn retry_hint_ms(&self) -> Option<u64> {
         match *self {
             RejectReason::Deadline { retry_after_ms }
             | RejectReason::RateLimited { retry_after_ms }
             | RejectReason::Draining { retry_after_ms }
-            | RejectReason::DriverRestarted { retry_after_ms } => Some(retry_after_ms),
+            | RejectReason::DriverRestarted { retry_after_ms } => Some(retry_after_ms.max(1)),
+            RejectReason::KvCapacity { .. } => Some(1),
             _ => None,
         }
     }
@@ -253,4 +259,11 @@ pub struct RequestOutput {
     pub submitted_step: u64,
     /// Scheduler step at which the last token was decoded.
     pub finished_step: u64,
+    /// Fold-time reconstruction nMSE of this request's live KV cache
+    /// (0.0 when live KV is off or nothing was folded) — feed to
+    /// [`accuracy::project_kv_accuracy`](crate::accuracy::project_kv_accuracy).
+    pub kv_nmse: f64,
+    /// Final compressed footprint of the live KV cache in bytes (packed
+    /// codes + outliers + f32 tail; 0 when live KV is off).
+    pub kv_bytes: usize,
 }

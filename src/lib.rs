@@ -83,8 +83,8 @@ pub use vqllm_core::{CacheStats, ComputeOp, KernelPlan, OptLevel, PlanCache};
 pub use vqllm_gpu::GpuSpec;
 pub use vqllm_kernels::KernelOutput;
 pub use vqllm_llm::{
-    ContextHandle, ContextStats, DecodeRequest, E2eReport, LlamaConfig, Pipeline, ProfileConfig,
-    QuantScheme, RejectReason, RequestHandle, RequestOutput, RequestStatus, ServeConfig, Server,
-    ServerStats, SharedContext, StepReport,
+    ContextHandle, ContextStats, DecodeRequest, E2eReport, KvQuantMode, LlamaConfig, Pipeline,
+    ProfileConfig, QuantScheme, RejectReason, RequestHandle, RequestOutput, RequestStatus,
+    ServeConfig, Server, ServerStats, SharedContext, StepReport, TenantKv,
 };
 pub use vqllm_vq::{VqAlgorithm, VqConfig};

@@ -118,9 +118,21 @@ impl RateLimitConfig {
     }
 }
 
+/// Hard cap on tracked tenant ledgers. One-shot tenants (charge once,
+/// never return) would otherwise leave a `(tenant, charges)` entry behind
+/// forever — the per-tenant prune only runs on that tenant's *next*
+/// submit. Past the cap, the stalest ledger is evicted.
+const MAX_LEDGERS: usize = 4096;
+
 /// The sliding-window charge ledger backing [`RateLimitConfig`]. Pure
 /// data structure: the caller supplies a monotonic `now_ms`, so the
 /// policy is deterministic and testable without clocks.
+///
+/// Memory is bounded two ways: every charge globally **sweeps** ledgers
+/// whose newest entry has slid fully out of the window (so a burst of
+/// one-shot tenants cannot grow the table without bound), and a hard
+/// [`MAX_LEDGERS`] cap evicts the stalest ledger if distinct *active*
+/// tenants somehow exceed it.
 #[derive(Debug, Default)]
 pub struct RateLimiter {
     /// tenant -> charges still inside the window, oldest first.
@@ -131,6 +143,39 @@ impl RateLimiter {
     /// An empty ledger.
     pub fn new() -> RateLimiter {
         RateLimiter::default()
+    }
+
+    /// Tenants with a tracked ledger (bounded by [`MAX_LEDGERS`]).
+    pub fn tracked_tenants(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// Drops every ledger whose charges have all slid out of the window
+    /// ending at `now_ms`, then enforces [`MAX_LEDGERS`] by evicting the
+    /// ledger with the oldest newest-charge. Evicting an *active* ledger
+    /// forgets spent budget (fail-open), which is the right failure mode
+    /// for an overload guard.
+    fn sweep(&mut self, window_ms: u64, now_ms: u64) {
+        self.ledgers.retain(|(_, l)| match l.back() {
+            Some(&(t, _)) => now_ms.saturating_sub(t) < window_ms,
+            None => false,
+        });
+        while self.ledgers.len() > MAX_LEDGERS {
+            self.evict_stalest();
+        }
+    }
+
+    /// Evicts the ledger whose newest charge is oldest.
+    fn evict_stalest(&mut self) {
+        if let Some(i) = self
+            .ledgers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, l))| l.back().map_or(0, |&(t, _)| t))
+            .map(|(i, _)| i)
+        {
+            self.ledgers.swap_remove(i);
+        }
     }
 
     /// Charges `tokens` to `tenant` at `now_ms`, or reports how many
@@ -148,6 +193,14 @@ impl RateLimiter {
         let budget = cfg.budget(tenant);
         if tokens > budget {
             return Err(cfg.window_ms.max(1));
+        }
+        // Global sweep: one-shot tenants are pruned by *any* tenant's
+        // charge, not only their own next submit.
+        self.sweep(cfg.window_ms, now_ms);
+        // Hold the cap across the insert a previously-unseen tenant is
+        // about to make.
+        if self.ledgers.len() >= MAX_LEDGERS && !self.ledgers.iter().any(|(t, _)| *t == tenant) {
+            self.evict_stalest();
         }
         let ledger = match self.ledgers.iter_mut().find(|(t, _)| *t == tenant) {
             Some((_, l)) => l,
@@ -489,6 +542,47 @@ mod tests {
         rl.try_charge(&cfg, 8, 10, 100).expect("default budget");
         // A request larger than the whole budget reports a full window.
         assert_eq!(rl.try_charge(&cfg, 7, 5, 200), Err(100));
+    }
+
+    #[test]
+    fn one_shot_tenant_burst_does_not_grow_the_ledger_unboundedly() {
+        let cfg = RateLimitConfig {
+            window_ms: 100,
+            default_budget: 10,
+            budgets: Vec::new(),
+        };
+        let mut rl = RateLimiter::new();
+        // 50 000 one-shot tenants, each charging once and never
+        // returning, spread over time so every earlier charge has slid
+        // fully out of the window by the time a later tenant arrives.
+        for i in 0..50_000u64 {
+            let now = i * 200; // 2 windows apart
+            rl.try_charge(&cfg, i, 1, now).expect("within budget");
+            assert!(
+                rl.tracked_tenants() <= 2,
+                "expired one-shot ledgers must be swept, got {} at tenant {i}",
+                rl.tracked_tenants()
+            );
+        }
+        // Even same-instant bursts (nothing expired yet) stay capped.
+        let mut rl = RateLimiter::new();
+        for i in 0..(super::MAX_LEDGERS as u64 + 500) {
+            rl.try_charge(&cfg, 1_000_000 + i, 1, 10_000_000)
+                .expect("ok");
+        }
+        assert!(
+            rl.tracked_tenants() <= super::MAX_LEDGERS,
+            "hard cap must bound same-window tenant bursts, got {}",
+            rl.tracked_tenants()
+        );
+        // An active tenant's in-window charges survive the sweep.
+        let mut rl = RateLimiter::new();
+        rl.try_charge(&cfg, 7, 9, 0).expect("admit");
+        rl.try_charge(&cfg, 8, 1, 50)
+            .expect("sweeps tenant nothing");
+        assert_eq!(rl.spent(7, 100, 50), 9, "in-window charges survive");
+        rl.try_charge(&cfg, 7, 2, 60)
+            .expect_err("budget still counted");
     }
 
     #[test]

@@ -412,6 +412,8 @@ mod tests {
             kv_quant_us: 0.0,
             submitted_step: 0,
             finished_step: 1,
+            kv_nmse: 0.0,
+            kv_bytes: 0,
         };
         let f = status_frame(
             5,

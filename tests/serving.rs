@@ -17,11 +17,12 @@
 
 use proptest::prelude::*;
 use std::sync::OnceLock;
+use vq_llm::llm::accuracy::{project_kv_accuracy, FP16_ACCURACY};
 use vq_llm::llm::LlmError;
 use vq_llm::tensor::{synth, Tensor2D};
 use vq_llm::{
-    ContextHandle, DecodeRequest, Engine, ProfileConfig, RejectReason, RequestStatus, ServeConfig,
-    Server, Session, SharedContext, VqAlgorithm,
+    ContextHandle, DecodeRequest, Engine, KvQuantMode, ProfileConfig, RejectReason, RequestStatus,
+    ServeConfig, Server, Session, SharedContext, VqAlgorithm,
 };
 
 const SEQ: usize = 320;
@@ -690,6 +691,189 @@ proptest! {
         }
         prop_assert_eq!(finished, stats.completed);
     }
+}
+
+// --- online KV-cache vector quantization ---
+
+/// An engine over harness context A with live-KV mode `mode` and an
+/// optional compressed-byte budget (fresh plan cache per call, shared
+/// backend — same pattern as [`two_ctx_engine`]).
+fn live_engine(mode: KvQuantMode, budget: Option<usize>) -> (Engine, ContextHandle) {
+    let (session, ctx_a, _) = harness();
+    let mut cfg = ServeConfig::new(4, 16).with_kv_quant(mode);
+    if let Some(b) = budget {
+        cfg = cfg.with_kv_budget(b);
+    }
+    let mut engine = Engine::builder()
+        .backend(std::sync::Arc::clone(session.backend()))
+        .weight_algo(VqAlgorithm::Gptvq2)
+        .kv_algo(VqAlgorithm::Cq4)
+        .serve_config(cfg)
+        .profile_config(ProfileConfig::disabled())
+        .build()
+        .expect("valid engine");
+    let h = engine.register_context(ctx_a.clone()).expect("register");
+    (engine, h)
+}
+
+/// Drains one request through a live-KV engine and returns its output.
+fn live_drain(mode: KvQuantMode, req: &DecodeRequest) -> vq_llm::RequestOutput {
+    let (mut engine, h) = live_engine(mode, None);
+    let t = engine.submit(h, req.clone());
+    engine.run_until_drained().expect("drained");
+    engine.take_output(&t).expect("finished")
+}
+
+proptest! {
+    /// The online-quantization accuracy pin. For random requests:
+    ///
+    /// * a `Quantized` cache whose tail window covers the whole
+    ///   generation never folds, so it is **bitwise** identical to the
+    ///   `F32Tail` baseline (the fold path is the only divergence);
+    /// * a small tail window folds appended rows into packed codes, and
+    ///   the decode stays within a bounded relative error of the f32
+    ///   baseline, with the fold-time nMSE threading through
+    ///   `accuracy::project_kv_accuracy` onto the offline proxy's scale;
+    /// * exact outliers (`outlier_keep_milli = 0`) leave zero fold error.
+    #[test]
+    fn quantized_live_kv_tracks_the_f32_tail_baseline(
+        seed in 0u64..1_000,
+        context_len in 16usize..SEQ,
+        gen in 2usize..8,
+        tail_window in 0usize..3,
+        keep_milli in prop::sample::select(vec![0u32, 250]),
+    ) {
+        let req = DecodeRequest::new(seed, query(seed), context_len, gen);
+        let base = live_drain(KvQuantMode::F32Tail, &req);
+        prop_assert_eq!(base.steps.len(), gen);
+        prop_assert_eq!(base.kv_nmse, 0.0, "f32 tail never folds");
+
+        // Covering tail: nothing folds, bitwise parity with the baseline.
+        let covered = live_drain(
+            KvQuantMode::Quantized { tail_window: gen, outlier_keep_milli: keep_milli },
+            &req,
+        );
+        prop_assert_eq!(&covered.steps, &base.steps, "covering tail must be bitwise");
+        prop_assert_eq!(covered.kv_nmse, 0.0);
+
+        // Folding tail: bounded divergence, accuracy threading.
+        let folded = live_drain(
+            KvQuantMode::Quantized { tail_window, outlier_keep_milli: keep_milli },
+            &req,
+        );
+        prop_assert_eq!(folded.steps.len(), gen);
+        for (step, (sq, sf)) in folded.steps.iter().zip(&base.steps).enumerate() {
+            let err = sq.iter().zip(sf).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt();
+            let norm = sf.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(
+                err <= 0.5 * norm + 1e-3,
+                "step {step}: quantized decode drifted {err} vs norm {norm}"
+            );
+        }
+        prop_assert!(folded.kv_nmse >= 0.0 && folded.kv_nmse < 2.0);
+        let acc = project_kv_accuracy(folded.kv_nmse);
+        prop_assert!((0.5 * FP16_ACCURACY..=FP16_ACCURACY + 1e-12).contains(&acc));
+        if keep_milli == 0 {
+            // Every imperfect group keeps its exact residual.
+            prop_assert_eq!(folded.kv_nmse, 0.0, "exact outliers must leave zero error");
+        }
+        if gen - 1 > tail_window {
+            prop_assert!(folded.kv_bytes > 0, "folded requests report compressed bytes");
+        }
+    }
+}
+
+/// The compressed-byte KV budget: admission prices the request's
+/// projected footprint (typed `KvCapacity`, wire-retriable), and a cache
+/// whose *measured* bytes outgrow the budget mid-decode — here because
+/// exact outliers blow past the no-outlier projection — is quarantined
+/// with the same typed reason, one token early, before a partial write.
+#[test]
+fn kv_byte_budget_rejects_at_admission_and_quarantines_midflight() {
+    let (_, ctx_a, _) = harness();
+    let mode = KvQuantMode::Quantized {
+        tail_window: 2,
+        outlier_keep_milli: 0,
+    };
+    let gen = 8usize;
+    let projected = vq_llm::TenantKv::new(ctx_a, mode)
+        .expect("live cache")
+        .projected_bytes(gen - 1);
+    assert!(projected > 0);
+
+    // Budget below the projection: refused at admission, typed, with a
+    // non-zero wire retry hint.
+    let (mut tight, ht) = live_engine(mode, Some(projected - 1));
+    let err = tight
+        .try_submit(ht, DecodeRequest::new(1, query(1), 50, gen))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            vq_llm::VqLlmError::Pipeline(LlmError::KvCapacity { limit, .. })
+                if limit == projected - 1
+        ),
+        "{err}"
+    );
+    assert_eq!(tight.stats().rejected_kv_capacity, 1);
+    let polled = tight.submit(ht, DecodeRequest::new(1, query(1), 50, gen));
+    match tight.poll(&polled) {
+        RequestStatus::Rejected { reason } => {
+            assert!(matches!(reason, RejectReason::KvCapacity { .. }));
+            assert_eq!(reason.retry_hint_ms(), Some(1), "retriable, never 0");
+        }
+        other => panic!("expected typed rejection, got {other:?}"),
+    }
+
+    // Budget above the projection but below the outlier-laden measured
+    // footprint: admitted, then quarantined mid-decode.
+    let (mut engine, h) = live_engine(mode, Some(projected + 64));
+    let t = engine.submit(h, DecodeRequest::new(2, query(2), 50, gen));
+    engine
+        .run_until_drained()
+        .expect("drain survives quarantine");
+    match engine.poll(&t) {
+        RequestStatus::Rejected { reason } => {
+            assert!(
+                matches!(reason, RejectReason::KvCapacity { .. }),
+                "mid-flight budget overrun must be typed kv_capacity: {reason:?}"
+            );
+        }
+        other => panic!("expected mid-flight quarantine, got {other:?}"),
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.quarantined, 1);
+    assert!(
+        stats.kv_outlier_groups > 0,
+        "the quarantined cache's accounting was absorbed"
+    );
+    assert_eq!(stats.kv_nmse(), 0.0, "exact outliers leave zero fold error");
+}
+
+/// Folding without an outlier channel accumulates measurable — but
+/// bounded — fold error, and the engine aggregates it across retired
+/// requests exactly as the per-request outputs report it.
+#[test]
+fn fold_error_aggregates_into_engine_stats() {
+    let mode = KvQuantMode::Quantized {
+        tail_window: 1,
+        outlier_keep_milli: 1_000_000,
+    };
+    let (mut engine, h) = live_engine(mode, None);
+    let t = engine.submit(h, DecodeRequest::new(1, query(1), 40, 6));
+    engine.run_until_drained().expect("drained");
+    let out = engine.take_output(&t).expect("finished");
+    assert!(out.kv_nmse > 0.0, "folding without outliers leaves error");
+    assert!(out.kv_bytes > 0);
+    let stats = engine.stats();
+    assert_eq!(stats.kv_folded_tokens, 4, "gen-1 appends minus the tail");
+    assert_eq!(stats.kv_outlier_groups, 0);
+    assert!(
+        (stats.kv_nmse() - out.kv_nmse).abs() < 1e-12,
+        "single request: engine aggregate equals the request's own nMSE"
+    );
+    let acc = project_kv_accuracy(stats.kv_nmse());
+    assert!(acc < FP16_ACCURACY && acc > 0.0);
 }
 
 /// A profile-shift replan changes which plan is cached — never the bytes
