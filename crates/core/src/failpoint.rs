@@ -44,6 +44,56 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
+/// Central registry of every failpoint site compiled into the workspace,
+/// as `(site, where the fault is injected)` pairs.
+///
+/// This is the source of truth `vqllm-lint` checks call sites and the
+/// README table against (`--fix-docs` regenerates the latter): firing an
+/// unregistered site, or registering a site nothing fires, is a lint
+/// error. Keep entries in namespace order.
+pub const SITES: &[(&str, &str)] = &[
+    (
+        "llm.step",
+        "start of every `Engine::step`, before any group is formed",
+    ),
+    (
+        "llm.step.group",
+        "inside one batch group's decode, under the per-group `catch_unwind`",
+    ),
+    (
+        "llm.step.append",
+        "the KV append of one decoded row; maps onto a typed `KvCapacity` rejection",
+    ),
+    (
+        "net.driver.step",
+        "the driver thread's step loop, outside the engine; escalates to the supervisor",
+    ),
+    (
+        "pool.scope",
+        "entry of every `WorkerPool` scope, before jobs are queued",
+    ),
+    (
+        "host.gemv_lut",
+        "fused LUT GeMV: kernel entry and each worker's row chunk",
+    ),
+    (
+        "host.gemv_lut_batch",
+        "batched serving-shape LUT GeMV row chunks",
+    ),
+    (
+        "host.gemv_xw",
+        "dense x*W aggregation GeMV row chunks (the non-LUT side of the step)",
+    ),
+    (
+        "host.gemm_fused",
+        "panel-blocked fused GeMM: kernel entry and scope body",
+    ),
+    (
+        "host.attention_ragged",
+        "ragged shared-K attention entry (plain and tailed variants)",
+    ),
+];
+
 /// What a fired failpoint does.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
@@ -99,12 +149,20 @@ fn registry() -> &'static Registry {
     })
 }
 
+/// The sites map is only mutated in whole-entry inserts/removes and the
+/// panic action fires after the guard is released, so a poisoned mutex
+/// (some unrelated panic mid-critical-section) cannot hold torn state:
+/// recover instead of cascading the panic into every later `fire`.
+fn lock_sites(reg: &Registry) -> std::sync::MutexGuard<'_, HashMap<String, Site>> {
+    reg.sites.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Arms `site` with `action`, skipping the first `skip` hits and firing
 /// for `times` hits after that (`None` = every hit). Replaces any prior
 /// configuration for the site, resetting its hit counter.
 pub fn configure(site: &str, action: Action, skip: u64, times: Option<u64>) {
     let reg = registry();
-    let mut sites = reg.sites.lock().unwrap();
+    let mut sites = lock_sites(reg);
     sites.insert(
         site.to_string(),
         Site {
@@ -120,7 +178,7 @@ pub fn configure(site: &str, action: Action, skip: u64, times: Option<u64>) {
 /// Removes every configured failpoint and disarms the fast path.
 pub fn clear() {
     let reg = registry();
-    let mut sites = reg.sites.lock().unwrap();
+    let mut sites = lock_sites(reg);
     sites.clear();
     reg.armed.store(false, Ordering::Release);
 }
@@ -147,7 +205,7 @@ pub fn configure_from_spec(spec: &str) -> Result<usize, String> {
             Some(action) => configure(site.trim(), action, skip, times),
             None => {
                 let reg = registry();
-                let mut sites = reg.sites.lock().unwrap();
+                let mut sites = lock_sites(reg);
                 sites.remove(site.trim());
                 if sites.is_empty() {
                     reg.armed.store(false, Ordering::Release);
@@ -232,7 +290,7 @@ pub fn fire(site: &str) -> Option<String> {
         return None;
     }
     let action = {
-        let mut sites = reg.sites.lock().unwrap();
+        let mut sites = lock_sites(reg);
         let s = sites.get_mut(site)?;
         if !s.check() {
             return None;
@@ -264,6 +322,17 @@ mod tests {
         static GATE: OnceLock<Mutex<()>> = OnceLock::new();
         let gate = GATE.get_or_init(|| Mutex::new(()));
         gate.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn site_registry_is_well_formed() {
+        for (i, (site, desc)) in SITES.iter().enumerate() {
+            assert!(!desc.trim().is_empty(), "site {site} has no description");
+            assert!(
+                SITES[..i].iter().all(|(s, _)| s != site),
+                "duplicate site {site}"
+            );
+        }
     }
 
     #[test]

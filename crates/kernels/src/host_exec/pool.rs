@@ -46,6 +46,17 @@ use std::thread::JoinHandle;
 /// A type-erased unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Locks a mutex, recovering from poisoning instead of panicking.
+///
+/// Sound here because every critical section in this module is short
+/// straight-line code that cannot panic; jobs that *can* panic run
+/// outside these guards (under `catch_unwind`), so a poisoned lock
+/// never exposes torn state — and the pool must keep serving other
+/// scopes after one job panics.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Shared FIFO feeding the workers (and draining callers).
 struct JobQueue {
     /// Pending jobs plus the shutdown flag, under one lock.
@@ -63,7 +74,7 @@ impl JobQueue {
     }
 
     fn push(&self, job: Job) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_recover(&self.state);
         state.0.push_back(job);
         drop(state);
         self.available.notify_one();
@@ -71,7 +82,7 @@ impl JobQueue {
 
     /// Blocking pop for workers; `None` means shutdown and drained.
     fn pop_wait(&self) -> Option<Job> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
             if let Some(job) = state.0.pop_front() {
                 return Some(job);
@@ -79,17 +90,20 @@ impl JobQueue {
             if state.1 {
                 return None;
             }
-            state = self.available.wait(state).expect("job queue poisoned");
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Non-blocking pop for caller-drain loops.
     fn try_pop(&self) -> Option<Job> {
-        self.state.lock().expect("job queue poisoned").0.pop_front()
+        lock_recover(&self.state).0.pop_front()
     }
 
     fn shutdown(&self) {
-        self.state.lock().expect("job queue poisoned").1 = true;
+        lock_recover(&self.state).1 = true;
         self.available.notify_all();
     }
 }
@@ -187,12 +201,11 @@ impl WorkerPool {
         scope.join();
         match result {
             Ok(result) => {
-                if scope.state.panicked.load(Ordering::SeqCst) {
-                    let message = scope
-                        .state
-                        .panic_msg
-                        .lock()
-                        .expect("panic message")
+                // Acquire pairs with the `Release` store in
+                // `record_panic`: observing the flag makes the message
+                // written before it visible.
+                if scope.state.panicked.load(Ordering::Acquire) {
+                    let message = lock_recover(&scope.state.panic_msg)
                         .take()
                         .unwrap_or_else(|| "worker pool job panicked".to_string());
                     Err(KernelError::Panicked { site, message })
@@ -222,7 +235,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.queue.shutdown();
-        for handle in self.workers.lock().expect("workers").drain(..) {
+        for handle in lock_recover(&self.workers).drain(..) {
             let _ = handle.join();
         }
     }
@@ -249,10 +262,12 @@ impl ScopeState {
         } else {
             "non-string panic payload".to_string()
         };
-        let mut slot = self.panic_msg.lock().expect("panic message");
+        let mut slot = lock_recover(&self.panic_msg);
         slot.get_or_insert(message);
         drop(slot);
-        self.panicked.store(true, Ordering::SeqCst);
+        // Release pairs with the `Acquire` load in `try_scope`: the
+        // message above is published before the flag flips.
+        self.panicked.store(true, Ordering::Release);
     }
 }
 
@@ -268,9 +283,9 @@ impl Drop for CompletionGuard {
         // (with the payload message); this only fires if unwinding somehow
         // escapes that catch.
         if std::thread::panicking() {
-            self.state.panicked.store(true, Ordering::SeqCst);
+            self.state.panicked.store(true, Ordering::Release);
         }
-        let mut pending = self.state.pending.lock().expect("scope latch");
+        let mut pending = lock_recover(&self.state.pending);
         *pending -= 1;
         if *pending == 0 {
             self.state.done.notify_all();
@@ -290,7 +305,7 @@ impl<'env> Scope<'_, 'env> {
     /// caller's stack); the enclosing [`WorkerPool::scope`] blocks until it
     /// has run.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
-        *self.state.pending.lock().expect("scope latch") += 1;
+        *lock_recover(&self.state.pending) += 1;
         let guard = CompletionGuard {
             state: Arc::clone(&self.state),
         };
@@ -322,9 +337,13 @@ impl<'env> Scope<'_, 'env> {
         while let Some(job) = self.pool.queue.try_pop() {
             let _ = panic::catch_unwind(AssertUnwindSafe(job));
         }
-        let mut pending = self.state.pending.lock().expect("scope latch");
+        let mut pending = lock_recover(&self.state.pending);
         while *pending > 0 {
-            pending = self.state.done.wait(pending).expect("scope latch");
+            pending = self
+                .state
+                .done
+                .wait(pending)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }

@@ -1,0 +1,467 @@
+//! The three line-level rule families: panic-freedom, atomic orderings,
+//! and lock discipline. Registry consistency lives in `registry.rs`.
+
+use crate::source::SourceFile;
+use crate::{is_hot, Finding, LockClass, LOCK_HIERARCHY, SELF_PATH};
+
+// ---------------------------------------------------------------------------
+// Rule 1: panic-freedom in hot-path modules.
+// ---------------------------------------------------------------------------
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+pub fn panic_free(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| is_hot(&f.path)) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let lno = idx + 1;
+            for pat in PANIC_PATTERNS {
+                if line.code.contains(pat) {
+                    let what = pat.trim_start_matches('.').trim_end_matches('(');
+                    out.push(
+                        Finding::new(
+                            &file.path,
+                            lno,
+                            "panic",
+                            format!("`{what}` in hot-path module (panic = outage); return a typed error or waive with a rationale"),
+                        )
+                        .with_snippet(&line.raw),
+                    );
+                }
+            }
+            if has_index_expr(&line.code) {
+                out.push(
+                    Finding::new(
+                        &file.path,
+                        lno,
+                        "index",
+                        "bare slice/array index in hot-path module can panic; use `get`/`get_mut` or waive with a bounds rationale".to_string(),
+                    )
+                    .with_snippet(&line.raw),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// True when the stripped code contains an index *expression* (`x[i]`,
+/// `f()[i]`, `x[a..b]`), as opposed to array types/literals, attributes,
+/// or macro brackets.
+fn has_index_expr(code: &str) -> bool {
+    let t = code.trim_start();
+    if t.starts_with("#[") || t.starts_with("#![") {
+        return false;
+    }
+    let b: Vec<char> = code.chars().collect();
+    for i in 1..b.len() {
+        if b[i] != '[' {
+            continue;
+        }
+        let mut j = i;
+        let prev = loop {
+            if j == 0 {
+                break ' ';
+            }
+            j -= 1;
+            if b[j] != ' ' {
+                break b[j];
+            }
+        };
+        if prev == '!' {
+            continue; // vec![...], matches!(...) etc.
+        }
+        if prev.is_alphanumeric() || prev == '_' {
+            // Walk back over the identifier: `&'a [u8]` is a lifetime
+            // followed by a slice *type*, not an index expression.
+            let mut k = j;
+            while k > 0 && (b[k - 1].is_alphanumeric() || b[k - 1] == '_') {
+                k -= 1;
+            }
+            if k > 0 && b[k - 1] == '\'' {
+                continue;
+            }
+            return true;
+        }
+        if prev == ')' || prev == ']' || prev == '"' {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: atomic-ordering audit.
+// ---------------------------------------------------------------------------
+
+const ATOMIC_OPS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_nand(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_update(",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub fn atomics(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| !f.path.starts_with(SELF_PATH)) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let lno = idx + 1;
+            for op in ATOMIC_OPS {
+                let mut from = 0;
+                while let Some(pos) = line.code[from..].find(op) {
+                    let col = from + pos;
+                    from = col + op.len();
+                    let span = call_span(file, idx, col + op.len() - 1);
+                    if !ORDERINGS.iter().any(|o| span.contains(o)) {
+                        out.push(
+                            Finding::new(
+                                &file.path,
+                                lno,
+                                "atomic-explicit",
+                                format!(
+                                    "`{}` without a literal `Ordering::` argument; orderings must be explicit at the call site",
+                                    op.trim_start_matches('.').trim_end_matches('(')
+                                ),
+                            )
+                            .with_snippet(&line.raw),
+                        );
+                    }
+                }
+            }
+            // SeqCst demands a written justification: it is the "I could
+            // not prove anything weaker" ordering, and unexplained uses
+            // rot into load-bearing mysteries.
+            if line.code.contains("SeqCst") && !line.code.trim_start().starts_with("use ") {
+                let justified = line.comment.contains("ordering:")
+                    || (idx > 0 && file.lines[idx - 1].comment.contains("ordering:"));
+                if !justified {
+                    out.push(
+                        Finding::new(
+                            &file.path,
+                            lno,
+                            "atomic-seqcst",
+                            "`SeqCst` without an `// ordering:` justification on this or the preceding line; downgrade or explain".to_string(),
+                        )
+                        .with_snippet(&line.raw),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collect the argument span of a call whose `(` sits at (`line_idx`,
+/// `col`) in stripped code, across up to 8 lines, until parens balance.
+fn call_span(file: &SourceFile, line_idx: usize, col: usize) -> String {
+    let mut span = String::new();
+    let mut depth = 0i32;
+    for (k, line) in file.lines.iter().enumerate().skip(line_idx).take(8) {
+        let start = if k == line_idx { col } else { 0 };
+        for c in line.code.chars().skip(start) {
+            span.push(c);
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return span;
+                    }
+                }
+                _ => {}
+            }
+        }
+        span.push(' ');
+    }
+    span
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: lock discipline.
+// ---------------------------------------------------------------------------
+
+struct Held {
+    rank: u32,
+    name: &'static str,
+    binding: Option<String>,
+    depth: i32,
+    line: usize,
+}
+
+pub fn lock_discipline(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        let classes: Vec<&LockClass> = LOCK_HIERARCHY
+            .iter()
+            .filter(|c| file.path.ends_with(c.file))
+            .collect();
+        if classes.is_empty() {
+            continue;
+        }
+        check_file_locks(file, &classes, &mut out);
+    }
+    out
+}
+
+fn check_file_locks(file: &SourceFile, classes: &[&LockClass], out: &mut Vec<Finding>) {
+    let mut depth = 0i32;
+    let mut held: Vec<Held> = Vec::new();
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lno = idx + 1;
+        if !line.in_test {
+            for recv in lock_receivers(&line.code) {
+                let Some(class) = classes.iter().find(|c| c.recv == recv) else {
+                    continue;
+                };
+                for h in &held {
+                    if h.rank >= class.rank {
+                        out.push(
+                            Finding::new(
+                                &file.path,
+                                lno,
+                                "lock-order",
+                                format!(
+                                    "{} (rank {}) acquired while holding {} (rank {}, line {}); the hierarchy requires outer (lower rank) locks first",
+                                    class.name, class.rank, h.name, h.rank, h.line
+                                ),
+                            )
+                            .with_snippet(&line.raw),
+                        );
+                    }
+                }
+                held.push(Held {
+                    rank: class.rank,
+                    name: class.name,
+                    binding: let_binding(&line.code),
+                    depth,
+                    line: lno,
+                });
+            }
+            // An explicit drop releases a named guard early.
+            if line.code.contains("drop(") {
+                if let Some(dropped) = ident_in_call(&line.code, "drop(") {
+                    held.retain(|h| h.binding.as_deref() != Some(dropped.as_str()));
+                }
+            }
+        }
+        depth += brace_delta(&line.code);
+        // Bound guards live while their block does; temporaries (no
+        // `let`) die at end of statement, approximated as end of line.
+        held.retain(|h| h.binding.is_some() && h.depth <= depth);
+    }
+}
+
+/// Receivers locked on this line: final path component before `.lock(`
+/// plus the argument of `lock_recover(...)`.
+fn lock_receivers(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let b: Vec<char> = code.chars().collect();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(".lock(") {
+        let col = char_index(code, from + pos);
+        let mut start = col;
+        while start > 0 && (b[start - 1].is_alphanumeric() || b[start - 1] == '_') {
+            start -= 1;
+        }
+        if start < col {
+            out.push(b[start..col].iter().collect());
+        }
+        from += pos + ".lock(".len();
+    }
+    from = 0;
+    while let Some(pos) = code[from..].find("lock_recover(") {
+        let tail = &code[from + pos + "lock_recover(".len()..];
+        let arg: String = tail
+            .trim_start_matches(['&', ' '])
+            .trim_start_matches("mut ")
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+            .collect();
+        if let Some(last) = arg.rsplit('.').next() {
+            if !last.is_empty() {
+                out.push(last.to_string());
+            }
+        }
+        from += pos + "lock_recover(".len();
+    }
+    out
+}
+
+fn char_index(code: &str, byte_pos: usize) -> usize {
+    code[..byte_pos].chars().count()
+}
+
+/// Name bound by a `let` on this line, if any (`let mut g = ...` → `g`).
+fn let_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t
+        .strip_prefix("let ")
+        .or_else(|| t.find(" let ").map(|p| &t[p + 5..]))?;
+    let rest = rest.trim_start().trim_start_matches("mut ").trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn ident_in_call(code: &str, call: &str) -> Option<String> {
+    let pos = code.find(call)?;
+    let arg: String = code[pos + call.len()..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if arg.is_empty() {
+        None
+    } else {
+        Some(arg)
+    }
+}
+
+fn brace_delta(code: &str) -> i32 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn hot(src: &str) -> Vec<SourceFile> {
+        vec![SourceFile::parse("src/net/driver.rs", src)]
+    }
+
+    // --- panic rule ---
+
+    #[test]
+    fn panic_flags_unwrap_expect_macros_index() {
+        let f = hot(
+            "fn f(v: &[u32]) {\n    let a = x.unwrap();\n    let b = y.expect(\"msg\");\n    panic!(\"boom\");\n    unreachable!();\n    let c = v[3];\n}\n",
+        );
+        let got = panic_free(&f);
+        let rules: Vec<&str> = got.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["panic", "panic", "panic", "panic", "index"]);
+    }
+
+    #[test]
+    fn panic_ignores_comments_strings_tests_and_cold_files() {
+        let src = "fn f() {\n    // x.unwrap() in prose\n    let s = \"panic!(nope)\";\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(panic_free(&hot(src)).is_empty());
+        let cold = vec![SourceFile::parse(
+            "crates/vq/src/lib.rs",
+            "fn f() { x.unwrap(); }",
+        )];
+        assert!(panic_free(&cold).is_empty());
+    }
+
+    #[test]
+    fn index_skips_types_literals_macros_attrs() {
+        let ok = "fn f() {\n    let a: [f32; 4] = [0.0; 4];\n    let v = vec![1, 2];\n    #[derive(Clone)]\n    let s = &x[..];\n}\n";
+        let got = panic_free(&hot(ok));
+        // Only the slice expression survives.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "index");
+        assert!(got[0].snippet.contains("&x[..]"));
+    }
+
+    // --- atomics rule ---
+
+    #[test]
+    fn atomics_requires_literal_ordering() {
+        let f = hot("fn f() {\n    flag.store(true, ord);\n    flag.load(Ordering::Acquire);\n}\n");
+        let got = atomics(&f);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "atomic-explicit");
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn atomics_multiline_call_spans() {
+        let f = hot("fn f() {\n    flag.compare_exchange(\n        false,\n        true,\n        Ordering::AcqRel,\n        Ordering::Acquire,\n    );\n}\n");
+        assert!(atomics(&f).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_ordering_comment() {
+        let bare = hot("fn f() { flag.store(true, Ordering::SeqCst); }\n");
+        let got = atomics(&bare);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "atomic-seqcst");
+
+        let same = hot(
+            "fn f() { flag.store(true, Ordering::SeqCst); } // ordering: total order vs drain\n",
+        );
+        assert!(atomics(&same).is_empty());
+        let prev = hot("fn f() {\n    // ordering: total order vs drain\n    flag.store(true, Ordering::SeqCst);\n}\n");
+        assert!(atomics(&prev).is_empty());
+    }
+
+    // --- lock discipline ---
+
+    #[test]
+    fn lock_order_flags_inversion() {
+        let src = "impl T {\n    fn bad(&self) {\n        let cell = self.state.lock();\n        let map = self.phases.lock();\n    }\n}\n";
+        let got = lock_discipline(&hot(src));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "lock-order");
+        assert!(got[0].message.contains("driver.phases"));
+    }
+
+    #[test]
+    fn lock_order_accepts_declared_order_and_drop() {
+        let ok = "impl T {\n    fn good(&self) {\n        let map = self.phases.lock();\n        let cell = self.state.lock();\n    }\n    fn resequenced(&self) {\n        let cell = self.state.lock();\n        drop(cell);\n        let map = self.phases.lock();\n    }\n}\n";
+        assert!(lock_discipline(&hot(ok)).is_empty());
+    }
+
+    #[test]
+    fn lock_order_scopes_guards_to_blocks() {
+        let ok = "impl T {\n    fn scoped(&self) {\n        {\n            let cell = self.state.lock();\n        }\n        let map = self.phases.lock();\n    }\n}\n";
+        assert!(lock_discipline(&hot(ok)).is_empty());
+    }
+
+    #[test]
+    fn lock_order_sees_lock_recover_helper() {
+        let src = "impl T {\n    fn bad(&self) {\n        let cell = lock_recover(&self.state);\n        let map = lock_recover(&self.phases);\n    }\n}\n";
+        let got = lock_discipline(&hot(src));
+        assert_eq!(got.len(), 1);
+    }
+}

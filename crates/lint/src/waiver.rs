@@ -1,0 +1,146 @@
+//! The waiver file (`lint-allow.txt`): every surviving violation in a
+//! hot-path module carries a written justification, checked in next to
+//! the code it excuses.
+//!
+//! Format, one waiver per line:
+//!
+//! ```text
+//! path/to/file.rs: line-pattern # rationale
+//! path/to/file.rs: * # file-level rationale (kernel inner loops etc.)
+//! ```
+//!
+//! `line-pattern` is a substring of the offending source line (`*`
+//! waives the whole file). A waiver with no rationale is itself a
+//! finding, and so is a waiver that no longer matches anything — stale
+//! excuses rot just like stale sites.
+
+use crate::Finding;
+
+#[derive(Debug)]
+pub struct Waiver {
+    pub file: String,
+    pub pattern: String,
+    pub rationale: String,
+    /// Line in lint-allow.txt, for reporting.
+    pub line: usize,
+}
+
+/// Parse the waiver file text. Malformed lines become findings.
+pub fn parse(text: &str) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (body, rationale) = match line.split_once(" # ") {
+            Some((b, r)) if !r.trim().is_empty() => (b.trim(), r.trim().to_string()),
+            _ => {
+                findings.push(Finding::new(
+                    "lint-allow.txt",
+                    lno,
+                    "waiver",
+                    "waiver has no ` # rationale`; every exception must say why it is sound".into(),
+                ));
+                continue;
+            }
+        };
+        let Some((file, pattern)) = body.split_once(':') else {
+            findings.push(Finding::new(
+                "lint-allow.txt",
+                lno,
+                "waiver",
+                "waiver is not `path: line-pattern # rationale`".into(),
+            ));
+            continue;
+        };
+        waivers.push(Waiver {
+            file: file.trim().to_string(),
+            pattern: pattern.trim().to_string(),
+            rationale,
+            line: lno,
+        });
+    }
+    (waivers, findings)
+}
+
+/// Suppress findings matched by a waiver; report waivers that matched
+/// nothing as stale.
+pub fn apply(findings: Vec<Finding>, waivers: &[Waiver]) -> Vec<Finding> {
+    let mut used = vec![false; waivers.len()];
+    let mut kept = Vec::new();
+    'f: for finding in findings {
+        for (i, w) in waivers.iter().enumerate() {
+            let file_match = finding.file == w.file;
+            let line_match = w.pattern == "*"
+                || (!finding.snippet.is_empty() && finding.snippet.contains(&w.pattern));
+            if file_match && line_match {
+                used[i] = true;
+                continue 'f;
+            }
+        }
+        kept.push(finding);
+    }
+    for (i, w) in waivers.iter().enumerate() {
+        if !used[i] {
+            kept.push(Finding::new(
+                "lint-allow.txt",
+                w.line,
+                "waiver",
+                format!(
+                    "stale waiver `{}: {}` matches no finding; delete it (rationale was: {})",
+                    w.file, w.pattern, w.rationale
+                ),
+            ));
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, snippet: &str) -> Finding {
+        Finding::new(file, 3, "panic", "msg".into()).with_snippet(snippet)
+    }
+
+    #[test]
+    fn waives_by_substring_and_star() {
+        let (ws, errs) = parse(
+            "src/a.rs: x.unwrap() # lock cannot be poisoned here\nsrc/b.rs: * # whole file is bounds-checked by proptest\n",
+        );
+        assert!(errs.is_empty());
+        let kept = apply(
+            vec![
+                finding("src/a.rs", "let v = x.unwrap();"),
+                finding("src/a.rs", "let v = y.unwrap();"),
+                finding("src/b.rs", "anything at all"),
+            ],
+            &ws,
+        );
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].snippet.contains("y.unwrap"));
+    }
+
+    #[test]
+    fn missing_rationale_and_stale_waivers_are_findings() {
+        let (ws, errs) = parse("src/a.rs: x.unwrap()\n");
+        assert!(ws.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].rule, "waiver");
+
+        let (ws, _) = parse("src/a.rs: nothing-matches # because\n");
+        let kept = apply(vec![], &ws);
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let (ws, errs) = parse("# header comment\n\n   \n");
+        assert!(ws.is_empty() && errs.is_empty());
+    }
+}

@@ -161,7 +161,15 @@ impl RejectReason {
             crate::LlmError::DriverRestarted { retry_after_ms } => {
                 RejectReason::DriverRestarted { retry_after_ms }
             }
-            ref other => unreachable!("admission produced a non-admission error: {other}"),
+            ref other => {
+                // Only admission-shaped errors reach this conversion;
+                // surface a stray one as a typed internal rejection
+                // instead of a panic.
+                debug_assert!(false, "admission produced a non-admission error: {other}");
+                RejectReason::Internal {
+                    what: "non-admission error",
+                }
+            }
         }
     }
 

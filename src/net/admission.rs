@@ -202,12 +202,13 @@ impl RateLimiter {
         if self.ledgers.len() >= MAX_LEDGERS && !self.ledgers.iter().any(|(t, _)| *t == tenant) {
             self.evict_stalest();
         }
-        let ledger = match self.ledgers.iter_mut().find(|(t, _)| *t == tenant) {
-            Some((_, l)) => l,
-            None => {
-                self.ledgers.push((tenant, VecDeque::new()));
-                &mut self.ledgers.last_mut().expect("just pushed").1
-            }
+        if !self.ledgers.iter().any(|(t, _)| *t == tenant) {
+            self.ledgers.push((tenant, VecDeque::new()));
+        }
+        let Some((_, ledger)) = self.ledgers.iter_mut().find(|(t, _)| *t == tenant) else {
+            // Unreachable (the tenant was inserted just above); admit
+            // rather than panic if it ever isn't.
+            return Ok(());
         };
         // Slide the window: drop charges older than window_ms.
         while let Some(&(t, _)) = ledger.front() {

@@ -53,6 +53,7 @@ use vqllm_llm::{
 
 use crate::engine::Engine;
 use crate::net::admission::{Admission, AdmissionConfig, NetRequest};
+use crate::net::lock_recover;
 use crate::net::metrics::{Metrics, MetricsSnapshot};
 
 /// How a driven request ends: the terminal state a [`Ticket`]'s wait
@@ -171,7 +172,7 @@ impl WaitCell {
     /// First terminal transition wins; later resolves (and a sweep after
     /// a resolve) are no-ops.
     fn resolve(&self, end: TicketEnd) {
-        let mut s = self.state.lock().expect("wait cell lock");
+        let mut s = lock_recover(&self.state);
         if matches!(*s, CellState::Pending) {
             *s = CellState::Done(end);
             self.cv.notify_all();
@@ -180,7 +181,7 @@ impl WaitCell {
 
     /// Marks a still-pending cell as orphaned by a dead driver.
     fn mark_down(&self) {
-        let mut s = self.state.lock().expect("wait cell lock");
+        let mut s = lock_recover(&self.state);
         if matches!(*s, CellState::Pending) {
             *s = CellState::DriverDown;
             self.cv.notify_all();
@@ -188,23 +189,28 @@ impl WaitCell {
     }
 
     fn peek(&self) -> CellState {
-        self.state.lock().expect("wait cell lock").clone()
+        lock_recover(&self.state).clone()
     }
 
     fn wait(&self) -> Result<TicketEnd, WaitError> {
-        let mut s = self.state.lock().expect("wait cell lock");
+        let mut s = lock_recover(&self.state);
         loop {
             match &*s {
                 CellState::Done(end) => return Ok(end.clone()),
                 CellState::DriverDown => return Err(WaitError::DriverDown),
-                CellState::Pending => s = self.cv.wait(s).expect("wait cell lock"),
+                CellState::Pending => {
+                    s = self
+                        .cv
+                        .wait(s)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                }
             }
         }
     }
 
     fn wait_timeout(&self, dur: Duration) -> Result<TicketEnd, WaitError> {
         let deadline = Instant::now() + dur;
-        let mut s = self.state.lock().expect("wait cell lock");
+        let mut s = lock_recover(&self.state);
         loop {
             match &*s {
                 CellState::Done(end) => return Ok(end.clone()),
@@ -215,7 +221,10 @@ impl WaitCell {
             if left.is_zero() {
                 return Err(WaitError::Timeout);
             }
-            let (guard, _) = self.cv.wait_timeout(s, left).expect("wait cell lock");
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             s = guard;
         }
     }
@@ -243,7 +252,7 @@ impl CellTable {
     /// the driver is already gone for good — the submit must resolve the
     /// cell itself, because no sweep will run again.
     fn insert(&self, id: u64, cell: &Arc<WaitCell>) -> bool {
-        let mut t = self.inner.lock().expect("cell table lock");
+        let mut t = lock_recover(&self.inner);
         if t.down {
             return false;
         }
@@ -252,11 +261,7 @@ impl CellTable {
     }
 
     fn remove(&self, id: u64) {
-        self.inner
-            .lock()
-            .expect("cell table lock")
-            .cells
-            .remove(&id);
+        lock_recover(&self.inner).cells.remove(&id);
     }
 
     /// Marks every still-tracked cell as orphaned and latches the table
@@ -266,7 +271,7 @@ impl CellTable {
     /// and resolve themselves.
     fn sweep_down(&self) {
         let cells: Vec<Arc<WaitCell>> = {
-            let mut t = self.inner.lock().expect("cell table lock");
+            let mut t = lock_recover(&self.inner);
             t.down = true;
             t.cells.drain().map(|(_, c)| c).collect()
         };
@@ -458,8 +463,7 @@ impl Client {
                     what: "driver down",
                 },
             },
-            CellState::Pending => match self.phases.lock().expect("phase map lock").get(&ticket.id)
-            {
+            CellState::Pending => match lock_recover(&self.phases).get(&ticket.id) {
                 Some(Phase::Running) => RequestStatus::Running,
                 _ => RequestStatus::Queued,
             },
@@ -606,16 +610,12 @@ impl HandleTable {
 
     /// The handle at protocol index `idx`, if registered.
     pub fn get(&self, idx: usize) -> Option<ContextHandle> {
-        self.handles
-            .lock()
-            .expect("handle table lock")
-            .get(idx)
-            .copied()
+        lock_recover(&self.handles).get(idx).copied()
     }
 
     /// Registered handles.
     pub fn len(&self) -> usize {
-        self.handles.lock().expect("handle table lock").len()
+        lock_recover(&self.handles).len()
     }
 
     /// Whether no context is registered.
@@ -625,7 +625,7 @@ impl HandleTable {
 
     /// Replaces the whole table (the post-restart republish).
     fn publish(&self, handles: Vec<ContextHandle>) {
-        *self.handles.lock().expect("handle table lock") = handles;
+        *lock_recover(&self.handles) = handles;
     }
 }
 
@@ -911,8 +911,9 @@ impl DriverState {
     fn run_inner(&mut self) {
         loop {
             if let Some(report) = self.drain_progress() {
-                let job = self.drain.take().expect("drain job present");
-                let _ = job.reply.send(report);
+                if let Some(job) = self.drain.take() {
+                    let _ = job.reply.send(report);
+                }
                 self.flush_channel();
                 return;
             }
@@ -1013,7 +1014,12 @@ impl DriverState {
                     self.drain = Some(job);
                 }
             }
-            Cmd::Shutdown => unreachable!("shutdown is handled by the loop"),
+            Cmd::Shutdown => {
+                // The recv loops intercept Shutdown before dispatch;
+                // tolerate a stray one as a no-op rather than killing
+                // this incarnation of the driver.
+                debug_assert!(false, "shutdown is handled by the loop");
+            }
         }
     }
 
@@ -1059,10 +1065,7 @@ impl DriverState {
         {
             Ok(()) => {
                 self.metrics.record_admitted();
-                self.phases
-                    .lock()
-                    .expect("phase map lock")
-                    .insert(id, Phase::Queued);
+                lock_recover(&self.phases).insert(id, Phase::Queued);
                 if let Some(s) = sink.as_mut() {
                     s(StreamEvent::Accepted { id });
                 }
@@ -1119,7 +1122,7 @@ impl DriverState {
     /// Resolves a ticket to a rejection, emitting the terminal sink
     /// event.
     fn resolve(&mut self, id: u64, reason: RejectReason) {
-        self.phases.lock().expect("phase map lock").remove(&id);
+        lock_recover(&self.phases).remove(&id);
         if let Some(mut rec) = self.tickets.remove(&id) {
             let retry_after_ms = reason.retry_hint_ms().unwrap_or(0);
             // Resolve before the sink fires: once the terminal frame is
@@ -1167,10 +1170,7 @@ impl DriverState {
             self.inflight_tokens += gen;
             if let Some(rec) = self.tickets.get_mut(&p.id) {
                 rec.handle = Some(handle);
-                self.phases
-                    .lock()
-                    .expect("phase map lock")
-                    .insert(p.id, Phase::Running);
+                lock_recover(&self.phases).insert(p.id, Phase::Running);
             } else {
                 // The ticket record vanished (cannot happen outside a
                 // cancel race): don't decode for nobody.
@@ -1190,14 +1190,16 @@ impl DriverState {
             .collect();
         live.sort_unstable_by_key(|&(id, _)| id);
         for (id, handle) in live {
-            let streamed = self.tickets[&id].streamed;
+            let streamed = match self.tickets.get(&id) {
+                Some(rec) => rec.streamed,
+                None => continue,
+            };
             let new_rows: Vec<Vec<f32>> = self
                 .engine
                 .partial_output(&handle)
-                .map(|rows| rows[streamed.min(rows.len())..].to_vec())
+                .map(|rows| rows.get(streamed..).unwrap_or_default().to_vec())
                 .unwrap_or_default();
-            if !new_rows.is_empty() {
-                let rec = self.tickets.get_mut(&id).expect("live ticket");
+            if let Some(rec) = self.tickets.get_mut(&id).filter(|_| !new_rows.is_empty()) {
                 for (k, row) in new_rows.iter().enumerate() {
                     if let Some(s) = rec.sink.as_mut() {
                         s(StreamEvent::Token {
@@ -1215,13 +1217,29 @@ impl DriverState {
             }
             match self.engine.poll(&handle) {
                 RequestStatus::Finished { .. } => {
-                    let out = self.engine.take_output(&handle).expect("finished output");
-                    self.phases.lock().expect("phase map lock").remove(&id);
-                    let mut rec = self.tickets.remove(&id).expect("live ticket");
+                    let Some(out) = self.engine.take_output(&handle) else {
+                        // poll said Finished, so the output must exist; if
+                        // the engine disagrees, fail the ticket rather
+                        // than wedge its waiter.
+                        let reason = RejectReason::Internal {
+                            what: "finished output missing",
+                        };
+                        if let Some(rec) = self.tickets.get(&id) {
+                            let owed = rec.gen_tokens.saturating_sub(rec.streamed) as u64;
+                            self.charge_down(owed);
+                        }
+                        self.metrics.record_rejection(&reason);
+                        self.resolve(id, reason);
+                        continue;
+                    };
+                    lock_recover(&self.phases).remove(&id);
+                    let Some(mut rec) = self.tickets.remove(&id) else {
+                        continue;
+                    };
                     // Rows decoded in the finishing step are no longer
                     // visible via partial_output; deliver them from the
                     // collected output.
-                    let tail = &out.steps[rec.streamed.min(out.steps.len())..];
+                    let tail = out.steps.get(rec.streamed..).unwrap_or_default();
                     if !tail.is_empty() {
                         for (k, row) in tail.iter().enumerate() {
                             if let Some(s) = rec.sink.as_mut() {
@@ -1252,8 +1270,11 @@ impl DriverState {
                     // Reachable only through external cancellation paths;
                     // keep the ticket's contract either way. The rows this
                     // ticket never decoded come off the backlog with it.
-                    let rec = &self.tickets[&id];
-                    let owed = rec.gen_tokens.saturating_sub(rec.streamed) as u64;
+                    let owed = self
+                        .tickets
+                        .get(&id)
+                        .map(|rec| rec.gen_tokens.saturating_sub(rec.streamed) as u64)
+                        .unwrap_or(0);
                     self.charge_down(owed);
                     self.metrics.record_rejection(&reason);
                     self.resolve(id, reason);
@@ -1354,7 +1375,7 @@ impl DriverState {
             self.metrics.record_rejection(&reason);
             self.resolve(id, reason);
         }
-        self.phases.lock().expect("phase map lock").clear();
+        lock_recover(&self.phases).clear();
         self.inflight_tokens = 0;
         // A drain preempted by the death still gets its report: what
         // finished before the crash counts, the rest was dropped.
@@ -1382,7 +1403,7 @@ impl DriverState {
             self.metrics.record_rejection(&RejectReason::Cancelled);
             self.resolve(id, RejectReason::Cancelled);
         }
-        self.phases.lock().expect("phase map lock").clear();
+        lock_recover(&self.phases).clear();
         self.inflight_tokens = 0;
         if let Some(job) = self.drain.take() {
             let _ = job.reply.send(DrainReport {

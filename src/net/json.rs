@@ -154,7 +154,12 @@ impl Parser<'_> {
     }
 
     fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
-        if self.b[self.i..].starts_with(word.as_bytes()) {
+        if self
+            .b
+            .get(self.i..)
+            .unwrap_or_default()
+            .starts_with(word.as_bytes())
+        {
             self.i += word.len();
             Ok(v)
         } else {
@@ -270,10 +275,10 @@ impl Parser<'_> {
                     // Multi-byte UTF-8 passes through verbatim.
                     let start = self.i;
                     self.i += 1;
-                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                    while matches!(self.b.get(self.i), Some(c) if (c & 0xC0) == 0x80) {
                         self.i += 1;
                     }
-                    let s = std::str::from_utf8(&self.b[start..self.i])
+                    let s = std::str::from_utf8(self.b.get(start..self.i).unwrap_or_default())
                         .map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(s);
                 }
@@ -292,7 +297,9 @@ impl Parser<'_> {
         ) {
             self.i += 1;
         }
-        let s = std::str::from_utf8(&self.b[start..self.i]).expect("ASCII number token");
+        // The scanned token is pure ASCII, so from_utf8 cannot fail;
+        // an empty fallback just reports "invalid number" below.
+        let s = std::str::from_utf8(self.b.get(start..self.i).unwrap_or_default()).unwrap_or("");
         let n: f64 = s.parse().map_err(|_| self.err("invalid number"))?;
         if !n.is_finite() {
             return Err(self.err("number out of range"));

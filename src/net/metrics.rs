@@ -78,7 +78,9 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket(v)].fetch_add(1, Relaxed);
+        if let Some(bucket) = self.buckets.get(Self::bucket(v)) {
+            bucket.fetch_add(1, Relaxed);
+        }
         self.count.fetch_add(1, Relaxed);
         self.sum.fetch_add(v, Relaxed);
         self.max.fetch_max(v, Relaxed);
@@ -130,9 +132,9 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut s = samples.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    let rank = ((q.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).max(1);
-    s[rank - 1]
+    s.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
+    s.get(rank - 1).copied().unwrap_or(0.0)
 }
 
 /// Stable index of a rejection reason in the per-reason counter array.
@@ -346,11 +348,12 @@ impl Metrics {
     /// Counts a connection leaving service, tagged with why.
     pub fn connection_closed(&self, reason: DisconnectReason) {
         self.active_connections.fetch_sub(1, Relaxed);
-        let idx = DisconnectReason::ALL
-            .iter()
-            .position(|r| *r == reason)
-            .expect("reason in ALL");
-        self.disconnects[idx].fetch_add(1, Relaxed);
+        // `reason as usize` == its slot in ALL (pinned by
+        // `enum_order_matches_all` below), and the array is sized by
+        // ALL, so the lookup cannot miss.
+        if let Some(counter) = self.disconnects.get(reason as usize) {
+            counter.fetch_add(1, Relaxed);
+        }
     }
 
     /// Connections currently open.
@@ -384,11 +387,12 @@ impl Metrics {
     /// Counts a typed rejection (including cancellations).
     pub fn record_rejection(&self, reason: &RejectReason) {
         let kind = RejectKind::of(reason);
-        let idx = RejectKind::ALL
-            .iter()
-            .position(|k| *k == kind)
-            .expect("kind in ALL");
-        self.rejected[idx].fetch_add(1, Relaxed);
+        // `kind as usize` == its slot in ALL (pinned by
+        // `enum_order_matches_all` below), and the array is sized by
+        // ALL, so the lookup cannot miss.
+        if let Some(counter) = self.rejected.get(kind as usize) {
+            counter.fetch_add(1, Relaxed);
+        }
     }
 
     /// Adds decoded tokens to a tenant's account.
@@ -396,7 +400,7 @@ impl Metrics {
         if tokens == 0 {
             return;
         }
-        let mut map = self.tenants.lock().expect("tenant metrics lock");
+        let mut map = super::lock_recover(&self.tenants);
         match map.iter_mut().find(|(t, _)| *t == tenant) {
             Some((_, n)) => *n += tokens,
             None => map.push((tenant, tokens)),
@@ -408,7 +412,7 @@ impl Metrics {
         let uptime_s = self.started.elapsed().as_secs_f64().max(1e-9);
         let decoded = self.decoded_tokens.load(Relaxed);
         let mut tenants: Vec<TenantRate> = {
-            let map = self.tenants.lock().expect("tenant metrics lock");
+            let map = super::lock_recover(&self.tenants);
             map.iter()
                 .map(|&(tenant, tokens)| TenantRate {
                     tenant,
@@ -432,15 +436,15 @@ impl Metrics {
             admitted: self.admitted.load(Relaxed),
             rejected: RejectKind::ALL
                 .iter()
-                .enumerate()
-                .map(|(i, k)| (k.code(), self.rejected[i].load(Relaxed)))
+                .zip(self.rejected.iter())
+                .map(|(k, c)| (k.code(), c.load(Relaxed)))
                 .collect(),
             active_connections: self.active_connections.load(Relaxed),
             connections_total: self.connections_total.load(Relaxed),
             disconnects: DisconnectReason::ALL
                 .iter()
-                .enumerate()
-                .map(|(i, r)| (r.code(), self.disconnects[i].load(Relaxed)))
+                .zip(self.disconnects.iter())
+                .map(|(r, c)| (r.code(), c.load(Relaxed)))
                 .collect(),
             writer_queue_peak: self.writer_queue_peak.load(Relaxed),
             restarts: self.restarts.load(Relaxed),
@@ -619,6 +623,21 @@ fn round3(v: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn enum_order_matches_all() {
+        // The counter arrays are indexed with `kind as usize`; that is
+        // only correct while ALL lists variants in declaration order.
+        for (i, k) in RejectKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i, "RejectKind::ALL out of declaration order");
+        }
+        for (i, r) in DisconnectReason::ALL.iter().enumerate() {
+            assert_eq!(
+                *r as usize, i,
+                "DisconnectReason::ALL out of declaration order"
+            );
+        }
+    }
 
     #[test]
     fn histogram_quantiles_are_bucketed_upper_bounds() {

@@ -60,3 +60,16 @@ pub use metrics::{
 };
 pub use proto::{ClientFrame, PROTO_VERSION};
 pub use server::{loopback, loopback_supervised, loopback_with, NetConfig, NetServer};
+
+/// Locks a mutex, recovering from poisoning instead of panicking.
+///
+/// Every mutex in this module guards state that is updated in
+/// self-consistent single steps (whole-entry map inserts, queue
+/// push/pop, flag flips) with no panicking code inside the critical
+/// section, so a poisoned guard cannot expose torn invariants — but a
+/// panicking *sibling* thread (e.g. a contained kernel panic unwinding
+/// through a scope) must not take the serving path down with it, which
+/// is exactly what `.lock().unwrap()` would do.
+pub(crate) fn lock_recover<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -155,6 +155,25 @@ pub fn submit_line(
     s
 }
 
+/// Every rejection code this protocol can put on the wire, in
+/// counter-array order. This is the protocol-side registry `vqllm-lint`
+/// cross-checks against `RejectKind::code` and the per-reason metrics
+/// counters: a code added to one place but not the others is a lint
+/// error, and `codes_cover_every_kind` below pins the mapping at run
+/// time too.
+pub const REJECT_WIRE_CODES: &[&str] = &[
+    "queue_full",
+    "invalid",
+    "kv_capacity",
+    "unknown_context",
+    "cancelled",
+    "deadline",
+    "rate_limited",
+    "draining",
+    "internal",
+    "driver_restarted",
+];
+
 /// The wire code of a rejection reason (`queue_full`, `deadline`, ...).
 pub fn reason_code(reason: &RejectReason) -> &'static str {
     RejectKind::of(reason).code()
@@ -323,6 +342,14 @@ pub fn error_frame(message: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn codes_cover_every_kind() {
+        // The static registry must match what RejectKind actually emits,
+        // one to one and in order.
+        let emitted: Vec<&str> = RejectKind::ALL.iter().map(|k| k.code()).collect();
+        assert_eq!(REJECT_WIRE_CODES, emitted.as_slice());
+    }
 
     #[test]
     fn submit_line_round_trips_through_the_parser() {

@@ -174,7 +174,7 @@ impl FrameQueue {
     /// Queues one frame; never blocks. Returns the depth after the push
     /// alongside the outcome so callers can feed the peak-depth gauge.
     fn push(&self, frame: String) -> (PushOutcome, usize) {
-        let mut s = self.state.lock().expect("frame queue lock");
+        let mut s = super::lock_recover(&self.state);
         if s.closed || s.aborted {
             return (PushOutcome::Ok, s.frames.len());
         }
@@ -195,7 +195,7 @@ impl FrameQueue {
     /// The writer thread's blocking pop: `None` when the queue is done
     /// (closed and drained, or aborted).
     fn pop_blocking(&self) -> Option<String> {
-        let mut s = self.state.lock().expect("frame queue lock");
+        let mut s = super::lock_recover(&self.state);
         loop {
             if s.aborted {
                 return None;
@@ -209,21 +209,24 @@ impl FrameQueue {
             if s.closed {
                 return None;
             }
-            s = self.cv.wait(s).expect("frame queue lock");
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Whether the queue has sat at or above the soft watermark for
     /// longer than `grace` (the reader's poll-tick eviction check).
     fn slow_expired(&self, grace: Duration) -> bool {
-        let s = self.state.lock().expect("frame queue lock");
+        let s = super::lock_recover(&self.state);
         matches!(s.over_soft_since, Some(t) if t.elapsed() > grace)
     }
 
     /// No more pushes; queued frames still flush (the normal-close
     /// path).
     fn close(&self) {
-        let mut s = self.state.lock().expect("frame queue lock");
+        let mut s = super::lock_recover(&self.state);
         s.closed = true;
         drop(s);
         self.cv.notify_all();
@@ -232,7 +235,7 @@ impl FrameQueue {
     /// Discard everything, exit now (the eviction path — the client is
     /// not reading, so the queued frames have no consumer).
     fn abort(&self) {
-        let mut s = self.state.lock().expect("frame queue lock");
+        let mut s = super::lock_recover(&self.state);
         s.aborted = true;
         s.frames.clear();
         drop(s);
@@ -241,7 +244,7 @@ impl FrameQueue {
 
     /// Deepest the queue has been.
     fn peak(&self) -> usize {
-        self.state.lock().expect("frame queue lock").peak
+        super::lock_recover(&self.state).peak
     }
 }
 
@@ -263,7 +266,7 @@ impl Conn {
     /// writer queue, and shuts the socket down so the reader and writer
     /// wake immediately. Safe from any thread, including the driver's.
     fn evict(&self, reason: DisconnectReason) {
-        let mut c = self.closing.lock().expect("closing lock");
+        let mut c = super::lock_recover(&self.closing);
         if c.is_none() {
             *c = Some(reason);
         }
@@ -274,7 +277,7 @@ impl Conn {
 
     /// The recorded close reason, if any path set one.
     fn close_reason(&self) -> Option<DisconnectReason> {
-        *self.closing.lock().expect("closing lock")
+        *super::lock_recover(&self.closing)
     }
 }
 
@@ -406,11 +409,11 @@ impl NetServer {
                 .name("vq-llm-accept".into())
                 .spawn(move || {
                     for conn in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
+                        if stop.load(Ordering::Acquire) {
                             break;
                         }
                         let Ok(mut stream) = conn else { continue };
-                        if ctx.draining.load(Ordering::SeqCst) {
+                        if ctx.draining.load(Ordering::Acquire) {
                             // Draining: answer with a typed rejection
                             // rather than silently refusing the dial.
                             let line = proto::conn_rejected_frame(
@@ -421,7 +424,11 @@ impl NetServer {
                             let _ = writeln!(stream, "{line}");
                             continue;
                         }
-                        if conns.load(Ordering::SeqCst) >= ctx.cfg.max_connections.max(1) {
+                        // Plain capacity gate: the counter publishes no
+                        // other data, so relaxed is enough (the check/add
+                        // pair is racy regardless of ordering; the limit
+                        // is a soft cap, not an exact one).
+                        if conns.load(Ordering::Relaxed) >= ctx.cfg.max_connections.max(1) {
                             let line = proto::conn_rejected_frame(
                                 "connection_limit",
                                 "connection limit reached",
@@ -430,7 +437,7 @@ impl NetServer {
                             let _ = writeln!(stream, "{line}");
                             continue;
                         }
-                        conns.fetch_add(1, Ordering::SeqCst);
+                        conns.fetch_add(1, Ordering::Relaxed);
                         let ctx = Arc::clone(&ctx);
                         let conns = Arc::clone(&conns);
                         let _ =
@@ -438,7 +445,7 @@ impl NetServer {
                                 .name("vq-llm-conn".into())
                                 .spawn(move || {
                                     serve_connection(stream, ctx);
-                                    conns.fetch_sub(1, Ordering::SeqCst);
+                                    conns.fetch_sub(1, Ordering::Relaxed);
                                 });
                     }
                 })
@@ -486,7 +493,9 @@ impl NetServer {
     /// Returns what happened to the in-flight work, then tears the
     /// sockets down like [`NetServer::shutdown`].
     pub fn drain(mut self, deadline: Duration) -> DrainReport {
-        self.draining.store(true, Ordering::SeqCst);
+        // Pairs with the accept loop's `Acquire` load: once observed,
+        // new dials see the typed `draining` rejection.
+        self.draining.store(true, Ordering::Release);
         let report = match self.driver.take() {
             Some(driver) => driver.drain(deadline),
             None => DrainReport {
@@ -499,7 +508,10 @@ impl NetServer {
     }
 
     fn shutdown_inner(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Pairs with the `Acquire` loads in the accept loop and the
+        // per-connection read loops; the loopback dial below makes the
+        // accept loop re-check it promptly.
+        self.stop.store(true, Ordering::Release);
         // Wake the accept loop with a throwaway loopback connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.accept.take() {
@@ -561,7 +573,7 @@ fn read_capped_line(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>, cap: u
                 if buf.len() + pos > cap {
                     return LineRead::TooLong;
                 }
-                buf.extend_from_slice(&available[..pos]);
+                buf.extend_from_slice(available.get(..pos).unwrap_or_default());
                 reader.consume(pos + 1);
                 let line = String::from_utf8_lossy(buf).into_owned();
                 buf.clear();
@@ -619,7 +631,13 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
                     let _ = w.flush();
                 }
             })
-            .expect("spawn connection writer")
+    };
+    let Ok(writer) = writer else {
+        // Thread exhaustion: this connection cannot be served. Drop it
+        // instead of taking the whole server down with a panic.
+        let _ = conn.sock.shutdown(Shutdown::Both);
+        ctx.metrics.connection_closed(DisconnectReason::Error);
+        return;
     };
 
     let mut reader = BufReader::new(stream);
@@ -662,7 +680,7 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
                 break (DisconnectReason::Error, true);
             }
             LineRead::TimedOut => {
-                if ctx.stop.load(Ordering::SeqCst) {
+                if ctx.stop.load(Ordering::Acquire) {
                     break (DisconnectReason::Eof, true);
                 }
                 if conn.queue.slow_expired(ctx.cfg.slow_reader_grace) {
@@ -691,10 +709,7 @@ fn serve_connection(stream: TcpStream, ctx: Arc<ConnCtx>) {
     let reason = conn.close_reason().unwrap_or(exit_reason);
     // Free the engine's slots: every ticket this connection still owns
     // is cancelled (a resolved ticket's cancel is a no-op).
-    let tickets: Vec<Ticket> = conn
-        .tickets
-        .lock()
-        .expect("ticket map lock")
+    let tickets: Vec<Ticket> = super::lock_recover(&conn.tickets)
         .drain()
         .map(|(_, t)| t)
         .collect();
@@ -786,14 +801,11 @@ fn handle_line(line: &str, ctx: &Arc<ConnCtx>, conn: &Arc<Conn>) {
                     push_frame(&sink_conn, &sink_metrics, proto::event_frame(&ev));
                 }),
             );
-            conn.tickets
-                .lock()
-                .expect("ticket map lock")
-                .insert(ticket.id(), ticket);
+            super::lock_recover(&conn.tickets).insert(ticket.id(), ticket);
         }
         ClientFrame::Poll { id } => {
             let reply = {
-                let tickets = conn.tickets.lock().expect("ticket map lock");
+                let tickets = super::lock_recover(&conn.tickets);
                 match tickets.get(&id) {
                     Some(ticket) => {
                         // A DriverDown wait maps through poll() to a
@@ -809,12 +821,7 @@ fn handle_line(line: &str, ctx: &Arc<ConnCtx>, conn: &Arc<Conn>) {
             push_frame(conn, &ctx.metrics, reply);
         }
         ClientFrame::Cancel { id } => {
-            let ticket = conn
-                .tickets
-                .lock()
-                .expect("ticket map lock")
-                .get(&id)
-                .cloned();
+            let ticket = super::lock_recover(&conn.tickets).get(&id).cloned();
             if let Some(ticket) = ticket {
                 ctx.client.cancel(&ticket);
             }
